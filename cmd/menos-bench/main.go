@@ -1,0 +1,183 @@
+// Command menos-bench regenerates every table and figure from the
+// paper's evaluation section and prints them as aligned text tables.
+//
+// Usage:
+//
+//	menos-bench [-iterations N] [-steps N] [-seed N] [-only name]
+//
+// -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
+// fig8, fig9, fig10, table1, table2, table3, ablations, extensions.
+// By default all run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"menos/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "menos-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("menos-bench", flag.ContinueOnError)
+	iterations := fs.Int("iterations", 12, "simulated fine-tuning iterations per configuration")
+	steps := fs.Int("steps", 60, "real fine-tuning steps for convergence runs")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := experiments.Options{Iterations: *iterations, Steps: *steps, Seed: *seed}
+
+	selected := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	ran := false
+	start := time.Now()
+
+	if selected("measurement") {
+		ran = true
+		fmt.Println(experiments.MeasurementStudy().Render())
+	}
+	if selected("fig3") {
+		ran = true
+		fig3, _, err := experiments.Fig3(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig3.Render())
+	}
+	if selected("fig5") {
+		ran = true
+		for _, fig := range experiments.Fig5() {
+			fmt.Println(fig.Render())
+		}
+		for name, saving := range experiments.Fig5Reduction() {
+			fmt.Printf("Fig. 5 headline: %s saving at 4 clients = %.1f%% (paper: OPT 64.1%%, Llama 72.2%%)\n",
+				name, saving*100)
+		}
+		fmt.Println()
+	}
+
+	var sweep *experiments.Sweep
+	needSweep := selected("fig6") || selected("table1") || selected("table2") || selected("table3")
+	if needSweep {
+		sweep = experiments.NewSweep(opts)
+	}
+	if selected("fig6") {
+		ran = true
+		figs, err := experiments.Fig6(sweep)
+		if err != nil {
+			return err
+		}
+		for _, fig := range figs {
+			fmt.Println(fig.Render())
+		}
+	}
+	for _, tbl := range []struct {
+		name string
+		fn   func(*experiments.Sweep) (renderable, error)
+	}{
+		{"table1", func(s *experiments.Sweep) (renderable, error) { return experiments.Table1(s) }},
+		{"table2", func(s *experiments.Sweep) (renderable, error) { return experiments.Table2(s) }},
+		{"table3", func(s *experiments.Sweep) (renderable, error) { return experiments.Table3(s) }},
+	} {
+		if !selected(tbl.name) {
+			continue
+		}
+		ran = true
+		t, err := tbl.fn(sweep)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t.Render())
+	}
+
+	if selected("fig7") {
+		ran = true
+		figs, err := experiments.Fig7(opts)
+		if err != nil {
+			return err
+		}
+		for _, fig := range figs {
+			fmt.Println(fig.Render())
+		}
+	}
+	if selected("fig8") {
+		ran = true
+		res, err := experiments.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Fig.Render())
+		fmt.Printf("Fig. 8 headline: |split − local| final perplexity gap = %.6f (paper: identical)\n", res.FinalGap())
+		fmt.Printf("Fig. 8 timing: split %.0f ms/step vs local %.0f ms/step (split pays protocol round-trips)\n\n",
+			res.ClientStepSeconds[0]*1000, res.LocalStepSeconds*1000)
+	}
+	if selected("fig9") {
+		ran = true
+		res, err := experiments.Fig9(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Fig.Render())
+		fmt.Printf("Fig. 9 headline: |split − local| final perplexity gap = %.6f (paper: identical)\n", res.FinalGap())
+		fmt.Printf("Fig. 9 timing: split %.0f ms/step vs local %.0f ms/step (split pays protocol round-trips)\n\n",
+			res.ClientStepSeconds[0]*1000, res.LocalStepSeconds*1000)
+	}
+	if selected("fig10") {
+		ran = true
+		fig, err := experiments.Fig10(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fig.Render())
+	}
+	if selected("ablations") {
+		ran = true
+		mem, err := experiments.AblationMemoryPolicy(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(mem.Render())
+		schedTbl, err := experiments.AblationSchedulerPolicy(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(schedTbl.Render())
+		fmt.Println(experiments.AblationBaseSharing().Render())
+	}
+
+	if selected("extensions") {
+		ran = true
+		fmt.Println(experiments.ExtensionQuantization().Render())
+		ms, err := experiments.ExtensionMultiServer(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ms.Render())
+		het, err := experiments.ExtensionHeterogeneousClients(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(het.Render())
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown artifact %q", *only)
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// renderable is the common surface of tables and figures.
+type renderable interface{ Render() string }

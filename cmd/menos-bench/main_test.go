@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSingleArtifacts(t *testing.T) {
+	// Exercise the cheap artifacts end to end through flag parsing.
+	for _, only := range []string{"measurement", "fig3", "fig5", "fig7", "fig10", "ablations", "extensions"} {
+		t.Run(only, func(t *testing.T) {
+			if err := run([]string{"-only", only, "-iterations", "4", "-steps", "5"}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	err := run([]string{"-only", "fig99"})
+	if err == nil || !strings.Contains(err.Error(), "unknown artifact") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunSweepArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep artifacts in short mode")
+	}
+	for _, only := range []string{"fig6", "table1", "table2", "table3"} {
+		if err := run([]string{"-only", only, "-iterations", "4"}); err != nil {
+			t.Fatalf("%s: %v", only, err)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Command menos-client fine-tunes a model against a Menos server over
+// TCP, using the embedded Shakespeare corpus (char-level) or the
+// synthetic wikitext corpus (word-level) as private local data.
+//
+// Usage:
+//
+//	menos-client [-addr localhost:7600] [-id alice] [-model opt-tiny]
+//	             [-seed 42] [-adapter lora] [-dataset shakespeare]
+//	             [-steps 100] [-batch 4] [-seq 32] [-lr 0.008]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"menos/internal/adapter"
+	"menos/internal/client"
+	"menos/internal/data"
+	"menos/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "menos-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("menos-client", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:7600", "server address")
+	id := fs.String("id", "client-1", "client id (unique per server)")
+	modelName := fs.String("model", "opt-tiny", "base model served by the server")
+	seed := fs.Uint64("seed", 42, "model owner's weight seed (must match server)")
+	adapterKind := fs.String("adapter", "lora", "adapter: lora, prefix, bottleneck")
+	dataset := fs.String("dataset", "shakespeare", "dataset: shakespeare, wikitext")
+	steps := fs.Int("steps", 100, "fine-tuning steps")
+	batch := fs.Int("batch", 4, "batch size")
+	seq := fs.Int("seq", 32, "sequence length")
+	lr := fs.Float64("lr", 8e-3, "learning rate")
+	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		return err
+	}
+	var spec adapter.Spec
+	switch *adapterKind {
+	case "lora":
+		spec = adapter.LoRASpec(adapter.DefaultLoRA())
+	case "prefix":
+		spec = adapter.PrefixSpec(adapter.DefaultPrefix())
+	case "bottleneck":
+		spec = adapter.BottleneckSpec(adapter.DefaultBottleneck())
+	default:
+		return fmt.Errorf("unknown adapter %q", *adapterKind)
+	}
+
+	tokens, err := loadTokens(*dataset, cfg.Vocab, *dataSeed)
+	if err != nil {
+		return err
+	}
+	loader, err := data.NewLoader(tokens, *batch, *seq, *dataSeed)
+	if err != nil {
+		return err
+	}
+
+	c, err := client.Dial(*addr, client.Config{
+		ClientID:    *id,
+		Model:       cfg,
+		WeightSeed:  *seed,
+		Adapter:     spec,
+		AdapterSeed: *dataSeed * 31,
+		LR:          *lr,
+		Batch:       *batch,
+		Seq:         *seq,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fwd, bwd := c.Demands()
+	fmt.Printf("menos-client %s: admitted (server profiled fwd=%d bwd=%d bytes)\n", *id, fwd, bwd)
+
+	for step := 0; step < *steps; step++ {
+		ids, targets := loader.Next()
+		res, err := c.Step(ids, targets)
+		if err != nil {
+			return fmt.Errorf("step %d: %w", step, err)
+		}
+		if step%10 == 0 || step == *steps-1 {
+			fmt.Printf("step %3d  loss %.4f  ppl %8.2f  comm %v  comp %v\n",
+				step, res.Loss, res.Perplexity,
+				res.CommTime.Round(1e6), res.CompTime.Round(1e6))
+		}
+	}
+	return nil
+}
+
+func loadTokens(dataset string, vocab int, seed uint64) ([]int, error) {
+	switch dataset {
+	case "shakespeare":
+		tok, err := data.NewCharTokenizer(data.Shakespeare(), vocab)
+		if err != nil {
+			return nil, err
+		}
+		return tok.Encode(data.Shakespeare())
+	case "wikitext":
+		corpus := data.SyntheticWikitext(seed, 3000)
+		tok, err := data.NewWordTokenizer(corpus, vocab)
+		if err != nil {
+			return nil, err
+		}
+		return tok.Encode(corpus)
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}

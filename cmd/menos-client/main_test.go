@@ -1,0 +1,68 @@
+package main
+
+import (
+	"testing"
+
+	"menos/internal/core"
+	"menos/internal/model"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-model", "does-not-exist"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-adapter", "nope"}); err == nil {
+		t.Fatal("unknown adapter accepted")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-dataset", "nope"}); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable server accepted")
+	}
+}
+
+func TestLoadTokens(t *testing.T) {
+	for _, ds := range []string{"shakespeare", "wikitext"} {
+		tokens, err := loadTokens(ds, 96, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", ds, err)
+		}
+		if len(tokens) < 100 {
+			t.Fatalf("%s: only %d tokens", ds, len(tokens))
+		}
+	}
+}
+
+// TestClientAgainstLiveServer drives the full CLI pair: an in-process
+// deployment plus the client command's run().
+func TestClientAgainstLiveServer(t *testing.T) {
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Model:      model.OPTTiny(),
+		WeightSeed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	addr, err := dep.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-addr", addr,
+		"-id", "cli-test",
+		"-model", "opt-tiny",
+		"-seed", "42",
+		"-dataset", "shakespeare",
+		"-steps", "3",
+		"-batch", "2",
+		"-seq", "16",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

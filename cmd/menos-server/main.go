@@ -1,0 +1,105 @@
+// Command menos-server runs a real Menos split fine-tuning server: it
+// preloads one shared base model and serves any number of concurrent
+// clients with on-demand GPU memory allocation and FCFS+backfill
+// scheduling.
+//
+// Usage:
+//
+//	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
+//	             [-gpu-gb 32] [-preserve] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"menos/internal/checkpoint"
+	"menos/internal/core"
+	"menos/internal/gpu"
+	"menos/internal/model"
+	"menos/internal/quant"
+	"menos/internal/tensor"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "menos-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("menos-server", flag.ContinueOnError)
+	addr := fs.String("addr", ":7600", "listen address")
+	modelName := fs.String("model", "opt-tiny", "hosted base model (opt-tiny, llama-tiny)")
+	seed := fs.Uint64("seed", 42, "model owner's weight seed")
+	gpuGB := fs.Int64("gpu-gb", 32, "simulated GPU memory budget in GiB")
+	preserve := fs.Bool("preserve", false, "disable on-demand allocation (Fig. 3(b) ablation)")
+	quantFlag := fs.String("quant", "", "quantize the shared base: int8 or int4 (default fp32)")
+	weights := fs.String("weights", "", "load base weights from a checkpoint file instead of the seed")
+	exportWeights := fs.String("export-weights", "", "write the base weights to a file and exit (model distribution)")
+	quiet := fs.Bool("quiet", false, "disable serving logs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg, err := model.ConfigByName(*modelName)
+	if err != nil {
+		return err
+	}
+	if *exportWeights != "" {
+		m, err := model.New(tensor.NewRNG(*seed), cfg)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint.SaveModelFile(*exportWeights, m); err != nil {
+			return err
+		}
+		fmt.Printf("menos-server: exported %s base weights (seed %d) to %s\n",
+			cfg.Name, *seed, *exportWeights)
+		return nil
+	}
+	var prec quant.Precision
+	switch *quantFlag {
+	case "":
+	case "int8":
+		prec = quant.Int8
+	case "int4":
+		prec = quant.Int4
+	default:
+		return fmt.Errorf("unknown quantization %q (want int8 or int4)", *quantFlag)
+	}
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "menos-server ", log.LstdFlags|log.Lmsgprefix)
+	}
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Model:          cfg,
+		WeightSeed:     *seed,
+		GPU:            gpu.Spec{Name: "configured", MemoryBytes: *gpuGB << 30},
+		PreserveMemory: *preserve,
+		WeightsFile:    *weights,
+		BaseQuant:      prec,
+		Logger:         logger,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := dep.Listen(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("menos-server: serving %s (seed %d) on %s\n", cfg.Name, *seed, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		_ = dep.Close()
+	}()
+	return dep.Wait()
+}

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"-model", "does-not-exist"}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-quant", "int3"}); err == nil {
+		t.Fatal("unknown quantization accepted")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-addr", "256.0.0.1:bad"}); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestExportWeights(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.mcpk")
+	if err := run([]string{"-model", "opt-tiny", "-seed", "9", "-export-weights", path}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Fatal("empty weights export")
+	}
+	if err := run([]string{"-model", "opt-tiny", "-export-weights", "/nonexistent-dir/x"}); err == nil {
+		t.Fatal("bad export path accepted")
+	}
+}

@@ -1,0 +1,102 @@
+// Scheduling: explore the performance plane. Simulates full-size
+// Llama 2-7B split fine-tuning on a modeled V100 over a modeled WAN,
+// comparing the vanilla task-swapping baseline against Menos, and then
+// sweeping the four memory policies of Fig. 3 to show why on-demand
+// allocation wins.
+//
+// Run with:
+//
+//	go run ./examples/scheduling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"menos"
+	"menos/internal/costmodel"
+	"menos/internal/sched"
+	"menos/internal/splitsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	w := menos.PaperLlamaWorkload()
+	const clients = 4
+	const iterations = 10
+
+	fmt.Printf("workload: %s, LoRA r=8, batch %d, %d clients, one V100\n\n",
+		w.Model.Name, w.Batch, clients)
+
+	// Vanilla vs Menos.
+	for _, mode := range []menos.SimMode{menos.SimVanilla, menos.SimMenos} {
+		r, err := menos.Simulate(menos.SimConfig{
+			Mode:       mode,
+			Clients:    splitsim.HomogeneousClients(clients, w, costmodel.ClientGPUPerf()),
+			Iterations: iterations,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s per-round %6.1fs   comm %5.1fs  comp %5.1fs  sched %6.1fs   persistent %5.1f GiB\n",
+			mode,
+			r.AvgIterationTime().Seconds(),
+			r.Aggregate.AvgComm().Seconds(),
+			r.Aggregate.AvgComp().Seconds(),
+			r.Aggregate.AvgSched().Seconds(),
+			float64(r.PersistentBytes)/(1<<30))
+	}
+
+	// Policy sweep (Fig. 3): why release-and-recompute beats holding.
+	fmt.Println("\nmemory-policy sweep (Menos, same workload):")
+	for _, policy := range []menos.MemPolicy{
+		menos.PolicyPersistAll,
+		menos.PolicyPreserve,
+		menos.PolicyReleaseOnWait,
+		menos.PolicyOnDemand,
+	} {
+		r, err := menos.Simulate(menos.SimConfig{
+			Mode:       menos.SimMenos,
+			Policy:     policy,
+			Clients:    splitsim.HomogeneousClients(clients, w, costmodel.ClientGPUPerf()),
+			Iterations: iterations,
+		})
+		if err != nil {
+			fmt.Printf("  %-16s infeasible: %v\n", policy, err)
+			continue
+		}
+		fmt.Printf("  %-16s per-round %6.1fs  sched %6.2fs  (backfills: %d)\n",
+			policy,
+			r.AvgIterationTime().Seconds(),
+			r.Aggregate.AvgSched().Seconds(),
+			r.SchedStats.Backfilled)
+	}
+
+	// Scheduler-discipline sweep (Algorithm 2 ablation) under heavier
+	// load, where backward requests collide and backfilling matters.
+	fmt.Println("\nscheduler-discipline sweep (8 clients):")
+	for _, discipline := range []sched.Policy{
+		sched.PolicyFCFSBackfill,
+		sched.PolicyFCFS,
+		sched.PolicySmallestFirst,
+	} {
+		r, err := menos.Simulate(menos.SimConfig{
+			Mode:       menos.SimMenos,
+			SchedPol:   discipline,
+			Clients:    splitsim.HomogeneousClients(8, w, costmodel.ClientGPUPerf()),
+			Iterations: iterations,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-16s per-round %6.1fs  sched %6.2fs  backfills %d\n",
+			discipline, r.AvgIterationTime().Seconds(),
+			r.Aggregate.AvgSched().Seconds(), r.SchedStats.Backfilled)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module menos
+
+go 1.22

@@ -1,0 +1,132 @@
+package adapter
+
+import (
+	"fmt"
+
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// Adapter is the common handle over an injected fine-tuning adapter:
+// it owns the trainable parameters φ and can detach itself, restoring
+// the model instance to its pristine structure.
+type Adapter interface {
+	Params() []nn.Param
+	ParamCount() int64
+	ParamBytes() int64
+	Remove()
+}
+
+var (
+	_ Adapter = (*LoRAAdapter)(nil)
+	_ Adapter = (*PrefixAdapter)(nil)
+	_ Adapter = (*BottleneckAdapter)(nil)
+)
+
+// Kind enumerates the supported adapter families.
+type Kind int
+
+// Adapter kinds.
+const (
+	KindLoRA Kind = iota + 1
+	KindPrefix
+	KindBottleneck
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindLoRA:
+		return "lora"
+	case KindPrefix:
+		return "prefix"
+	case KindBottleneck:
+		return "bottleneck"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Spec is a serializable adapter description: the fine-tuning
+// configuration a client reports to the server during profiling (§3.3).
+// Exactly the fields for the chosen Kind are meaningful.
+type Spec struct {
+	Kind Kind
+
+	// LoRA.
+	Rank    int
+	Alpha   float64
+	Targets []Target
+
+	// Prefix-tuning.
+	PrefixLen int
+
+	// Bottleneck.
+	Hidden int
+}
+
+// LoRASpec builds a Spec from a LoRAConfig.
+func LoRASpec(cfg LoRAConfig) Spec {
+	return Spec{Kind: KindLoRA, Rank: cfg.Rank, Alpha: cfg.Alpha, Targets: cfg.Targets}
+}
+
+// PrefixSpec builds a Spec from a PrefixConfig.
+func PrefixSpec(cfg PrefixConfig) Spec {
+	return Spec{Kind: KindPrefix, PrefixLen: cfg.PrefixLen}
+}
+
+// BottleneckSpec builds a Spec from a BottleneckConfig.
+func BottleneckSpec(cfg BottleneckConfig) Spec {
+	return Spec{Kind: KindBottleneck, Hidden: cfg.Hidden}
+}
+
+// Validate checks the spec for the declared kind.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindLoRA:
+		return LoRAConfig{Rank: s.Rank, Alpha: s.Alpha, Targets: s.Targets}.Validate()
+	case KindPrefix:
+		return PrefixConfig{PrefixLen: s.PrefixLen}.Validate()
+	case KindBottleneck:
+		return BottleneckConfig{Hidden: s.Hidden}.Validate()
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrAdapter, int(s.Kind))
+	}
+}
+
+// Inject attaches the specified adapter to the given blocks of a model
+// with hidden size dim and returns its handle.
+func (s Spec) Inject(rng *tensor.RNG, blocks []*model.Block, dim int) (Adapter, error) {
+	switch s.Kind {
+	case KindLoRA:
+		return InjectLoRA(rng, blocks, LoRAConfig{Rank: s.Rank, Alpha: s.Alpha, Targets: s.Targets})
+	case KindPrefix:
+		return InjectPrefix(rng, blocks, dim, PrefixConfig{PrefixLen: s.PrefixLen})
+	case KindBottleneck:
+		return InjectBottleneck(rng, blocks, dim, BottleneckConfig{Hidden: s.Hidden})
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrAdapter, int(s.Kind))
+	}
+}
+
+// ParamsPerBlock returns the adapter scalar count contributed to one
+// transformer block of hidden size dim, used by the analytic memory
+// model to compute 𝔸 without instantiating anything.
+func (s Spec) ParamsPerBlock(dim int) int64 {
+	d := int64(dim)
+	switch s.Kind {
+	case KindLoRA:
+		// Each target projection is d×d: A (d×r) + B (r×d).
+		return int64(len(s.Targets)) * 2 * d * int64(s.Rank)
+	case KindPrefix:
+		// K and V prefixes, each (P, d).
+		return 2 * int64(s.PrefixLen) * d
+	case KindBottleneck:
+		// Down (d×h + h) + Up (h×d + d).
+		h := int64(s.Hidden)
+		return d*h + h + h*d + d
+	default:
+		return 0
+	}
+}

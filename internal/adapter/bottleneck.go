@@ -1,0 +1,188 @@
+package adapter
+
+import (
+	"fmt"
+
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// BottleneckConfig configures Houlsby-style serial adapters: a small
+// residual MLP (down-projection, GELU, up-projection) inserted after a
+// block's output projection.
+type BottleneckConfig struct {
+	Hidden int // bottleneck width
+}
+
+// DefaultBottleneck returns a 16-wide bottleneck configuration.
+func DefaultBottleneck() BottleneckConfig { return BottleneckConfig{Hidden: 16} }
+
+// Validate checks the configuration.
+func (c BottleneckConfig) Validate() error {
+	if c.Hidden <= 0 {
+		return fmt.Errorf("%w: bottleneck hidden %d", ErrAdapter, c.Hidden)
+	}
+	return nil
+}
+
+// bottleneckOp wraps a base Op with y = base(x) + Up(GELU(Down(base(x)))).
+type bottleneckOp struct {
+	base nn.Op
+	down *nn.Linear
+	up   *nn.Linear
+}
+
+var _ nn.Op = (*bottleneckOp)(nil)
+
+type bottleneckCache struct {
+	baseC any
+	downC any
+	upC   any
+	act   *nn.ActCache
+}
+
+// Bytes implements nn.SizedCache.
+func (c *bottleneckCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return nn.CacheBytes(c.baseC) + nn.CacheBytes(c.downC) + nn.CacheBytes(c.upC) + c.act.Bytes()
+}
+
+func newBottleneckOp(rng *tensor.RNG, base nn.Op, dim, hidden int) *bottleneckOp {
+	up := nn.NewLinear(rng.Split(), hidden, dim, true)
+	// Zero-init the up-projection so a fresh adapter is a no-op.
+	up.W.Value.Zero()
+	return &bottleneckOp{
+		base: base,
+		down: nn.NewLinear(rng.Split(), dim, hidden, true),
+		up:   up,
+	}
+}
+
+// Apply implements nn.Op.
+func (o *bottleneckOp) Apply(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, any, error) {
+	y, baseC, err := o.base.Apply(x, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bottleneck base: %w", err)
+	}
+	h, downC, err := o.down.Apply(y, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bottleneck down: %w", err)
+	}
+	var act *nn.ActCache
+	if withGrad {
+		act = &nn.ActCache{}
+	}
+	g := nn.GELU(h, act)
+	delta, upC, err := o.up.Apply(g, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bottleneck up: %w", err)
+	}
+	out := tensor.New(y.Shape()...)
+	if err := tensor.Add(out, y, delta); err != nil {
+		return nil, nil, fmt.Errorf("bottleneck residual: %w", err)
+	}
+	if !withGrad {
+		return out, nil, nil
+	}
+	return out, &bottleneckCache{baseC: baseC, downC: downC, upC: upC, act: act}, nil
+}
+
+// Grad implements nn.Op.
+func (o *bottleneckOp) Grad(cache any, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	c, ok := cache.(*bottleneckCache)
+	if !ok {
+		return nil, fmt.Errorf("bottleneck: unexpected cache type %T", cache)
+	}
+	// out = y + Up(GELU(Down(y)))
+	dg, err := o.up.Grad(c.upC, dy)
+	if err != nil {
+		return nil, fmt.Errorf("bottleneck up backward: %w", err)
+	}
+	dh, err := nn.GELUBackward(c.act, dg)
+	if err != nil {
+		return nil, fmt.Errorf("bottleneck gelu backward: %w", err)
+	}
+	dyAdapter, err := o.down.Grad(c.downC, dh)
+	if err != nil {
+		return nil, fmt.Errorf("bottleneck down backward: %w", err)
+	}
+	dyTotal := tensor.New(dy.Shape()...)
+	if err := tensor.Add(dyTotal, dy, dyAdapter); err != nil {
+		return nil, fmt.Errorf("bottleneck dy sum: %w", err)
+	}
+	return o.base.Grad(c.baseC, dyTotal)
+}
+
+// Params returns the adapter's parameters plus any trainable base
+// parameters.
+func (o *bottleneckOp) Params() []nn.Param {
+	ps := append(nn.Prefixed("down", o.down.Params()), nn.Prefixed("up", o.up.Params())...)
+	return append(ps, o.base.Params()...)
+}
+
+// SetFrozen forwards to the base; the adapter stays trainable.
+func (o *bottleneckOp) SetFrozen(frozen bool) { o.base.SetFrozen(frozen) }
+
+// BottleneckAdapter is the set of bottleneck modules attached to a
+// model section (one after each block's attention output projection).
+type BottleneckAdapter struct {
+	Config BottleneckConfig
+
+	ops      []*bottleneckOp
+	restores []func()
+}
+
+// InjectBottleneck wraps each block's attention output projection with
+// a serial bottleneck adapter.
+func InjectBottleneck(rng *tensor.RNG, blocks []*model.Block, dim int, cfg BottleneckConfig) (*BottleneckAdapter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ad := &BottleneckAdapter{Config: cfg}
+	for _, b := range blocks {
+		slot := &b.Attn.O
+		base := *slot
+		wrapped := newBottleneckOp(rng.Split(), base, dim, cfg.Hidden)
+		*slot = wrapped
+		ad.ops = append(ad.ops, wrapped)
+		slotCopy := slot
+		ad.restores = append(ad.restores, func() { *slotCopy = base })
+	}
+	return ad, nil
+}
+
+// Params returns the adapter parameters.
+func (a *BottleneckAdapter) Params() []nn.Param {
+	var ps []nn.Param
+	for i, o := range a.ops {
+		ps = append(ps, nn.Prefixed(fmt.Sprintf("bneck%d.down", i), o.down.Params())...)
+		ps = append(ps, nn.Prefixed(fmt.Sprintf("bneck%d.up", i), o.up.Params())...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of adapter scalars.
+func (a *BottleneckAdapter) ParamCount() int64 {
+	var n int64
+	for _, o := range a.ops {
+		for _, p := range append(o.down.Params(), o.up.Params()...) {
+			n += int64(p.Value.Len())
+		}
+	}
+	return n
+}
+
+// ParamBytes returns the adapter footprint in bytes.
+func (a *BottleneckAdapter) ParamBytes() int64 { return a.ParamCount() * 4 }
+
+// Remove restores the original projections.
+func (a *BottleneckAdapter) Remove() {
+	for _, restore := range a.restores {
+		restore()
+	}
+	a.restores = nil
+	a.ops = nil
+}

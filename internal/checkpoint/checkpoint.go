@@ -1,0 +1,225 @@
+// Package checkpoint serializes trainable parameters (adapter weights)
+// to a compact binary format, so a client can stop a fine-tuning
+// session and resume it — or export its adapter for deployment —
+// without ever touching the shared base model.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// Format constants.
+const (
+	magic   uint32 = 0x4d43504b // "MCPK"
+	version uint32 = 1
+
+	// maxParams bounds a checkpoint's parameter count (corruption
+	// guard).
+	maxParams = 1 << 20
+	// maxElems bounds one tensor's element count (corruption guard).
+	maxElems = 1 << 28
+)
+
+// Errors reported by the package.
+var (
+	ErrFormat   = errors.New("checkpoint: malformed file")
+	ErrMismatch = errors.New("checkpoint: parameters do not match")
+)
+
+// Save writes all params (names, shapes, values) to w.
+func Save(w io.Writer, params []nn.Param) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, magic); err != nil {
+		return fmt.Errorf("checkpoint: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, version); err != nil {
+		return fmt.Errorf("checkpoint: write version: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(params))); err != nil {
+		return fmt.Errorf("checkpoint: write count: %w", err)
+	}
+	for _, p := range params {
+		if p.Value == nil {
+			return fmt.Errorf("checkpoint: parameter %q has nil value", p.Name)
+		}
+		if err := writeString(bw, p.Name); err != nil {
+			return err
+		}
+		shape := p.Value.Shape()
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(shape))); err != nil {
+			return fmt.Errorf("checkpoint: write rank: %w", err)
+		}
+		for _, d := range shape {
+			if err := binary.Write(bw, binary.LittleEndian, uint32(d)); err != nil {
+				return fmt.Errorf("checkpoint: write dim: %w", err)
+			}
+		}
+		for _, v := range p.Value.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, math.Float32bits(v)); err != nil {
+				return fmt.Errorf("checkpoint: write data: %w", err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: flush: %w", err)
+	}
+	return nil
+}
+
+// Load restores values into params. Every stored parameter must match
+// a target parameter by name with an identical shape; counts must
+// agree exactly.
+func Load(r io.Reader, params []nn.Param) error {
+	br := bufio.NewReader(r)
+	var m, ver, count uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return fmt.Errorf("checkpoint: read magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("%w: bad magic %x", ErrFormat, m)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return fmt.Errorf("checkpoint: read version: %w", err)
+	}
+	if ver != version {
+		return fmt.Errorf("%w: version %d, want %d", ErrFormat, ver, version)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return fmt.Errorf("checkpoint: read count: %w", err)
+	}
+	if count > maxParams {
+		return fmt.Errorf("%w: %d parameters", ErrFormat, count)
+	}
+	if int(count) != len(params) {
+		return fmt.Errorf("%w: checkpoint has %d parameters, model has %d",
+			ErrMismatch, count, len(params))
+	}
+	byName := make(map[string]nn.Param, len(params))
+	for _, p := range params {
+		byName[p.Name] = p
+	}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		var rank uint32
+		if err := binary.Read(br, binary.LittleEndian, &rank); err != nil {
+			return fmt.Errorf("checkpoint: read rank: %w", err)
+		}
+		if rank > 8 {
+			return fmt.Errorf("%w: rank %d", ErrFormat, rank)
+		}
+		shape := make([]int, rank)
+		elems := 1
+		for j := range shape {
+			var d uint32
+			if err := binary.Read(br, binary.LittleEndian, &d); err != nil {
+				return fmt.Errorf("checkpoint: read dim: %w", err)
+			}
+			shape[j] = int(d)
+			elems *= int(d)
+		}
+		if elems < 0 || elems > maxElems {
+			return fmt.Errorf("%w: tensor %q has %d elements", ErrFormat, name, elems)
+		}
+		p, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("%w: unknown parameter %q", ErrMismatch, name)
+		}
+		if !sameShape(p.Value, shape) {
+			return fmt.Errorf("%w: %q stored %v, model has %v",
+				ErrMismatch, name, shape, p.Value.Shape())
+		}
+		data := make([]float32, elems)
+		for j := range data {
+			var bits uint32
+			if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+				return fmt.Errorf("checkpoint: read data for %q: %w", name, err)
+			}
+			data[j] = math.Float32frombits(bits)
+		}
+		loaded, err := tensor.FromSlice(data, shape...)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %q: %w", name, err)
+		}
+		if err := p.Value.CopyFrom(loaded); err != nil {
+			return fmt.Errorf("checkpoint: %q: %w", name, err)
+		}
+		delete(byName, name)
+	}
+	return nil
+}
+
+// SaveFile writes params to path (0644, truncating).
+func SaveFile(path string, params []nn.Param) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: create %s: %w", path, err)
+	}
+	if err := Save(f, params); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFile restores params from path.
+func LoadFile(path string, params []nn.Param) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return Load(f, params)
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return fmt.Errorf("checkpoint: write string length: %w", err)
+	}
+	if _, err := io.WriteString(w, s); err != nil {
+		return fmt.Errorf("checkpoint: write string: %w", err)
+	}
+	return nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("checkpoint: read string length: %w", err)
+	}
+	if n > 4096 {
+		return "", fmt.Errorf("%w: string length %d", ErrFormat, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("checkpoint: read string: %w", err)
+	}
+	return string(buf), nil
+}
+
+func sameShape(t *tensor.Tensor, shape []int) bool {
+	got := t.Shape()
+	if len(got) != len(shape) {
+		return false
+	}
+	for i := range got {
+		if got[i] != shape[i] {
+			return false
+		}
+	}
+	return true
+}

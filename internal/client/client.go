@@ -1,0 +1,395 @@
+// Package client implements the client side of split fine-tuning
+// (§2.2): it holds the input and output sections of the model, runs
+// the four-step loop against a Menos server over any net.Conn, and
+// optimizes the client-side adapter parameters (φ_i) locally.
+//
+// The client builds its model sections from the same weight seed the
+// model owner used for the server's shared store — the functional
+// equivalent of the owner distributing f_i and f_o to the client while
+// keeping f_s private.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"menos/internal/adapter"
+	"menos/internal/checkpoint"
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/split"
+	"menos/internal/tensor"
+	"menos/internal/trace"
+)
+
+// Errors reported by the client.
+var (
+	ErrRejected = errors.New("client: server rejected handshake")
+	ErrRemote   = errors.New("client: server reported an error")
+)
+
+// Config describes one client's fine-tuning session.
+type Config struct {
+	ClientID string
+	// Model must name/shape the same base model the server hosts.
+	Model model.Config
+	// WeightSeed is the model owner's initialization seed; it must
+	// match the server store's seed for the sections to line up.
+	WeightSeed uint64
+	// WeightsFile optionally loads the model owner's distributed base
+	// weights (checkpoint.SaveModelFile), overriding the seed-derived
+	// initialization. It must hold the same weights the server serves.
+	WeightsFile string
+	// Cut is the split layer (client keeps blocks [0, Cut)).
+	Cut int
+	// Adapter configures fine-tuning; applied to the client-side
+	// blocks locally and reported to the server for φ_s.
+	Adapter adapter.Spec
+	// AdapterSeed seeds both the local and the server-side adapter
+	// initialization.
+	AdapterSeed uint64
+	// LR is the optimizer learning rate (client and server side).
+	LR float64
+	// Optimizer is "adam" (default) or "sgd".
+	Optimizer string
+	Batch     int
+	Seq       int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Cut == 0 {
+		c.Cut = model.DefaultCut
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "adam"
+	}
+}
+
+// StepResult reports one fine-tuning iteration.
+type StepResult struct {
+	Loss       float64
+	Perplexity float64
+	CommTime   time.Duration
+	CompTime   time.Duration
+}
+
+// Client is a connected split fine-tuning client.
+type Client struct {
+	cfg  Config
+	conn net.Conn
+
+	local     *model.Transformer
+	input     *model.InputSection
+	output    *model.OutputSection
+	adapter   adapter.Adapter
+	params    []nn.Param
+	optimizer nn.Optimizer
+
+	iter      int
+	breakdown trace.Breakdown
+	demands   split.HelloAck
+}
+
+// New builds the client's model sections and performs the handshake
+// over conn. The caller owns conn's lifetime until Close.
+func New(conn net.Conn, cfg Config) (*Client, error) {
+	cfg.applyDefaults()
+	if cfg.ClientID == "" {
+		return nil, errors.New("client: missing client id")
+	}
+	if cfg.Batch <= 0 || cfg.Seq <= 0 {
+		return nil, fmt.Errorf("client: bad geometry batch=%d seq=%d", cfg.Batch, cfg.Seq)
+	}
+	m, err := model.New(tensor.NewRNG(cfg.WeightSeed), cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("client: build model sections: %w", err)
+	}
+	if cfg.WeightsFile != "" {
+		if err := checkpoint.LoadModelFile(cfg.WeightsFile, m); err != nil {
+			return nil, fmt.Errorf("client: load weights: %w", err)
+		}
+	}
+	m.SetFrozenBase(true)
+	input, _, output, err := m.Split(cfg.Cut)
+	if err != nil {
+		return nil, fmt.Errorf("client: split: %w", err)
+	}
+	// Client-side adapter over the input blocks (φ_i). The adapter
+	// seed is offset so the client and server streams differ but are
+	// both reproducible from cfg.AdapterSeed.
+	ad, err := cfg.Adapter.Inject(tensor.NewRNG(cfg.AdapterSeed^AdapterSalt),
+		m.Blocks[:cfg.Cut], cfg.Model.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("client: attach adapter: %w", err)
+	}
+
+	c := &Client{
+		cfg:     cfg,
+		conn:    conn,
+		local:   m,
+		input:   input,
+		output:  output,
+		adapter: ad,
+		params:  ad.Params(),
+	}
+	switch cfg.Optimizer {
+	case "adam":
+		c.optimizer = nn.NewAdam(cfg.LR)
+	case "sgd":
+		c.optimizer = nn.NewSGD(cfg.LR, 0)
+	default:
+		return nil, fmt.Errorf("client: unknown optimizer %q", cfg.Optimizer)
+	}
+
+	if err := c.handshake(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AdapterSalt decorrelates the client-side adapter RNG stream
+// from the server-side one.
+const AdapterSalt = 0x5f3759df
+
+// Dial connects to a Menos server over TCP and handshakes.
+func Dial(addr string, cfg Config) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c, err := New(conn, cfg)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	hello := &split.Hello{
+		ClientID:    c.cfg.ClientID,
+		ModelName:   c.cfg.Model.Name,
+		Cut:         c.cfg.Cut,
+		Adapter:     c.cfg.Adapter,
+		Optimizer:   split.OptimizerConfig{Kind: c.cfg.Optimizer, LR: c.cfg.LR},
+		Batch:       c.cfg.Batch,
+		Seq:         c.cfg.Seq,
+		AdapterSeed: c.cfg.AdapterSeed,
+	}
+	if err := split.WriteMessage(c.conn, hello); err != nil {
+		return fmt.Errorf("client: send hello: %w", err)
+	}
+	msg, err := split.ReadMessage(c.conn)
+	if err != nil {
+		return fmt.Errorf("client: read hello ack: %w", err)
+	}
+	ack, ok := msg.(*split.HelloAck)
+	if !ok {
+		return fmt.Errorf("client: expected hello ack, got %v", msg.MsgType())
+	}
+	if !ack.OK {
+		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+	c.demands = *ack
+	return nil
+}
+
+// Demands returns the server-profiled memory requirements for this
+// client.
+func (c *Client) Demands() (forward, backward int64) {
+	return c.demands.ForwardBytes, c.demands.BackwardBytes
+}
+
+// Step runs one full split fine-tuning iteration over the batch
+// (ids, targets), each of length Batch×Seq: forward, backward, and an
+// optimizer step on both adapter halves.
+func (c *Client) Step(ids, targets []int) (StepResult, error) {
+	return c.step(ids, targets, true)
+}
+
+// MicroStep runs one forward/backward and accumulates gradients on
+// both sides of the split; the optimizer steps (client- and
+// server-side) happen only when apply is true. This implements
+// gradient accumulation: k-1 calls with apply=false followed by one
+// with apply=true emulate a k× larger batch within the memory budget
+// of one micro-batch.
+func (c *Client) MicroStep(ids, targets []int, apply bool) (StepResult, error) {
+	return c.step(ids, targets, apply)
+}
+
+func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
+	if len(ids) != c.cfg.Batch*c.cfg.Seq || len(targets) != len(ids) {
+		return StepResult{}, fmt.Errorf("client: batch is %d ids / %d targets, want %d",
+			len(ids), len(targets), c.cfg.Batch*c.cfg.Seq)
+	}
+	var comm, comp time.Duration
+	iter := c.iter
+	c.iter++
+
+	// Step 1 (client): input section forward.
+	t0 := time.Now()
+	xc, inCache, err := c.input.Forward(ids, c.cfg.Batch, c.cfg.Seq, true)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("client: input forward: %w", err)
+	}
+	comp += time.Since(t0)
+
+	// Steps 1-2 (server): send x_c, receive x_s.
+	t0 = time.Now()
+	if err := split.WriteMessage(c.conn, &split.ForwardReq{
+		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
+	}); err != nil {
+		return StepResult{}, fmt.Errorf("client: send forward: %w", err)
+	}
+	xs, err := c.expectForwardResp(iter)
+	if err != nil {
+		return StepResult{}, err
+	}
+	comm += time.Since(t0)
+
+	// Client: output section forward, loss, output backward.
+	t0 = time.Now()
+	logits, outCache, err := c.output.Forward(xs, true)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("client: output forward: %w", err)
+	}
+	loss, dlogits, err := nn.CrossEntropy(logits, targets)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("client: loss: %w", err)
+	}
+	gc, err := c.output.Backward(outCache, dlogits)
+	if err != nil {
+		return StepResult{}, fmt.Errorf("client: output backward: %w", err)
+	}
+	comp += time.Since(t0)
+
+	// Steps 3-4 (server): send g_c, receive g_s.
+	t0 = time.Now()
+	if err := split.WriteMessage(c.conn, &split.BackwardReq{Iter: iter, Apply: apply, Gradients: gc}); err != nil {
+		return StepResult{}, fmt.Errorf("client: send backward: %w", err)
+	}
+	gs, err := c.expectBackwardResp(iter)
+	if err != nil {
+		return StepResult{}, err
+	}
+	comm += time.Since(t0)
+
+	// Client: input section backward and adapter optimization.
+	t0 = time.Now()
+	if err := c.input.Backward(inCache, gs); err != nil {
+		return StepResult{}, fmt.Errorf("client: input backward: %w", err)
+	}
+	if apply {
+		if err := c.optimizer.Step(c.params); err != nil {
+			return StepResult{}, fmt.Errorf("client: optimizer: %w", err)
+		}
+		nn.ZeroGrads(c.params)
+	}
+	comp += time.Since(t0)
+
+	c.breakdown.Add(comm, comp, 0)
+	return StepResult{
+		Loss:       loss,
+		Perplexity: nn.Perplexity(loss),
+		CommTime:   comm,
+		CompTime:   comp,
+	}, nil
+}
+
+// Evaluate computes the loss over a batch without updating anything.
+// It costs one forward round-trip.
+func (c *Client) Evaluate(ids, targets []int) (float64, error) {
+	if len(ids) != c.cfg.Batch*c.cfg.Seq || len(targets) != len(ids) {
+		return 0, fmt.Errorf("client: batch is %d ids, want %d", len(ids), c.cfg.Batch*c.cfg.Seq)
+	}
+	xc, _, err := c.input.Forward(ids, c.cfg.Batch, c.cfg.Seq, false)
+	if err != nil {
+		return 0, fmt.Errorf("client: input forward: %w", err)
+	}
+	iter := c.iter
+	c.iter++
+	if err := split.WriteMessage(c.conn, &split.ForwardReq{
+		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
+	}); err != nil {
+		return 0, fmt.Errorf("client: send forward: %w", err)
+	}
+	xs, err := c.expectForwardResp(iter)
+	if err != nil {
+		return 0, err
+	}
+	logits, _, err := c.output.Forward(xs, false)
+	if err != nil {
+		return 0, fmt.Errorf("client: output forward: %w", err)
+	}
+	loss, _, err := nn.CrossEntropy(logits, targets)
+	return loss, err
+}
+
+func (c *Client) expectForwardResp(iter int) (*tensor.Tensor, error) {
+	msg, err := split.ReadMessage(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: read forward response: %w", err)
+	}
+	switch m := msg.(type) {
+	case *split.ForwardResp:
+		if m.Iter != iter || m.Activations == nil {
+			return nil, fmt.Errorf("client: bad forward response (iter %d)", m.Iter)
+		}
+		return m.Activations, nil
+	case *split.ErrorMsg:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
+	default:
+		return nil, fmt.Errorf("client: unexpected %v", msg.MsgType())
+	}
+}
+
+func (c *Client) expectBackwardResp(iter int) (*tensor.Tensor, error) {
+	msg, err := split.ReadMessage(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("client: read backward response: %w", err)
+	}
+	switch m := msg.(type) {
+	case *split.BackwardResp:
+		if m.Iter != iter || m.Gradients == nil {
+			return nil, fmt.Errorf("client: bad backward response (iter %d)", m.Iter)
+		}
+		return m.Gradients, nil
+	case *split.ErrorMsg:
+		return nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
+	default:
+		return nil, fmt.Errorf("client: unexpected %v", msg.MsgType())
+	}
+}
+
+// SaveAdapter serializes the client-side adapter parameters (φ_i).
+// The server-side adapter φ_s stays with the server, mirroring the
+// deployment reality that neither party holds the full fine-tuned
+// model.
+func (c *Client) SaveAdapter(w io.Writer) error {
+	return checkpoint.Save(w, c.params)
+}
+
+// LoadAdapter restores previously saved client-side adapter
+// parameters. The client must have been built with the same model and
+// adapter configuration.
+func (c *Client) LoadAdapter(r io.Reader) error {
+	return checkpoint.Load(r, c.params)
+}
+
+// Breakdown returns the client's accumulated comm/comp split.
+func (c *Client) Breakdown() *trace.Breakdown { return &c.breakdown }
+
+// AdapterParams exposes the client-side trainable parameters.
+func (c *Client) AdapterParams() []nn.Param { return c.params }
+
+// Close sends Bye and closes the connection.
+func (c *Client) Close() error {
+	_ = split.WriteMessage(c.conn, &split.Bye{})
+	return c.conn.Close()
+}

@@ -1,0 +1,139 @@
+package client
+
+import (
+	"fmt"
+
+	"menos/internal/split"
+	"menos/internal/tensor"
+)
+
+// GenerateIncremental decodes through the split deployment with KV
+// caches on both sides: the client caches its input-section blocks
+// locally, and the server holds the body-side cache in a decode
+// session whose memory is reserved through the Menos scheduler. One
+// single-row round-trip per token, O(1) model work per side.
+//
+// ServerKVBytes in the result reports what the session reserved on the
+// server — the inference-time memory the Menos design manages.
+func (c *Client) GenerateIncremental(rng *tensor.RNG, prompt []int, maxNew int, temperature float64) (tokens []int, serverKVBytes int64, err error) {
+	if len(prompt) == 0 {
+		return nil, 0, fmt.Errorf("client: empty prompt")
+	}
+	if temperature < 0 {
+		return nil, 0, fmt.Errorf("client: negative temperature %v", temperature)
+	}
+	for _, id := range prompt {
+		if id < 0 || id >= c.cfg.Model.Vocab {
+			return nil, 0, fmt.Errorf("client: prompt token %d out of vocab", id)
+		}
+	}
+	capacity := len(prompt) + maxNew
+	if capacity > c.cfg.Model.MaxSeq {
+		return nil, 0, fmt.Errorf("client: %d tokens exceed MaxSeq %d", capacity, c.cfg.Model.MaxSeq)
+	}
+
+	// Open the server-side session.
+	if err := split.WriteMessage(c.conn, &split.DecodeOpen{Capacity: capacity}); err != nil {
+		return nil, 0, fmt.Errorf("client: decode open: %w", err)
+	}
+	msg, err := split.ReadMessage(c.conn)
+	if err != nil {
+		return nil, 0, fmt.Errorf("client: decode ack: %w", err)
+	}
+	ack, ok := msg.(*split.DecodeAck)
+	if !ok {
+		return nil, 0, fmt.Errorf("client: expected decode ack, got %v", msg.MsgType())
+	}
+	if !ack.OK {
+		return nil, 0, fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
+	}
+	defer func() {
+		if werr := split.WriteMessage(c.conn, &split.DecodeClose{}); werr != nil && err == nil {
+			err = fmt.Errorf("client: decode close: %w", werr)
+		}
+	}()
+
+	// Client-side caches for the input-section blocks.
+	dim := c.cfg.Model.Dim
+	keys := make([]*tensor.Tensor, c.cfg.Cut)
+	values := make([]*tensor.Tensor, c.cfg.Cut)
+	for i := range keys {
+		keys[i] = tensor.New(capacity, dim)
+		values[i] = tensor.New(capacity, dim)
+	}
+
+	step := func(tokenID, pos int) (*tensor.Tensor, error) {
+		x, err := c.local.Embed.Forward([]int{tokenID}, nil)
+		if err != nil {
+			return nil, fmt.Errorf("client: decode embed: %w", err)
+		}
+		if c.local.Pos != nil {
+			pe, err := c.local.Pos.Forward([]int{pos}, nil)
+			if err != nil {
+				return nil, fmt.Errorf("client: decode positions: %w", err)
+			}
+			if err := tensor.Add(x, x, pe); err != nil {
+				return nil, fmt.Errorf("client: decode position add: %w", err)
+			}
+		}
+		for i := 0; i < c.cfg.Cut; i++ {
+			y, err := c.local.Blocks[i].DecodeStep(x, pos, keys[i], values[i])
+			if err != nil {
+				return nil, fmt.Errorf("client: decode block %d: %w", i, err)
+			}
+			x = y
+		}
+		// Body runs on the server.
+		if err := split.WriteMessage(c.conn, &split.DecodeReq{Pos: pos, Activation: x}); err != nil {
+			return nil, fmt.Errorf("client: decode send: %w", err)
+		}
+		resp, err := split.ReadMessage(c.conn)
+		if err != nil {
+			return nil, fmt.Errorf("client: decode recv: %w", err)
+		}
+		switch r := resp.(type) {
+		case *split.DecodeResp:
+			if r.Pos != pos || r.Activation == nil {
+				return nil, fmt.Errorf("client: bad decode response at %d", pos)
+			}
+			// Output head locally.
+			n, _, err := c.local.Norm.Apply(r.Activation, false)
+			if err != nil {
+				return nil, fmt.Errorf("client: decode norm: %w", err)
+			}
+			logits, err := c.local.LMHead.Forward(n, nil)
+			if err != nil {
+				return nil, fmt.Errorf("client: decode head: %w", err)
+			}
+			return logits, nil
+		case *split.ErrorMsg:
+			return nil, fmt.Errorf("%w: %s", ErrRemote, r.Reason)
+		default:
+			return nil, fmt.Errorf("client: unexpected %v", resp.MsgType())
+		}
+	}
+
+	tokens = append([]int(nil), prompt...)
+	var logits *tensor.Tensor
+	pos := 0
+	for _, id := range prompt {
+		logits, err = step(id, pos)
+		if err != nil {
+			return nil, ack.KVBytes, err
+		}
+		pos++
+	}
+	for i := 0; i < maxNew; i++ {
+		next := sampleToken(rng, logits.Row(0), temperature)
+		tokens = append(tokens, next)
+		if i == maxNew-1 {
+			break
+		}
+		logits, err = step(next, pos)
+		if err != nil {
+			return nil, ack.KVBytes, err
+		}
+		pos++
+	}
+	return tokens, ack.KVBytes, nil
+}

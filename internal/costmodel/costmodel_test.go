@@ -1,0 +1,135 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+
+	"menos/internal/memmodel"
+)
+
+func TestVanillaComputeTimesMatchPaper(t *testing.T) {
+	// Paper Table 2, vanilla: OPT ≈0.41–0.54 s, Llama ≈0.46–0.55 s.
+	tests := []struct {
+		name     string
+		w        memmodel.Workload
+		min, max time.Duration
+	}{
+		{"opt", memmodel.PaperOPTWorkload(), 300 * time.Millisecond, 700 * time.Millisecond},
+		{"llama", memmodel.PaperLlamaWorkload(), 350 * time.Millisecond, 800 * time.Millisecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := New(V100Perf(), tt.w)
+			total := m.ForwardTime(tt.w) + m.BackwardTime(tt.w)
+			if total < tt.min || total > tt.max {
+				t.Fatalf("vanilla compute = %v, want in [%v, %v]", total, tt.min, tt.max)
+			}
+		})
+	}
+}
+
+func TestMenosComputeTimesMatchPaper(t *testing.T) {
+	// Paper Table 2, Menos: OPT 0.71 s @1 → 1.68 s @6;
+	// Llama 1.15 s @1 → 2.16 s @4.
+	type point struct {
+		clients  int
+		min, max time.Duration
+	}
+	tests := []struct {
+		name   string
+		w      memmodel.Workload
+		points []point
+	}{
+		{"opt", memmodel.PaperOPTWorkload(), []point{
+			{1, 500 * time.Millisecond, 900 * time.Millisecond},
+			{6, 1400 * time.Millisecond, 2000 * time.Millisecond},
+		}},
+		{"llama", memmodel.PaperLlamaWorkload(), []point{
+			{1, 900 * time.Millisecond, 1400 * time.Millisecond},
+			{4, 1800 * time.Millisecond, 2600 * time.Millisecond},
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m := New(V100Perf(), tt.w)
+			for _, p := range tt.points {
+				total := m.NoGradForwardTime(tt.w) + m.ForwardTime(tt.w) +
+					m.BackwardTime(tt.w) + m.ReleaseOverhead(p.clients)
+				if total < p.min || total > p.max {
+					t.Fatalf("menos compute @%d clients = %v, want in [%v, %v]",
+						p.clients, total, p.min, p.max)
+				}
+			}
+		})
+	}
+}
+
+func TestSwapTimeMatchesTable3(t *testing.T) {
+	// Swapping one Llama replica out and in (≈2×25 GiB at 1.2 GB/s)
+	// should cost ≈40 s, the per-client scheduling growth in Table 3.
+	w := memmodel.PaperLlamaWorkload()
+	m := New(V100Perf(), w)
+	replica := w.ServerBaseBytes()
+	roundTrip := m.SwapTime(replica) + m.SwapTime(replica)
+	if roundTrip < 30*time.Second || roundTrip > 60*time.Second {
+		t.Fatalf("llama swap round-trip = %v, want ~40 s", roundTrip)
+	}
+}
+
+func TestClientComputeTimes(t *testing.T) {
+	w := memmodel.PaperLlamaWorkload()
+	gpu := ClientComputeTime(ClientGPUPerf(), w)
+	cpu := ClientComputeTime(ClientCPUPerf(), w)
+	if gpu >= cpu {
+		t.Fatalf("GPU client (%v) not faster than CPU client (%v)", gpu, cpu)
+	}
+	// Fig. 10: CPU clients add well under 2 s.
+	if cpu > 2*time.Second {
+		t.Fatalf("CPU client compute = %v, want < 2 s", cpu)
+	}
+	if cpu-gpu < 200*time.Millisecond {
+		t.Fatalf("CPU penalty = %v, paper observed ≈0.8 s", cpu-gpu)
+	}
+}
+
+func TestReleaseOverheadMonotone(t *testing.T) {
+	w := memmodel.PaperOPTWorkload()
+	m := New(V100Perf(), w)
+	prev := time.Duration(-1)
+	for n := 1; n <= 8; n++ {
+		cur := m.ReleaseOverhead(n)
+		if cur <= prev {
+			t.Fatalf("release overhead not increasing at n=%d", n)
+		}
+		prev = cur
+	}
+	if m.ReleaseOverhead(0) != m.ReleaseOverhead(1) {
+		t.Fatal("clients<1 not clamped")
+	}
+}
+
+func TestGenericCalibrationFallback(t *testing.T) {
+	// A non-paper workload gets the activation-volume estimate.
+	w := memmodel.TinyLlamaWorkload(2, 8)
+	m := New(V100Perf(), w)
+	if m.ReleaseOverhead(1) <= 0 {
+		// Tiny activations round to sub-millisecond but must be >= 0.
+		if m.ReleaseOverhead(1) < 0 {
+			t.Fatal("negative release overhead")
+		}
+	}
+	if m.ForwardTime(w) <= 0 {
+		t.Fatal("no forward time for tiny workload")
+	}
+}
+
+func TestNoGradForwardCheaper(t *testing.T) {
+	w := memmodel.PaperLlamaWorkload()
+	m := New(V100Perf(), w)
+	if m.NoGradForwardTime(w) >= m.ForwardTime(w) {
+		t.Fatal("no-grad forward not cheaper than grad forward")
+	}
+	if m.BackwardTime(w) != 2*m.ForwardTime(w) {
+		t.Fatal("backward != 2x forward")
+	}
+}

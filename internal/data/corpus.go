@@ -1,0 +1,160 @@
+// Package data provides tokenizers, corpora and batch loaders for the
+// fine-tuning experiments. Two corpora stand in for the paper's
+// datasets: an embedded public-domain Shakespeare excerpt (for
+// tiny-shakespeare) and a deterministic synthetic encyclopedic text
+// generator (for wikitext-2); see DESIGN.md for why the substitution
+// preserves the convergence behaviour under study.
+package data
+
+import "strings"
+
+// shakespeare is a small public-domain excerpt in the spirit of
+// tiny-shakespeare: character-level modeling fodder.
+const shakespeare = `First Citizen:
+Before we proceed any further, hear me speak.
+
+All:
+Speak, speak.
+
+First Citizen:
+You are all resolved rather to die than to famish?
+
+All:
+Resolved. resolved.
+
+First Citizen:
+First, you know Caius Marcius is chief enemy to the people.
+
+All:
+We know't, we know't.
+
+First Citizen:
+Let us kill him, and we'll have corn at our own price.
+Is't a verdict?
+
+All:
+No more talking on't; let it be done: away, away!
+
+Second Citizen:
+One word, good citizens.
+
+First Citizen:
+We are accounted poor citizens, the patricians good.
+What authority surfeits on would relieve us: if they
+would yield us but the superfluity, while it were
+wholesome, we might guess they relieved us humanely;
+but they think we are too dear: the leanness that
+afflicts us, the object of our misery, is as an
+inventory to particularise their abundance; our
+sufferance is a gain to them Let us revenge this with
+our pikes, ere we become rakes: for the gods know I
+speak this in hunger for bread, not in thirst for revenge.
+
+Second Citizen:
+Would you proceed especially against Caius Marcius?
+
+All:
+Against him first: he's a very dog to the commonalty.
+
+Second Citizen:
+Consider you what services he has done for his country?
+
+First Citizen:
+Very well; and could be content to give him good
+report fort, but that he pays himself with being proud.
+
+Second Citizen:
+Nay, but speak not maliciously.
+
+First Citizen:
+I say unto you, what he hath done famously, he did
+it to that end: though soft-conscienced men can be
+content to say it was for his country he did it to
+please his mother and to be partly proud; which he
+is, even till the altitude of his virtue.
+
+Second Citizen:
+What he cannot help in his nature, you account a
+vice in him. You must in no way say he is covetous.
+
+First Citizen:
+If I must not, I need not be barren of accusations;
+he hath faults, with surplus, to tire in repetition.
+What shouts are these? The other side o' the city
+is risen: why stay we prating here? to the Capitol!
+
+All:
+Come, come.
+`
+
+// Shakespeare returns the embedded tiny-shakespeare-style corpus.
+func Shakespeare() string { return shakespeare }
+
+// Word banks for the synthetic wikitext generator. The goal is text
+// with natural-language-like statistics (Zipfian common words, topical
+// nouns, punctuation structure), not meaning.
+var (
+	wikiSubjects = []string{
+		"the river", "the province", "the composer", "the treaty",
+		"the species", "the railway", "the dynasty", "the observatory",
+		"the cathedral", "the expedition", "the novel", "the festival",
+	}
+	wikiVerbs = []string{
+		"was established in", "flows through", "was described by",
+		"is located near", "was named after", "remained part of",
+		"was completed in", "influenced", "borders", "preceded",
+	}
+	wikiObjects = []string{
+		"the northern region", "the early period", "the old kingdom",
+		"the coastal plain", "the second empire", "the modern era",
+		"the upper valley", "the southern district", "the great war",
+		"the first survey",
+	}
+	wikiConnectives = []string{
+		"however,", "in addition,", "by contrast,", "subsequently,",
+		"according to records,", "during this time,",
+	}
+)
+
+// wikiRNG is a minimal deterministic generator local to the package so
+// corpus generation never depends on global state.
+type wikiRNG struct{ state uint64 }
+
+func (r *wikiRNG) next() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (r *wikiRNG) pick(words []string) string {
+	return words[int(r.next()%uint64(len(words)))]
+}
+
+// SyntheticWikitext generates a deterministic encyclopedic-style
+// corpus of roughly the requested number of sentences.
+func SyntheticWikitext(seed uint64, sentences int) string {
+	if seed == 0 {
+		seed = 1
+	}
+	rng := &wikiRNG{state: seed}
+	var b strings.Builder
+	for i := 0; i < sentences; i++ {
+		if i%5 == 0 && i > 0 {
+			b.WriteString("\n")
+		}
+		if rng.next()%3 == 0 {
+			b.WriteString(rng.pick(wikiConnectives))
+			b.WriteString(" ")
+		}
+		b.WriteString(rng.pick(wikiSubjects))
+		b.WriteString(" ")
+		b.WriteString(rng.pick(wikiVerbs))
+		b.WriteString(" ")
+		b.WriteString(rng.pick(wikiObjects))
+		b.WriteString(". ")
+	}
+	return b.String()
+}

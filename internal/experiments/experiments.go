@@ -1,0 +1,62 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§5): the §2.3 measurement study, Fig. 5 memory
+// scaling, Fig. 6 iteration times, Tables 1-3 time breakdowns, Fig. 7
+// policy comparison, Fig. 8/9 convergence (real training), and Fig. 10
+// multi-GPU scaling — plus ablations for the design choices called out
+// in DESIGN.md.
+package experiments
+
+import (
+	"menos/internal/costmodel"
+	"menos/internal/memmodel"
+	"menos/internal/splitsim"
+)
+
+// Options tunes experiment sizes. Zero values select the defaults used
+// for reported results; tests shrink them.
+type Options struct {
+	// Iterations per simulated fine-tuning run (default 12).
+	Iterations int
+	// Steps per real convergence run (default 60).
+	Steps int
+	// Seed for data sampling and weight init (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Iterations == 0 {
+		o.Iterations = 12
+	}
+	if o.Steps == 0 {
+		o.Steps = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// evalModel identifies the two evaluation workloads.
+type evalModel struct {
+	name     string
+	workload memmodel.Workload
+	// maxVanilla is where the paper stops the vanilla baseline
+	// (Llama's vanilla runs end at 4 clients).
+	clientCounts []int
+}
+
+func evalModels() []evalModel {
+	return []evalModel{
+		{name: "OPT-1.3B", workload: memmodel.PaperOPTWorkload(), clientCounts: []int{1, 2, 3, 4, 5, 6}},
+		{name: "Llama 2-7B", workload: memmodel.PaperLlamaWorkload(), clientCounts: []int{1, 2, 3, 4}},
+	}
+}
+
+// runMode executes one DES configuration.
+func runMode(mode splitsim.Mode, w memmodel.Workload, clients, iterations int) (*splitsim.Result, error) {
+	return splitsim.Run(splitsim.Config{
+		Mode:       mode,
+		Clients:    splitsim.HomogeneousClients(clients, w, costmodel.ClientGPUPerf()),
+		Iterations: iterations,
+	})
+}

@@ -1,0 +1,182 @@
+// Package gpu simulates GPU device memory for the performance plane:
+// capacity-checked allocation, per-owner accounting, peak tracking, and
+// multi-GPU device sets. It deliberately models only what Menos'
+// scheduler observes and reacts to — bytes, owners, OOM — not kernels.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrOOM is returned when an allocation does not fit.
+var ErrOOM = errors.New("gpu: out of memory")
+
+// ErrBadFree is returned when freeing an unknown allocation.
+var ErrBadFree = errors.New("gpu: unknown allocation")
+
+// Spec describes a GPU model.
+type Spec struct {
+	Name        string
+	MemoryBytes int64
+}
+
+// Hardware presets used in the paper's evaluation.
+func V100() Spec     { return Spec{Name: "V100", MemoryBytes: 32 << 30} }
+func A100() Spec     { return Spec{Name: "A100", MemoryBytes: 40 << 30} }
+func RTXA4500() Spec { return Spec{Name: "RTX A4500", MemoryBytes: 20 << 30} }
+
+// AllocID identifies one live allocation.
+type AllocID uint64
+
+type allocation struct {
+	owner string
+	bytes int64
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	spec Spec
+
+	mu     sync.Mutex
+	used   int64
+	peak   int64
+	next   AllocID
+	allocs map[AllocID]allocation
+
+	allocOps int64
+	freeOps  int64
+}
+
+// NewDevice creates a device with the given spec.
+func NewDevice(spec Spec) *Device {
+	return &Device{
+		spec:   spec,
+		allocs: make(map[AllocID]allocation),
+	}
+}
+
+// Spec returns the device description.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Capacity returns total device memory.
+func (d *Device) Capacity() int64 { return d.spec.MemoryBytes }
+
+// Used returns currently allocated bytes.
+func (d *Device) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Available returns free bytes.
+func (d *Device) Available() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spec.MemoryBytes - d.used
+}
+
+// Peak returns the high-water mark of Used.
+func (d *Device) Peak() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.peak
+}
+
+// Stats reports cumulative operation counts.
+type Stats struct {
+	AllocOps int64
+	FreeOps  int64
+}
+
+// Stats returns cumulative counters.
+func (d *Device) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return Stats{AllocOps: d.allocOps, FreeOps: d.freeOps}
+}
+
+// Alloc reserves bytes for owner, failing with ErrOOM when the device
+// cannot fit the request.
+func (d *Device) Alloc(owner string, bytes int64) (AllocID, error) {
+	if bytes < 0 {
+		return 0, fmt.Errorf("gpu: negative allocation %d", bytes)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.used+bytes > d.spec.MemoryBytes {
+		return 0, fmt.Errorf("%w: %s has %d free, need %d (owner %q)",
+			ErrOOM, d.spec.Name, d.spec.MemoryBytes-d.used, bytes, owner)
+	}
+	d.next++
+	id := d.next
+	d.allocs[id] = allocation{owner: owner, bytes: bytes}
+	d.used += bytes
+	d.allocOps++
+	if d.used > d.peak {
+		d.peak = d.used
+	}
+	return id, nil
+}
+
+// Free releases one allocation.
+func (d *Device) Free(id AllocID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	a, ok := d.allocs[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrBadFree, id)
+	}
+	delete(d.allocs, id)
+	d.used -= a.bytes
+	d.freeOps++
+	return nil
+}
+
+// FreeOwner releases every allocation held by owner and returns the
+// number of bytes reclaimed.
+func (d *Device) FreeOwner(owner string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var reclaimed int64
+	for id, a := range d.allocs {
+		if a.owner == owner {
+			delete(d.allocs, id)
+			d.used -= a.bytes
+			d.freeOps++
+			reclaimed += a.bytes
+		}
+	}
+	return reclaimed
+}
+
+// OwnerUsage returns bytes currently held by owner.
+func (d *Device) OwnerUsage(owner string) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total int64
+	for _, a := range d.allocs {
+		if a.owner == owner {
+			total += a.bytes
+		}
+	}
+	return total
+}
+
+// Owners returns the owners with live allocations, sorted.
+func (d *Device) Owners() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := make(map[string]bool)
+	for _, a := range d.allocs {
+		seen[a.owner] = true
+	}
+	owners := make([]string, 0, len(seen))
+	for o := range seen {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	return owners
+}

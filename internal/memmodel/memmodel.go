@@ -1,0 +1,252 @@
+// Package memmodel implements the analytic GPU-memory accounting of
+// §2.3: the 𝕄 (base model), 𝔸 (adapter), 𝕆 (optimizer state) and 𝕀
+// (intermediate results) terms, for full-size model shapes that cannot
+// be instantiated on a CPU.
+//
+// The 𝕀 formulas are derived from — and tested bit-exactly against —
+// the activation caches of the real implementation in internal/model:
+// the analytic model and the runnable model agree by construction, so
+// the full-size projections are the tiny models' measured behaviour
+// scaled up.
+package memmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"menos/internal/adapter"
+	"menos/internal/model"
+	"menos/internal/quant"
+)
+
+// ErrWorkload is returned (wrapped) for invalid workload descriptions.
+var ErrWorkload = errors.New("memmodel: invalid workload")
+
+// OptimizerKind selects the optimizer-state multiplier.
+type OptimizerKind int
+
+// Optimizer kinds.
+const (
+	OptAdam        OptimizerKind = iota + 1 // two moment buffers per parameter
+	OptSGDMomentum                          // one velocity buffer
+	OptSGD                                  // stateless
+)
+
+// statesPerParam returns the number of persistent state scalars the
+// optimizer keeps per trainable parameter.
+func (k OptimizerKind) statesPerParam() int64 {
+	switch k {
+	case OptAdam:
+		return 2
+	case OptSGDMomentum:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Workload describes one client's fine-tuning configuration — exactly
+// the information the client reports to the server for profiling
+// (§3.3).
+type Workload struct {
+	Model     model.Config
+	Cut       int // client keeps blocks [0, Cut)
+	Adapter   adapter.Spec
+	Optimizer OptimizerKind
+	Batch     int
+	Seq       int
+	// BaseQuant optionally quantizes the shared base parameters
+	// (QLoRA-style); the zero value keeps fp32. Quantization is
+	// orthogonal to Menos and stacks with base-model sharing, as the
+	// paper argues.
+	BaseQuant quant.Precision
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	if err := w.Model.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrWorkload, err)
+	}
+	if w.Cut < 1 || w.Cut >= w.Model.Layers {
+		return fmt.Errorf("%w: cut %d for %d layers", ErrWorkload, w.Cut, w.Model.Layers)
+	}
+	if err := w.Adapter.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrWorkload, err)
+	}
+	if w.Batch <= 0 || w.Seq <= 0 {
+		return fmt.Errorf("%w: batch %d seq %d", ErrWorkload, w.Batch, w.Seq)
+	}
+	if w.Optimizer < OptAdam || w.Optimizer > OptSGD {
+		return fmt.Errorf("%w: optimizer %d", ErrWorkload, int(w.Optimizer))
+	}
+	return nil
+}
+
+// serverBlocks returns the number of transformer blocks the server
+// hosts.
+func (w Workload) serverBlocks() int64 {
+	return int64(w.Model.Layers - w.Cut)
+}
+
+// rows returns the token count per iteration (batch × seq).
+func (w Workload) rows() int64 { return int64(w.Batch) * int64(w.Seq) }
+
+// ServerBaseBytes returns 𝕄: the shared base parameters hosted by the
+// server — fp32 by default, or quantized storage (values plus
+// per-output-channel scales) when BaseQuant is set.
+func (w Workload) ServerBaseBytes() int64 {
+	params := w.serverBlocks() * w.Model.BlockParams()
+	if w.BaseQuant == 0 {
+		return params * bytesPerParam
+	}
+	values := int64(float64(params) * w.BaseQuant.BytesPerParam())
+	// One fp32 scale per output column: columns ≈ params / dim.
+	scales := params / int64(w.Model.Dim) * 4
+	return values + scales
+}
+
+// AdapterBytes returns 𝔸: the client's server-side adapter parameters.
+func (w Workload) AdapterBytes() int64 {
+	return w.Adapter.ParamsPerBlock(w.Model.Dim) * w.serverBlocks() * bytesPerParam
+}
+
+// GradBytes returns the adapter gradient accumulator footprint (same
+// shape as 𝔸).
+func (w Workload) GradBytes() int64 { return w.AdapterBytes() }
+
+// OptimizerBytes returns 𝕆: persistent optimizer state for the
+// adapter parameters.
+func (w Workload) OptimizerBytes() int64 {
+	return w.Adapter.ParamsPerBlock(w.Model.Dim) * w.serverBlocks() *
+		w.Optimizer.statesPerParam() * bytesPerParam
+}
+
+// PersistentClientBytes returns the per-client state that must stay
+// resident between iterations under Menos: adapter parameters,
+// gradients, optimizer state, and the client process's GPU context.
+func (w Workload) PersistentClientBytes() int64 {
+	return w.AdapterBytes() + w.GradBytes() + w.OptimizerBytes() + ContextOverheadBytes
+}
+
+// activationFloatsPerRowPerBlock returns the retained activation
+// scalars per token per transformer block during a gradient-enabled
+// forward pass. The formula is derived term-by-term from the cache
+// structs of internal/model and internal/adapter; the memmodel tests
+// assert exact agreement with the instantiated tiny models.
+func (w Workload) activationFloatsPerRowPerBlock() int64 {
+	d := int64(w.Model.Dim)
+	f := int64(w.Model.FFN)
+	h := int64(w.Model.Heads)
+	ext := int64(w.Seq) // attention context length (prefix extends it)
+	if w.Adapter.Kind == adapter.KindPrefix {
+		ext += int64(w.Adapter.PrefixLen)
+	}
+
+	var base int64
+	switch w.Model.Family {
+	case model.FamilyOPT:
+		// norm1 (d+1) + attn (7d + h·ext) + norm2 (d+1) + ffn (d + 2f)
+		base = 10*d + 2*f + h*ext + 2
+	case model.FamilyLlama:
+		// norm1 (d+1) + attn (7d + h·ext) + norm2 (d+1) + swiglu (2d + 4f)
+		base = 11*d + 4*f + h*ext + 2
+	}
+
+	switch w.Adapter.Kind {
+	case adapter.KindLoRA:
+		// Each wrapped projection retains x (d) and x·A (rank).
+		base += int64(len(w.Adapter.Targets)) * (d + int64(w.Adapter.Rank))
+	case adapter.KindBottleneck:
+		// The bottleneck wrapper retains y (d), the GELU input (hidden)
+		// and the up-projection input (hidden).
+		base += d + 2*int64(w.Adapter.Hidden)
+	}
+	return base
+}
+
+// ActivationBytes returns 𝕀: the intermediate results retained across
+// the server's blocks for one gradient-enabled forward pass. This is
+// what a memory-preserving policy keeps resident while waiting for the
+// client's gradients, and what Menos releases and recomputes.
+func (w Workload) ActivationBytes() int64 {
+	return w.activationFloatsPerRowPerBlock() * w.rows() * w.serverBlocks() * bytesPerFloat
+}
+
+// NoGradForwardBytes returns the transient working memory of the
+// non-gradient forward pass of Fig. 3(d): a few live activation
+// tensors, independent of depth.
+func (w Workload) NoGradForwardBytes() int64 {
+	d := int64(w.Model.Dim)
+	f := int64(w.Model.FFN)
+	// Live set: current hidden, residual, widest FFN temporary, plus
+	// attention workspace.
+	perRow := 2*d + 2*f + int64(w.Model.Heads)*int64(w.Seq)
+	return perRow * w.rows() * bytesPerFloat
+}
+
+// BackwardPeakBytes returns the peak memory of the re-forward plus
+// backward of Fig. 3(d): the full activation set plus a gradient
+// working set.
+func (w Workload) BackwardPeakBytes() int64 {
+	d := int64(w.Model.Dim)
+	grad := 3 * d * w.rows() * bytesPerFloat // dy/dx ping-pong + head temporaries
+	return w.ActivationBytes() + grad
+}
+
+// TransferBytes returns the per-direction payload of one activation or
+// gradient exchange at the cut: batch × seq × dim fp32 values plus
+// framing.
+func (w Workload) TransferBytes() int64 {
+	return w.rows()*int64(w.Model.Dim)*bytesPerFloat + frameOverheadBytes
+}
+
+// Footprint is the §2.3 decomposition for one client.
+type Footprint struct {
+	M, A, O, I int64
+}
+
+// Total returns M+A+O+I.
+func (f Footprint) Total() int64 { return f.M + f.A + f.O + f.I }
+
+// ClientFootprint returns the full decomposition for one client's
+// workload.
+func (w Workload) ClientFootprint() Footprint {
+	return Footprint{
+		M: w.ServerBaseBytes(),
+		A: w.AdapterBytes() + w.GradBytes(),
+		O: w.OptimizerBytes(),
+		I: w.ActivationBytes(),
+	}
+}
+
+// VanillaPersistentBytes returns the persistent server footprint for n
+// identical clients under vanilla split learning (Eq. 2's persistent
+// part): the base model and per-client states are all duplicated.
+func VanillaPersistentBytes(w Workload, n int) int64 {
+	per := w.ServerBaseBytes() + w.AdapterBytes() + w.GradBytes() + w.OptimizerBytes()
+	return per * int64(n)
+}
+
+// MenosPersistentBytes returns the persistent server footprint for n
+// identical clients under Menos (Eq. 3's persistent part): one shared
+// base copy plus per-client adapter state and process contexts, plus
+// the shared-store manager process.
+func MenosPersistentBytes(w Workload, n int) int64 {
+	return w.ServerBaseBytes() + ManagerOverheadBytes +
+		int64(n)*w.PersistentClientBytes()
+}
+
+// VanillaPeakBytes returns the peak footprint for n concurrent vanilla
+// clients, each preserving its activations throughout (Eq. 2).
+func VanillaPeakBytes(w Workload, n int) int64 {
+	per := w.ServerBaseBytes() + w.AdapterBytes() + w.GradBytes() +
+		w.OptimizerBytes() + w.ActivationBytes()
+	return per * int64(n)
+}
+
+// MenosPeakBytes returns the peak footprint under Menos' on-demand
+// policy with a single in-flight backward (Eq. 3): shared base,
+// per-client persistent state, and one transient activation set.
+func MenosPeakBytes(w Workload, n int) int64 {
+	return MenosPersistentBytes(w, n) + w.BackwardPeakBytes()
+}

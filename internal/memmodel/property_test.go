@@ -1,0 +1,121 @@
+package memmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"menos/internal/quant"
+)
+
+// Property: every memory term is positive and monotone in batch size,
+// sequence length, and server depth.
+func TestMemoryMonotonicityProperty(t *testing.T) {
+	f := func(batchRaw, seqRaw, cutRaw uint8) bool {
+		w := PaperLlamaWorkload()
+		w.Batch = 1 + int(batchRaw%8)
+		w.Seq = 16 + int(seqRaw)
+		w.Cut = 1 + int(cutRaw%(uint8(w.Model.Layers)-1))
+		if err := w.Validate(); err != nil {
+			return false
+		}
+		if w.ActivationBytes() <= 0 || w.ServerBaseBytes() <= 0 ||
+			w.AdapterBytes() <= 0 || w.NoGradForwardBytes() <= 0 {
+			return false
+		}
+		// Monotone in batch.
+		bigger := w
+		bigger.Batch++
+		if bigger.ActivationBytes() <= w.ActivationBytes() {
+			return false
+		}
+		// Monotone in seq.
+		longer := w
+		longer.Seq++
+		if longer.ActivationBytes() <= w.ActivationBytes() {
+			return false
+		}
+		// Deeper cut means fewer server blocks: base and activations
+		// shrink.
+		if w.Cut+1 < w.Model.Layers {
+			deeper := w
+			deeper.Cut++
+			if deeper.ServerBaseBytes() >= w.ServerBaseBytes() {
+				return false
+			}
+			if deeper.ActivationBytes() >= w.ActivationBytes() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Menos persistent memory is monotone in client count and
+// always below vanilla for n ≥ 2; savings increase with n.
+func TestSharingAlwaysWinsProperty(t *testing.T) {
+	f := func(nRaw uint8, llama bool) bool {
+		n := 2 + int(nRaw%15)
+		w := PaperOPTWorkload()
+		if llama {
+			w = PaperLlamaWorkload()
+		}
+		menos := MenosPersistentBytes(w, n)
+		vanilla := VanillaPersistentBytes(w, n)
+		if menos >= vanilla {
+			return false
+		}
+		if MenosPersistentBytes(w, n+1) <= menos {
+			return false
+		}
+		savingN := 1 - float64(menos)/float64(vanilla)
+		savingNext := 1 - float64(MenosPersistentBytes(w, n+1))/float64(VanillaPersistentBytes(w, n+1))
+		return savingNext > savingN
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization strictly orders base bytes fp32 > int8 > int4
+// for any valid workload, and never touches adapter/optimizer terms.
+func TestQuantOrderingProperty(t *testing.T) {
+	f := func(cutRaw uint8, llama bool) bool {
+		w := PaperOPTWorkload()
+		if llama {
+			w = PaperLlamaWorkload()
+		}
+		w.Cut = 1 + int(cutRaw%(uint8(w.Model.Layers)-1))
+		w8 := w
+		w8.BaseQuant = quant.Int8
+		w4 := w
+		w4.BaseQuant = quant.Int4
+		if !(w4.ServerBaseBytes() < w8.ServerBaseBytes() &&
+			w8.ServerBaseBytes() < w.ServerBaseBytes()) {
+			return false
+		}
+		return w8.AdapterBytes() == w.AdapterBytes() &&
+			w4.OptimizerBytes() == w.OptimizerBytes() &&
+			w8.ActivationBytes() == w.ActivationBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the backward peak always dominates both the plain
+// activation set and the no-grad forward footprint.
+func TestBackwardPeakDominatesProperty(t *testing.T) {
+	f := func(batchRaw, seqRaw uint8) bool {
+		w := PaperLlamaWorkload()
+		w.Batch = 1 + int(batchRaw%8)
+		w.Seq = 16 + int(seqRaw%200)
+		return w.BackwardPeakBytes() > w.ActivationBytes() &&
+			w.BackwardPeakBytes() > w.NoGradForwardBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,383 @@
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// causalMask is the additive logit penalty for future positions.
+const causalMask = -1e9
+
+// PrefixKV holds trainable per-block prefix key/value states
+// (prefix-tuning, Li & Liang 2021). Every query position may attend to
+// all prefix slots in addition to its causal past. Prefix states are
+// adapter parameters: always trainable, never part of the base model.
+type PrefixKV struct {
+	K   nn.Param // (P, dim)
+	V   nn.Param // (P, dim)
+	Len int
+}
+
+// NewPrefixKV creates a prefix of p slots for hidden size dim.
+func NewPrefixKV(rng *tensor.RNG, p, dim int) *PrefixKV {
+	return &PrefixKV{
+		K:   nn.NewParam("prefix_k", tensor.NewNormal(rng, 0.02, p, dim)),
+		V:   nn.NewParam("prefix_v", tensor.NewNormal(rng, 0.02, p, dim)),
+		Len: p,
+	}
+}
+
+// Params returns the prefix parameters.
+func (p *PrefixKV) Params() []nn.Param {
+	return []nn.Param{p.K, p.V}
+}
+
+// Attention is causal multi-head self-attention. Its four projections
+// are nn.Op values so adapters (LoRA) can wrap any of them without the
+// attention code knowing, and an optional PrefixKV implements
+// prefix-tuning.
+type Attention struct {
+	Q, K, V, O nn.Op
+	Prefix     *PrefixKV // nil unless prefix-tuning is attached
+
+	heads   int
+	headDim int
+	rope    *ropeTable // nil for OPT-style learned positions
+}
+
+// AttnCache retains everything the attention backward pass needs.
+type AttnCache struct {
+	B, T int
+	P    int // prefix length at forward time
+
+	QC, KC, VC, OC any // projection caches
+
+	// Post-RoPE projections, each (B*T, dim).
+	QT, KT, VT *tensor.Tensor
+	// Softmax probabilities, (B*heads*T, P+T).
+	Probs *tensor.Tensor
+}
+
+// Bytes reports retained activation size.
+func (c *AttnCache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	b := nn.CacheBytes(c.QC) + nn.CacheBytes(c.KC) + nn.CacheBytes(c.VC) + nn.CacheBytes(c.OC)
+	for _, t := range []*tensor.Tensor{c.QT, c.KT, c.VT, c.Probs} {
+		if t != nil {
+			b += t.Bytes()
+		}
+	}
+	return b
+}
+
+// newAttention builds the attention module for cfg with plain Linear
+// projections.
+func newAttention(rng *tensor.RNG, cfg Config) *Attention {
+	a := &Attention{
+		Q:       nn.NewLinear(rng.Split(), cfg.Dim, cfg.Dim, cfg.HasBias()),
+		K:       nn.NewLinear(rng.Split(), cfg.Dim, cfg.Dim, cfg.HasBias()),
+		V:       nn.NewLinear(rng.Split(), cfg.Dim, cfg.Dim, cfg.HasBias()),
+		O:       nn.NewLinear(rng.Split(), cfg.Dim, cfg.Dim, cfg.HasBias()),
+		heads:   cfg.Heads,
+		headDim: cfg.HeadDim(),
+	}
+	if cfg.Family == FamilyLlama {
+		a.rope = newRopeTable(cfg.MaxSeq, cfg.HeadDim())
+	}
+	return a
+}
+
+func (a *Attention) prefixLen() int {
+	if a.Prefix == nil {
+		return 0
+	}
+	return a.Prefix.Len
+}
+
+// Forward computes attention over x of shape (B*T, dim). When withGrad
+// is false no cache is produced (no-grad forward).
+func (a *Attention) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*tensor.Tensor, *AttnCache, error) {
+	dim := a.heads * a.headDim
+	if x.Rank() != 2 || x.Dim(0) != batch*seq || x.Dim(1) != dim {
+		return nil, nil, fmt.Errorf("attention: input %v for batch %d seq %d dim %d: %w",
+			x.Shape(), batch, seq, dim, tensor.ErrShape)
+	}
+	q, qc, err := a.Q.Apply(x, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attention q: %w", err)
+	}
+	k, kc, err := a.K.Apply(x, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attention k: %w", err)
+	}
+	v, vc, err := a.V.Apply(x, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attention v: %w", err)
+	}
+	if a.rope != nil {
+		a.applyRope(q, batch, seq, false)
+		a.applyRope(k, batch, seq, false)
+	}
+
+	pLen := a.prefixLen()
+	ext := pLen + seq
+	ctx := tensor.New(batch*seq, dim)
+	var probs *tensor.Tensor
+	if withGrad {
+		probs = tensor.New(batch*a.heads*seq, ext)
+	}
+	scale := float32(1.0 / math.Sqrt(float64(a.headDim)))
+
+	qh := tensor.New(seq, a.headDim)
+	khExt := tensor.New(ext, a.headDim)
+	vhExt := tensor.New(ext, a.headDim)
+	scores := tensor.New(seq, ext)
+	outh := tensor.New(seq, a.headDim)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.heads; h++ {
+			a.gatherHead(q, b*seq, h, seq, qh.Data())
+			if pLen > 0 {
+				a.gatherHead(a.Prefix.K.Value, 0, h, pLen, khExt.Data()[:pLen*a.headDim])
+				a.gatherHead(a.Prefix.V.Value, 0, h, pLen, vhExt.Data()[:pLen*a.headDim])
+			}
+			a.gatherHead(k, b*seq, h, seq, khExt.Data()[pLen*a.headDim:])
+			a.gatherHead(v, b*seq, h, seq, vhExt.Data()[pLen*a.headDim:])
+			if err := tensor.MatMulT(scores, qh, khExt); err != nil {
+				return nil, nil, fmt.Errorf("attention scores: %w", err)
+			}
+			scores.Scale(scale)
+			maskCausal(scores, pLen)
+			if err := tensor.SoftmaxRows(scores, scores); err != nil {
+				return nil, nil, fmt.Errorf("attention softmax: %w", err)
+			}
+			if probs != nil {
+				off := (b*a.heads + h) * seq * ext
+				copy(probs.Data()[off:off+seq*ext], scores.Data())
+			}
+			if err := tensor.MatMul(outh, scores, vhExt); err != nil {
+				return nil, nil, fmt.Errorf("attention context: %w", err)
+			}
+			a.scatterHeadCopy(ctx, b*seq, h, seq, outh.Data())
+		}
+	}
+
+	y, oc, err := a.O.Apply(ctx, withGrad)
+	if err != nil {
+		return nil, nil, fmt.Errorf("attention o: %w", err)
+	}
+	if !withGrad {
+		return y, nil, nil
+	}
+	return y, &AttnCache{
+		B: batch, T: seq, P: pLen,
+		QC: qc, KC: kc, VC: vc, OC: oc,
+		QT: q, KT: k, VT: v, Probs: probs,
+	}, nil
+}
+
+// Backward propagates dy of shape (B*T, dim) through the attention.
+func (a *Attention) Backward(cache *AttnCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if cache == nil || cache.Probs == nil {
+		return nil, fmt.Errorf("attention backward: no cached activations")
+	}
+	if cache.P != a.prefixLen() {
+		return nil, fmt.Errorf("attention backward: prefix length changed since forward (%d -> %d)",
+			cache.P, a.prefixLen())
+	}
+	batch, seq, pLen := cache.B, cache.T, cache.P
+	ext := pLen + seq
+	dim := a.heads * a.headDim
+
+	dctx, err := a.O.Grad(cache.OC, dy)
+	if err != nil {
+		return nil, fmt.Errorf("attention o backward: %w", err)
+	}
+
+	dq := tensor.New(batch*seq, dim)
+	dk := tensor.New(batch*seq, dim)
+	dv := tensor.New(batch*seq, dim)
+	scale := float32(1.0 / math.Sqrt(float64(a.headDim)))
+
+	qh := tensor.New(seq, a.headDim)
+	khExt := tensor.New(ext, a.headDim)
+	vhExt := tensor.New(ext, a.headDim)
+	douth := tensor.New(seq, a.headDim)
+	dqh := tensor.New(seq, a.headDim)
+	dkhExt := tensor.New(ext, a.headDim)
+	dvhExt := tensor.New(ext, a.headDim)
+	dp := tensor.New(seq, ext)
+	p := tensor.New(seq, ext)
+	for b := 0; b < batch; b++ {
+		for h := 0; h < a.heads; h++ {
+			a.gatherHead(cache.QT, b*seq, h, seq, qh.Data())
+			if pLen > 0 {
+				a.gatherHead(a.Prefix.K.Value, 0, h, pLen, khExt.Data()[:pLen*a.headDim])
+				a.gatherHead(a.Prefix.V.Value, 0, h, pLen, vhExt.Data()[:pLen*a.headDim])
+			}
+			a.gatherHead(cache.KT, b*seq, h, seq, khExt.Data()[pLen*a.headDim:])
+			a.gatherHead(cache.VT, b*seq, h, seq, vhExt.Data()[pLen*a.headDim:])
+			a.gatherHead(dctx, b*seq, h, seq, douth.Data())
+			off := (b*a.heads + h) * seq * ext
+			copy(p.Data(), cache.Probs.Data()[off:off+seq*ext])
+
+			// dP = dOut @ Vᵀ ; dV = Pᵀ @ dOut
+			if err := tensor.MatMulT(dp, douth, vhExt); err != nil {
+				return nil, fmt.Errorf("attention dP: %w", err)
+			}
+			dvhExt.Zero()
+			if err := tensor.MatMulTAccum(dvhExt, p, douth); err != nil {
+				return nil, fmt.Errorf("attention dV: %w", err)
+			}
+			// dS = P ∘ (dP - rowsum(dP∘P)); scale by 1/√hd.
+			softmaxBackwardInPlace(dp, p)
+			dp.Scale(scale)
+			// dQ = dS @ K ; dK = dSᵀ @ Q
+			if err := tensor.MatMul(dqh, dp, khExt); err != nil {
+				return nil, fmt.Errorf("attention dQ: %w", err)
+			}
+			dkhExt.Zero()
+			if err := tensor.MatMulTAccum(dkhExt, dp, qh); err != nil {
+				return nil, fmt.Errorf("attention dK: %w", err)
+			}
+			if pLen > 0 {
+				a.scatterHeadAdd(a.Prefix.K.Grad, 0, h, pLen, dkhExt.Data()[:pLen*a.headDim])
+				a.scatterHeadAdd(a.Prefix.V.Grad, 0, h, pLen, dvhExt.Data()[:pLen*a.headDim])
+			}
+			a.scatterHeadCopy(dq, b*seq, h, seq, dqh.Data())
+			a.scatterHeadCopy(dk, b*seq, h, seq, dkhExt.Data()[pLen*a.headDim:])
+			a.scatterHeadCopy(dv, b*seq, h, seq, dvhExt.Data()[pLen*a.headDim:])
+		}
+	}
+
+	if a.rope != nil {
+		a.applyRope(dq, batch, seq, true)
+		a.applyRope(dk, batch, seq, true)
+	}
+
+	dxq, err := a.Q.Grad(cache.QC, dq)
+	if err != nil {
+		return nil, fmt.Errorf("attention q backward: %w", err)
+	}
+	dxk, err := a.K.Grad(cache.KC, dk)
+	if err != nil {
+		return nil, fmt.Errorf("attention k backward: %w", err)
+	}
+	dxv, err := a.V.Grad(cache.VC, dv)
+	if err != nil {
+		return nil, fmt.Errorf("attention v backward: %w", err)
+	}
+	if err := tensor.Add(dxq, dxq, dxk); err != nil {
+		return nil, fmt.Errorf("attention dx sum: %w", err)
+	}
+	if err := tensor.Add(dxq, dxq, dxv); err != nil {
+		return nil, fmt.Errorf("attention dx sum: %w", err)
+	}
+	return dxq, nil
+}
+
+// Params returns trainable parameters across the four projections and
+// the prefix (when attached).
+func (a *Attention) Params() []nn.Param {
+	var ps []nn.Param
+	ps = append(ps, nn.Prefixed("q", a.Q.Params())...)
+	ps = append(ps, nn.Prefixed("k", a.K.Params())...)
+	ps = append(ps, nn.Prefixed("v", a.V.Params())...)
+	ps = append(ps, nn.Prefixed("o", a.O.Params())...)
+	if a.Prefix != nil {
+		ps = append(ps, nn.Prefixed("prefix", a.Prefix.Params())...)
+	}
+	return ps
+}
+
+// SetFrozen freezes or unfreezes the base projections. Prefix
+// parameters are adapter parameters and remain trainable.
+func (a *Attention) SetFrozen(frozen bool) {
+	a.Q.SetFrozen(frozen)
+	a.K.SetFrozen(frozen)
+	a.V.SetFrozen(frozen)
+	a.O.SetFrozen(frozen)
+}
+
+// gatherHead copies rows [rowOff, rowOff+rows) of head h from a
+// (*, dim) tensor into dst (rows*headDim floats).
+func (a *Attention) gatherHead(src *tensor.Tensor, rowOff, h, rows int, dst []float32) {
+	dim := a.heads * a.headDim
+	for t := 0; t < rows; t++ {
+		row := src.Data()[(rowOff+t)*dim+h*a.headDim:]
+		copy(dst[t*a.headDim:(t+1)*a.headDim], row[:a.headDim])
+	}
+}
+
+// scatterHeadCopy writes src (rows*headDim floats) into head h at rows
+// [rowOff, rowOff+rows) of dst.
+func (a *Attention) scatterHeadCopy(dst *tensor.Tensor, rowOff, h, rows int, src []float32) {
+	dim := a.heads * a.headDim
+	for t := 0; t < rows; t++ {
+		out := dst.Data()[(rowOff+t)*dim+h*a.headDim:][:a.headDim]
+		copy(out, src[t*a.headDim:(t+1)*a.headDim])
+	}
+}
+
+// scatterHeadAdd accumulates src into head h at rows [rowOff,
+// rowOff+rows) of dst.
+func (a *Attention) scatterHeadAdd(dst *tensor.Tensor, rowOff, h, rows int, src []float32) {
+	dim := a.heads * a.headDim
+	for t := 0; t < rows; t++ {
+		out := dst.Data()[(rowOff+t)*dim+h*a.headDim:][:a.headDim]
+		in := src[t*a.headDim : (t+1)*a.headDim]
+		for i, v := range in {
+			out[i] += v
+		}
+	}
+}
+
+// applyRope rotates q/k rows in place; inverse applies the backward
+// rotation.
+func (a *Attention) applyRope(t *tensor.Tensor, batch, seq int, inverse bool) {
+	dim := a.heads * a.headDim
+	for b := 0; b < batch; b++ {
+		for pos := 0; pos < seq; pos++ {
+			row := t.Data()[(b*seq+pos)*dim : (b*seq+pos+1)*dim]
+			for h := 0; h < a.heads; h++ {
+				a.rope.apply(row[h*a.headDim:(h+1)*a.headDim], pos, inverse)
+			}
+		}
+	}
+}
+
+// maskCausal adds a large negative value to entries of a (T, P+T) score
+// matrix where query position i would attend to a real key position
+// j > i. Prefix columns [0, P) are always visible.
+func maskCausal(scores *tensor.Tensor, pLen int) {
+	seq := scores.Dim(0)
+	ext := scores.Dim(1)
+	for i := 0; i < seq; i++ {
+		row := scores.Data()[i*ext : (i+1)*ext]
+		for j := pLen + i + 1; j < ext; j++ {
+			row[j] += causalMask
+		}
+	}
+}
+
+// softmaxBackwardInPlace converts dp (gradient w.r.t. probabilities)
+// into the gradient w.r.t. logits, given probabilities p:
+// ds = p ∘ (dp - Σ_j dp_j p_j) rowwise.
+func softmaxBackwardInPlace(dp, p *tensor.Tensor) {
+	rows, cols := p.Dim(0), p.Dim(1)
+	for r := 0; r < rows; r++ {
+		pr := p.Data()[r*cols : (r+1)*cols]
+		dpr := dp.Data()[r*cols : (r+1)*cols]
+		var dot float64
+		for c := 0; c < cols; c++ {
+			dot += float64(dpr[c]) * float64(pr[c])
+		}
+		for c := 0; c < cols; c++ {
+			dpr[c] = pr[c] * (dpr[c] - float32(dot))
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package model
+
+// Structural cloning for base-model sharing (§3.1, Fig. 2).
+//
+// A shallow clone creates new structure objects (Block, Attention, FFN)
+// whose operator fields reference the *same* parameter-bearing layers
+// as the original. Parameters therefore exist once in memory, while
+// each clone's structure can be independently modified — adapters
+// wrap a clone's projection slots without affecting the original or
+// any sibling clone. This is exactly the paper's "separate the model
+// parameters from the model structure".
+
+// ShallowClone returns a structurally independent copy of the block
+// that shares every parameter-bearing operator with b. Any attached
+// prefix adapter is not carried over: clones start pristine.
+func (b *Block) ShallowClone() *Block {
+	return &Block{
+		Norm1: b.Norm1,
+		Attn:  b.Attn.ShallowClone(),
+		Norm2: b.Norm2,
+		FFN:   b.FFN.ShallowClone(),
+	}
+}
+
+// ShallowClone returns a new Attention sharing the projection operators
+// but owning its own (initially empty) prefix slot.
+func (a *Attention) ShallowClone() *Attention {
+	return &Attention{
+		Q:       a.Q,
+		K:       a.K,
+		V:       a.V,
+		O:       a.O,
+		heads:   a.heads,
+		headDim: a.headDim,
+		rope:    a.rope, // read-only table, safe to share
+	}
+}
+
+// ShallowClone returns a new FFN sharing the projection operators.
+func (f *FFN) ShallowClone() *FFN {
+	return &FFN{
+		family: f.family,
+		Up:     f.Up,
+		Down:   f.Down,
+		Gate:   f.Gate,
+	}
+}
+
+// ShallowCloneBlocks clones a slice of blocks.
+func ShallowCloneBlocks(blocks []*Block) []*Block {
+	out := make([]*Block, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.ShallowClone()
+	}
+	return out
+}

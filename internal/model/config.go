@@ -1,0 +1,207 @@
+// Package model implements decoder-only transformer language models in
+// two flavours — OPT-style (LayerNorm, learned positions, GELU FFN,
+// biased projections) and Llama-style (RMSNorm, rotary positions,
+// SwiGLU FFN, bias-free) — together with the topological three-way
+// split of §2.2: an input section and output section that live on the
+// client, and the body of transformer blocks that lives on the server.
+//
+// Full-size configurations (OPT-1.3B, Llama 2-7B) exist as shape
+// specifications for the analytic memory model; tiny configurations are
+// actually instantiated and trained.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Family selects the architectural flavour of a transformer.
+type Family int
+
+// Transformer families.
+const (
+	FamilyOPT   Family = iota + 1 // LayerNorm, learned positions, GELU, biases
+	FamilyLlama                   // RMSNorm, RoPE, SwiGLU, no biases
+)
+
+// String returns the family name.
+func (f Family) String() string {
+	switch f {
+	case FamilyOPT:
+		return "opt"
+	case FamilyLlama:
+		return "llama"
+	default:
+		return fmt.Sprintf("family(%d)", int(f))
+	}
+}
+
+// ErrConfig is returned (wrapped) for invalid model configurations.
+var ErrConfig = errors.New("model: invalid config")
+
+// Config describes a decoder-only transformer.
+type Config struct {
+	Name   string
+	Family Family
+
+	Vocab  int // vocabulary size
+	Dim    int // hidden size
+	Layers int // number of transformer blocks
+	Heads  int // attention heads; Dim must be divisible by Heads
+	FFN    int // feed-forward inner dimension
+	MaxSeq int // maximum sequence length (position table size for OPT)
+}
+
+// Validate checks structural invariants.
+func (c Config) Validate() error {
+	switch {
+	case c.Family != FamilyOPT && c.Family != FamilyLlama:
+		return fmt.Errorf("%w: unknown family %d", ErrConfig, int(c.Family))
+	case c.Vocab <= 0:
+		return fmt.Errorf("%w: vocab %d", ErrConfig, c.Vocab)
+	case c.Dim <= 0:
+		return fmt.Errorf("%w: dim %d", ErrConfig, c.Dim)
+	case c.Layers <= 1:
+		return fmt.Errorf("%w: need at least 2 layers to split, got %d", ErrConfig, c.Layers)
+	case c.Heads <= 0 || c.Dim%c.Heads != 0:
+		return fmt.Errorf("%w: dim %d not divisible by heads %d", ErrConfig, c.Dim, c.Heads)
+	case c.FFN <= 0:
+		return fmt.Errorf("%w: ffn %d", ErrConfig, c.FFN)
+	case c.MaxSeq <= 0:
+		return fmt.Errorf("%w: maxseq %d", ErrConfig, c.MaxSeq)
+	}
+	if c.Family == FamilyLlama && c.Dim/c.Heads%2 != 0 {
+		return fmt.Errorf("%w: head dim %d must be even for RoPE", ErrConfig, c.Dim/c.Heads)
+	}
+	return nil
+}
+
+// HeadDim returns the per-head dimension.
+func (c Config) HeadDim() int { return c.Dim / c.Heads }
+
+// HasBias reports whether linear layers carry biases (OPT-style).
+func (c Config) HasBias() bool { return c.Family == FamilyOPT }
+
+// BlockParams returns the parameter count of one transformer block.
+func (c Config) BlockParams() int64 {
+	d, f := int64(c.Dim), int64(c.FFN)
+	var p int64
+	// Attention: 4 projections d×d.
+	p += 4 * d * d
+	if c.Family == FamilyOPT {
+		// Biases on the 4 projections + 2 FFN linears, 2 LayerNorms
+		// (gamma+beta), FFN: up d×f + down f×d.
+		p += 4 * d
+		p += d*f + f + f*d + d
+		p += 2 * 2 * d
+	} else {
+		// SwiGLU: gate d×f, up d×f, down f×d; 2 RMSNorms (gamma).
+		p += 3 * d * f
+		p += 2 * d
+	}
+	return p
+}
+
+// EmbeddingParams returns the parameter count of the token (and, for
+// OPT, position) embeddings.
+func (c Config) EmbeddingParams() int64 {
+	p := int64(c.Vocab) * int64(c.Dim)
+	if c.Family == FamilyOPT {
+		p += int64(c.MaxSeq) * int64(c.Dim)
+	}
+	return p
+}
+
+// HeadParams returns the parameter count of the output head (final norm
+// + LM projection).
+func (c Config) HeadParams() int64 {
+	p := int64(c.Vocab) * int64(c.Dim) // LM head
+	if c.Family == FamilyOPT {
+		p += 2 * int64(c.Dim) // final LayerNorm
+	} else {
+		p += int64(c.Dim) // final RMSNorm
+	}
+	return p
+}
+
+// TotalParams returns the full model parameter count.
+func (c Config) TotalParams() int64 {
+	return c.EmbeddingParams() + int64(c.Layers)*c.BlockParams() + c.HeadParams()
+}
+
+// OPT1_3B returns the shape of OPT with 1.3 billion parameters, one of
+// the paper's two evaluation models. Do not instantiate; use with the
+// analytic memory model.
+func OPT1_3B() Config {
+	return Config{
+		Name:   "opt-1.3b",
+		Family: FamilyOPT,
+		Vocab:  50272,
+		Dim:    2048,
+		Layers: 24,
+		Heads:  32,
+		FFN:    8192,
+		MaxSeq: 2048,
+	}
+}
+
+// Llama2_7B returns the shape of Llama 2 with 7 billion parameters, the
+// paper's large evaluation model. Do not instantiate; use with the
+// analytic memory model.
+func Llama2_7B() Config {
+	return Config{
+		Name:   "llama2-7b",
+		Family: FamilyLlama,
+		Vocab:  32000,
+		Dim:    4096,
+		Layers: 32,
+		Heads:  32,
+		FFN:    11008,
+		MaxSeq: 4096,
+	}
+}
+
+// OPTTiny returns a runnable OPT-flavoured model small enough to
+// fine-tune on a CPU within a test.
+func OPTTiny() Config {
+	return Config{
+		Name:   "opt-tiny",
+		Family: FamilyOPT,
+		Vocab:  96,
+		Dim:    64,
+		Layers: 4,
+		Heads:  4,
+		FFN:    256,
+		MaxSeq: 128,
+	}
+}
+
+// LlamaTiny returns a runnable Llama-flavoured model small enough to
+// fine-tune on a CPU within a test.
+func LlamaTiny() Config {
+	return Config{
+		Name:   "llama-tiny",
+		Family: FamilyLlama,
+		Vocab:  96,
+		Dim:    64,
+		Layers: 4,
+		Heads:  4,
+		FFN:    172,
+		MaxSeq: 128,
+	}
+}
+
+// Presets lists the named configurations recognized by ConfigByName.
+func Presets() []Config {
+	return []Config{OPT1_3B(), Llama2_7B(), OPTTiny(), LlamaTiny()}
+}
+
+// ConfigByName looks up a preset by its Name field.
+func ConfigByName(name string) (Config, error) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("%w: unknown model %q", ErrConfig, name)
+}

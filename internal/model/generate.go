@@ -1,0 +1,106 @@
+package model
+
+import (
+	"fmt"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// Generate continues the prompt autoregressively for up to maxNew
+// tokens using temperature sampling (temperature 0 means greedy
+// argmax). Generation re-runs the full forward each step — no KV cache
+// — which is fine at the tiny-model scale this repository trains.
+func (t *Transformer) Generate(rng *tensor.RNG, prompt []int, maxNew int, temperature float64) ([]int, error) {
+	if len(prompt) == 0 {
+		return nil, fmt.Errorf("%w: empty prompt", ErrConfig)
+	}
+	if temperature < 0 {
+		return nil, fmt.Errorf("%w: negative temperature %v", ErrConfig, temperature)
+	}
+	for _, id := range prompt {
+		if id < 0 || id >= t.Cfg.Vocab {
+			return nil, fmt.Errorf("%w: prompt token %d out of vocab", ErrConfig, id)
+		}
+	}
+	input, body, output, err := t.Split(DefaultCut)
+	if err != nil {
+		return nil, err
+	}
+
+	seq := append([]int(nil), prompt...)
+	for step := 0; step < maxNew; step++ {
+		window := seq
+		if len(window) > t.Cfg.MaxSeq {
+			window = window[len(window)-t.Cfg.MaxSeq:]
+		}
+		xc, _, err := input.Forward(window, 1, len(window), false)
+		if err != nil {
+			return nil, fmt.Errorf("generate input: %w", err)
+		}
+		xs, _, err := body.Forward(xc, 1, len(window), false)
+		if err != nil {
+			return nil, fmt.Errorf("generate body: %w", err)
+		}
+		logits, _, err := output.Forward(xs, false)
+		if err != nil {
+			return nil, fmt.Errorf("generate output: %w", err)
+		}
+		last := logits.Row(logits.Dim(0) - 1)
+		next := sampleToken(rng, last, temperature)
+		seq = append(seq, next)
+	}
+	return seq, nil
+}
+
+// sampleToken draws from softmax(logits/temperature); temperature 0 is
+// argmax.
+func sampleToken(rng *tensor.RNG, logits *tensor.Tensor, temperature float64) int {
+	vocab := logits.Len()
+	if temperature == 0 {
+		best, bestV := 0, logits.At(0)
+		for i := 1; i < vocab; i++ {
+			if v := logits.At(i); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		return best
+	}
+	scaled := logits.Clone()
+	scaled.Scale(float32(1 / temperature))
+	probs := scaled.MustReshape(1, vocab)
+	// SoftmaxRows cannot fail on a well-shaped tensor; reuse in place.
+	if err := tensor.SoftmaxRows(probs, probs); err != nil {
+		return 0
+	}
+	u := rng.Float64()
+	var cum float64
+	for i := 0; i < vocab; i++ {
+		cum += float64(probs.At(0, i))
+		if u < cum {
+			return i
+		}
+	}
+	return vocab - 1
+}
+
+// Perplexity evaluates exp(mean cross-entropy) of the model on a token
+// stream, using non-overlapping windows of the given length.
+func (t *Transformer) Perplexity(tokens []int, window int) (float64, error) {
+	if window <= 1 || len(tokens) < window+1 {
+		return 0, fmt.Errorf("%w: %d tokens for window %d", ErrConfig, len(tokens), window)
+	}
+	var total float64
+	var count int
+	for lo := 0; lo+window+1 <= len(tokens); lo += window {
+		ids := tokens[lo : lo+window]
+		targets := tokens[lo+1 : lo+window+1]
+		loss, err := t.Loss(ids, targets, 1, window)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		count++
+	}
+	return nn.Perplexity(total / float64(count)), nil
+}

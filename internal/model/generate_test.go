@@ -1,0 +1,307 @@
+package model
+
+import (
+	"testing"
+
+	"menos/internal/tensor"
+)
+
+func generateModel(t *testing.T) *Transformer {
+	t.Helper()
+	m, err := New(tensor.NewRNG(21), tinyCfg(FamilyLlama))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestGenerateBasics(t *testing.T) {
+	m := generateModel(t)
+	out, err := m.Generate(tensor.NewRNG(1), []int{1, 2, 3}, 5, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("generated %d tokens, want 8", len(out))
+	}
+	// Prompt preserved.
+	for i, want := range []int{1, 2, 3} {
+		if out[i] != want {
+			t.Fatalf("prompt token %d changed", i)
+		}
+	}
+	// All tokens in vocab.
+	for _, id := range out {
+		if id < 0 || id >= m.Cfg.Vocab {
+			t.Fatalf("token %d out of vocab", id)
+		}
+	}
+}
+
+func TestGenerateGreedyDeterministic(t *testing.T) {
+	m := generateModel(t)
+	a, err := m.Generate(tensor.NewRNG(1), []int{4, 5}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(tensor.NewRNG(999), []int{4, 5}, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy ignores the RNG entirely.
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateSamplingSeeded(t *testing.T) {
+	m := generateModel(t)
+	a, err := m.Generate(tensor.NewRNG(7), []int{4, 5}, 8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Generate(tensor.NewRNG(7), []int{4, 5}, 8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same-seed sampling diverged")
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	m := generateModel(t)
+	if _, err := m.Generate(tensor.NewRNG(1), nil, 3, 1); err == nil {
+		t.Fatal("empty prompt accepted")
+	}
+	if _, err := m.Generate(tensor.NewRNG(1), []int{99}, 3, 1); err == nil {
+		t.Fatal("out-of-vocab prompt accepted")
+	}
+	if _, err := m.Generate(tensor.NewRNG(1), []int{1}, 3, -1); err == nil {
+		t.Fatal("negative temperature accepted")
+	}
+}
+
+func TestGenerateWindowsLongPrompts(t *testing.T) {
+	m := generateModel(t)
+	// Prompt longer than MaxSeq must still work via windowing.
+	prompt := make([]int, m.Cfg.MaxSeq+10)
+	for i := range prompt {
+		prompt[i] = i % m.Cfg.Vocab
+	}
+	out, err := m.Generate(tensor.NewRNG(2), prompt, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(prompt)+3 {
+		t.Fatalf("generated %d tokens", len(out))
+	}
+}
+
+func TestPerplexityEvaluation(t *testing.T) {
+	m := generateModel(t)
+	tokens := make([]int, 100)
+	r := tensor.NewRNG(3)
+	for i := range tokens {
+		tokens[i] = r.Intn(m.Cfg.Vocab)
+	}
+	ppl, err := m.Perplexity(tokens, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An untrained model on random tokens should be near uniform:
+	// perplexity ~ vocab size.
+	if ppl < 2 || ppl > float64(m.Cfg.Vocab)*4 {
+		t.Fatalf("perplexity %v implausible for vocab %d", ppl, m.Cfg.Vocab)
+	}
+	if _, err := m.Perplexity(tokens[:5], 10); err == nil {
+		t.Fatal("short stream accepted")
+	}
+	if _, err := m.Perplexity(tokens, 1); err == nil {
+		t.Fatal("window 1 accepted")
+	}
+}
+
+// TestDecodeMatchesFullForward is the KV-cache correctness proof: the
+// logits from incremental decoding must match a full forward pass at
+// every position, for both families and with adapters attached.
+func TestDecodeMatchesFullForward(t *testing.T) {
+	for _, family := range []Family{FamilyOPT, FamilyLlama} {
+		t.Run(family.String(), func(t *testing.T) {
+			m, err := New(tensor.NewRNG(31), tinyCfg(family))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tokens := []int{3, 1, 4, 1, 5, 9, 2, 6}
+			seqLen := len(tokens)
+
+			// Full forward logits for the whole sequence.
+			input, body, output, err := m.Split(DefaultCut)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xc, _, err := input.Forward(tokens, 1, seqLen, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs, _, err := body.Forward(xc, 1, seqLen, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullLogits, _, err := output.Forward(xs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Incremental decode, comparing logits position by position.
+			state, err := m.NewDecodeState(seqLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for p, id := range tokens {
+				step, err := m.DecodeStep(state, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for c := 0; c < m.Cfg.Vocab; c++ {
+					diff := float64(step.At(0, c) - fullLogits.At(p, c))
+					if diff < 0 {
+						diff = -diff
+					}
+					if diff > 2e-4 {
+						t.Fatalf("position %d vocab %d: decode %v vs full %v",
+							p, c, step.At(0, c), fullLogits.At(p, c))
+					}
+				}
+			}
+			if state.Len() != seqLen {
+				t.Fatalf("state length %d", state.Len())
+			}
+			if state.Bytes() <= 0 {
+				t.Fatal("no cache bytes accounted")
+			}
+		})
+	}
+}
+
+// TestGenerateFastMatchesGenerate: greedy decoding with and without
+// the KV cache must produce identical tokens.
+func TestGenerateFastMatchesGenerate(t *testing.T) {
+	m := generateModel(t)
+	prompt := []int{4, 7, 1}
+	slow, err := m.Generate(tensor.NewRNG(1), prompt, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := m.GenerateFast(tensor.NewRNG(1), prompt, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow) != len(fast) {
+		t.Fatalf("lengths differ: %d vs %d", len(slow), len(fast))
+	}
+	for i := range slow {
+		if slow[i] != fast[i] {
+			t.Fatalf("token %d: slow %d vs fast %d (%v vs %v)", i, slow[i], fast[i], slow, fast)
+		}
+	}
+}
+
+// TestDecodeWithPrefixAdapter: prefix slots participate in incremental
+// attention exactly as in the batch path.
+func TestDecodeWithPrefixAdapter(t *testing.T) {
+	m, err := New(tensor.NewRNG(33), tinyCfg(FamilyLlama))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range m.Blocks {
+		b.Attn.Prefix = NewPrefixKV(tensor.NewRNG(34), 3, m.Cfg.Dim)
+	}
+	tokens := []int{2, 5, 8, 1}
+	input, body, output, err := m.Split(DefaultCut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, _, err := input.Forward(tokens, 1, len(tokens), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, _, err := body.Forward(xc, 1, len(tokens), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullLogits, _, err := output.Forward(xs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := m.NewDecodeState(len(tokens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, id := range tokens {
+		step, err := m.DecodeStep(state, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < m.Cfg.Vocab; c += 3 {
+			diff := float64(step.At(0, c) - fullLogits.At(p, c))
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 2e-4 {
+				t.Fatalf("prefix decode mismatch at pos %d vocab %d", p, c)
+			}
+		}
+	}
+}
+
+func TestDecodeStateValidation(t *testing.T) {
+	m := generateModel(t)
+	if _, err := m.NewDecodeState(0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	state, err := m.NewDecodeState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStep(state, 999); err == nil {
+		t.Fatal("out-of-vocab token accepted")
+	}
+	if _, err := m.DecodeStep(state, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStep(state, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStep(state, 1); err == nil {
+		t.Fatal("overfull state accepted")
+	}
+	state.Reset()
+	if state.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if _, err := m.DecodeStep(state, 1); err != nil {
+		t.Fatalf("state unusable after reset: %v", err)
+	}
+	// Wrong model.
+	other := generateModel(t)
+	otherState, err := other.NewDecodeState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.DecodeStep(otherState, 1); err == nil {
+		t.Fatal("foreign state accepted")
+	}
+	// Capacity beyond MaxSeq rejected at GenerateFast.
+	long := make([]int, m.Cfg.MaxSeq)
+	for i := range long {
+		long[i] = 1
+	}
+	if _, err := m.GenerateFast(tensor.NewRNG(1), long, 10, 0); err == nil {
+		t.Fatal("over-capacity GenerateFast accepted")
+	}
+}

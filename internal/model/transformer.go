@@ -1,0 +1,90 @@
+package model
+
+import (
+	"fmt"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// Transformer is a full decoder-only language model.
+type Transformer struct {
+	Cfg    Config
+	Embed  *nn.Embedding
+	Pos    *nn.Embedding // learned positions; nil for Llama (RoPE)
+	Blocks []*Block
+	Norm   nn.Op // final norm before the LM head
+	LMHead *nn.Linear
+}
+
+// New constructs a transformer with freshly initialized weights drawn
+// from rng.
+func New(rng *tensor.RNG, cfg Config) (*Transformer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Transformer{
+		Cfg:    cfg,
+		Embed:  nn.NewEmbedding(rng.Split(), cfg.Vocab, cfg.Dim),
+		LMHead: nn.NewLinear(rng.Split(), cfg.Dim, cfg.Vocab, false),
+	}
+	if cfg.Family == FamilyOPT {
+		t.Pos = nn.NewEmbedding(rng.Split(), cfg.MaxSeq, cfg.Dim)
+		t.Norm = nn.NewLayerNorm(cfg.Dim)
+	} else {
+		t.Norm = nn.NewRMSNorm(cfg.Dim)
+	}
+	t.Blocks = make([]*Block, cfg.Layers)
+	for i := range t.Blocks {
+		t.Blocks[i] = NewBlock(rng, cfg)
+	}
+	return t, nil
+}
+
+// SetFrozenBase freezes (or unfreezes) every base parameter: embedding,
+// positions, all blocks, final norm and LM head. Adapter parameters are
+// managed separately by the adapter package.
+func (t *Transformer) SetFrozenBase(frozen bool) {
+	t.Embed.Frozen = frozen
+	if t.Pos != nil {
+		t.Pos.Frozen = frozen
+	}
+	for _, b := range t.Blocks {
+		b.SetFrozen(frozen)
+	}
+	t.Norm.SetFrozen(frozen)
+	t.LMHead.Frozen = frozen
+}
+
+// Params returns all trainable parameters.
+func (t *Transformer) Params() []nn.Param {
+	var ps []nn.Param
+	ps = append(ps, nn.Prefixed("embed", t.Embed.Params())...)
+	if t.Pos != nil {
+		ps = append(ps, nn.Prefixed("pos", t.Pos.Params())...)
+	}
+	for i, b := range t.Blocks {
+		ps = append(ps, nn.Prefixed(fmt.Sprintf("block%d", i), b.Params())...)
+	}
+	ps = append(ps, nn.Prefixed("norm", t.Norm.Params())...)
+	ps = append(ps, nn.Prefixed("lmhead", t.LMHead.Params())...)
+	return ps
+}
+
+// BaseParamCount returns the number of scalar parameters in the model,
+// independent of frozen state.
+func (t *Transformer) BaseParamCount() int64 {
+	return t.Cfg.TotalParams()
+}
+
+// positions returns [0..seq) repeated for each batch element, the index
+// input to the learned position embedding.
+func positions(batch, seq int) []int {
+	ids := make([]int, batch*seq)
+	for b := 0; b < batch; b++ {
+		for p := 0; p < seq; p++ {
+			ids[b*seq+p] = p
+		}
+	}
+	return ids
+}

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"fmt"
+
+	"menos/internal/nn"
+)
+
+// BaseParams enumerates every base parameter of a pristine model
+// (embeddings, blocks, final norm, head) regardless of frozen state,
+// with stable names. This is the unit the model owner distributes:
+// weights export/import for loading a pre-trained model instead of
+// deriving it from a seed.
+//
+// The model must be pristine — no adapters attached — because an
+// adapter-wrapped projection no longer exposes its base parameters
+// under the original names; BaseParams rejects wrapped models.
+func (t *Transformer) BaseParams() ([]nn.Param, error) {
+	var ps []nn.Param
+	add := func(prefix string, params []nn.Param) {
+		ps = append(ps, nn.Prefixed(prefix, params)...)
+	}
+	add("embed", []nn.Param{t.Embed.Table})
+	if t.Pos != nil {
+		add("pos", []nn.Param{t.Pos.Table})
+	}
+	for i, b := range t.Blocks {
+		prefix := fmt.Sprintf("block%d", i)
+		ops := []struct {
+			name string
+			op   nn.Op
+		}{
+			{"norm1", b.Norm1}, {"attn.q", b.Attn.Q}, {"attn.k", b.Attn.K},
+			{"attn.v", b.Attn.V}, {"attn.o", b.Attn.O}, {"norm2", b.Norm2},
+			{"ffn.up", b.FFN.Up}, {"ffn.down", b.FFN.Down},
+		}
+		if b.FFN.Gate != nil {
+			ops = append(ops, struct {
+				name string
+				op   nn.Op
+			}{"ffn.gate", b.FFN.Gate})
+		}
+		for _, o := range ops {
+			params, err := baseOpParams(o.op)
+			if err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", prefix, o.name, err)
+			}
+			add(prefix+"."+o.name, params)
+		}
+		if b.Attn.Prefix != nil {
+			return nil, fmt.Errorf("%w: block %d has a prefix adapter attached", ErrConfig, i)
+		}
+	}
+	normParams, err := baseOpParams(t.Norm)
+	if err != nil {
+		return nil, fmt.Errorf("final norm: %w", err)
+	}
+	add("norm", normParams)
+	add("lmhead", []nn.Param{t.LMHead.W})
+	return ps, nil
+}
+
+// baseOpParams extracts the parameters of a plain (unwrapped) layer.
+func baseOpParams(op nn.Op) ([]nn.Param, error) {
+	switch l := op.(type) {
+	case *nn.Linear:
+		ps := []nn.Param{l.W}
+		if l.B.Value != nil {
+			ps = append(ps, l.B)
+		}
+		return ps, nil
+	case *nn.LayerNorm:
+		return []nn.Param{l.Gamma, l.Beta}, nil
+	case *nn.RMSNorm:
+		return []nn.Param{l.Gamma}, nil
+	default:
+		return nil, fmt.Errorf("%w: projection wrapped or quantized (%T); export weights before modifying the model",
+			ErrConfig, op)
+	}
+}

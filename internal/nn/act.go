@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"menos/internal/tensor"
+)
+
+// ActCache retains the input of an elementwise activation.
+type ActCache struct {
+	X *tensor.Tensor
+}
+
+// Bytes reports retained activation size.
+func (c *ActCache) Bytes() int64 {
+	if c == nil || c.X == nil {
+		return 0
+	}
+	return c.X.Bytes()
+}
+
+// GELU applies the Gaussian Error Linear Unit (tanh approximation, as
+// used by OPT/GPT-style models).
+func GELU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = geluScalar(v)
+	}
+	if cache != nil {
+		cache.X = x
+	}
+	return out
+}
+
+// GELUBackward computes dx = dy * gelu'(x).
+func GELUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if cache == nil || cache.X == nil {
+		return nil, fmt.Errorf("gelu backward: no cached activations")
+	}
+	if cache.X.Len() != dy.Len() {
+		return nil, fmt.Errorf("gelu backward: dy %v for x %v: %w",
+			dy.Shape(), cache.X.Shape(), tensor.ErrShape)
+	}
+	dx := tensor.New(cache.X.Shape()...)
+	xd, dyd, dxd := cache.X.Data(), dy.Data(), dx.Data()
+	for i, v := range xd {
+		dxd[i] = dyd[i] * geluGradScalar(v)
+	}
+	return dx, nil
+}
+
+const (
+	geluC0 = 0.7978845608028654 // sqrt(2/pi)
+	geluC1 = 0.044715
+)
+
+func geluScalar(v float32) float32 {
+	x := float64(v)
+	return float32(0.5 * x * (1 + math.Tanh(geluC0*(x+geluC1*x*x*x))))
+}
+
+func geluGradScalar(v float32) float32 {
+	x := float64(v)
+	inner := geluC0 * (x + geluC1*x*x*x)
+	t := math.Tanh(inner)
+	dInner := geluC0 * (1 + 3*geluC1*x*x)
+	return float32(0.5*(1+t) + 0.5*x*(1-t*t)*dInner)
+}
+
+// SiLU applies x * sigmoid(x), the activation used by Llama's SwiGLU
+// feed-forward network.
+func SiLU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		od[i] = siluScalar(v)
+	}
+	if cache != nil {
+		cache.X = x
+	}
+	return out
+}
+
+// SiLUBackward computes dx = dy * silu'(x).
+func SiLUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	if cache == nil || cache.X == nil {
+		return nil, fmt.Errorf("silu backward: no cached activations")
+	}
+	if cache.X.Len() != dy.Len() {
+		return nil, fmt.Errorf("silu backward: dy %v for x %v: %w",
+			dy.Shape(), cache.X.Shape(), tensor.ErrShape)
+	}
+	dx := tensor.New(cache.X.Shape()...)
+	xd, dyd, dxd := cache.X.Data(), dy.Data(), dx.Data()
+	for i, v := range xd {
+		dxd[i] = dyd[i] * siluGradScalar(v)
+	}
+	return dx, nil
+}
+
+func sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+func siluScalar(v float32) float32 {
+	x := float64(v)
+	return float32(x * sigmoid(x))
+}
+
+func siluGradScalar(v float32) float32 {
+	x := float64(v)
+	s := sigmoid(x)
+	return float32(s * (1 + x*(1-s)))
+}

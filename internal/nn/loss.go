@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"menos/internal/tensor"
+)
+
+// IgnoreIndex marks target positions that contribute no loss (padding).
+const IgnoreIndex = -1
+
+// CrossEntropy computes the mean token-level cross-entropy between
+// logits (rows, vocab) and integer targets, and the gradient of that
+// loss with respect to the logits.
+//
+// Targets equal to IgnoreIndex are skipped. The returned loss is
+// averaged over non-ignored positions, matching the convention of
+// causal-LM training so exp(loss) is perplexity.
+func CrossEntropy(logits *tensor.Tensor, targets []int) (loss float64, dlogits *tensor.Tensor, err error) {
+	if logits.Rank() != 2 || logits.Dim(0) != len(targets) {
+		return 0, nil, fmt.Errorf("cross entropy: logits %v for %d targets: %w",
+			logits.Shape(), len(targets), tensor.ErrShape)
+	}
+	rows, vocab := logits.Dim(0), logits.Dim(1)
+	probs := tensor.New(rows, vocab)
+	if err := tensor.SoftmaxRows(probs, logits); err != nil {
+		return 0, nil, fmt.Errorf("cross entropy softmax: %w", err)
+	}
+	dlogits = tensor.New(rows, vocab)
+	var total float64
+	count := 0
+	for r := 0; r < rows; r++ {
+		t := targets[r]
+		if t == IgnoreIndex {
+			continue
+		}
+		if t < 0 || t >= vocab {
+			return 0, nil, fmt.Errorf("cross entropy: target %d out of range [0,%d)", t, vocab)
+		}
+		count++
+		p := probs.At(r, t)
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		total += -math.Log(float64(p))
+	}
+	if count == 0 {
+		return 0, dlogits, nil
+	}
+	inv := float32(1.0 / float64(count))
+	for r := 0; r < rows; r++ {
+		t := targets[r]
+		if t == IgnoreIndex {
+			continue
+		}
+		pr := probs.Data()[r*vocab : (r+1)*vocab]
+		dr := dlogits.Data()[r*vocab : (r+1)*vocab]
+		for c := 0; c < vocab; c++ {
+			dr[c] = pr[c] * inv
+		}
+		dr[t] -= inv
+	}
+	return total / float64(count), dlogits, nil
+}
+
+// Perplexity converts a mean cross-entropy loss to perplexity.
+func Perplexity(loss float64) float64 {
+	return math.Exp(loss)
+}

@@ -1,0 +1,143 @@
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// Linear is a frozen linear layer whose weights live in quantized
+// storage. Forward and input-gradient passes dequantize on the fly;
+// there are never weight gradients (a quantized base is frozen by
+// construction — the QLoRA setting).
+type Linear struct {
+	w    *Matrix
+	bias *tensor.Tensor // fp32, may be nil
+}
+
+var _ nn.Op = (*Linear)(nil)
+
+// QuantizeLinear converts a plain nn.Linear into quantized storage.
+func QuantizeLinear(l *nn.Linear, prec Precision) (*Linear, error) {
+	w, err := QuantizeMatrix(l.W.Value, prec)
+	if err != nil {
+		return nil, fmt.Errorf("quantize linear: %w", err)
+	}
+	ql := &Linear{w: w}
+	if l.B.Value != nil {
+		ql.bias = l.B.Value.Clone()
+	}
+	return ql, nil
+}
+
+// In returns the input feature dimension.
+func (l *Linear) In() int { return l.w.Rows() }
+
+// Out returns the output feature dimension.
+func (l *Linear) Out() int { return l.w.Cols() }
+
+// StorageBytes returns the quantized weight footprint plus bias.
+func (l *Linear) StorageBytes() int64 {
+	b := l.w.StorageBytes()
+	if l.bias != nil {
+		b += l.bias.Bytes()
+	}
+	return b
+}
+
+// Apply implements nn.Op: y = x @ deq(W) (+ b).
+func (l *Linear) Apply(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, any, error) {
+	if x.Rank() != 2 || x.Dim(1) != l.In() {
+		return nil, nil, fmt.Errorf("quant linear: input %v for (%d,%d): %w",
+			x.Shape(), l.In(), l.Out(), tensor.ErrShape)
+	}
+	w := l.w.Dequantize() // transient: released when this call returns
+	y := tensor.New(x.Dim(0), l.Out())
+	if err := tensor.MatMul(y, x, w); err != nil {
+		return nil, nil, fmt.Errorf("quant linear forward: %w", err)
+	}
+	if l.bias != nil {
+		if err := tensor.AddRowBroadcast(y, y, l.bias); err != nil {
+			return nil, nil, fmt.Errorf("quant linear bias: %w", err)
+		}
+	}
+	if !withGrad {
+		return y, nil, nil
+	}
+	return y, &nn.LinearCache{X: x}, nil
+}
+
+// Grad implements nn.Op: dx = dy @ deq(W)ᵀ; no weight gradients.
+func (l *Linear) Grad(cache any, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	c, ok := cache.(*nn.LinearCache)
+	if !ok || c.X == nil {
+		return nil, fmt.Errorf("quant linear: missing cache (%T)", cache)
+	}
+	w := l.w.Dequantize()
+	dx := tensor.New(c.X.Dim(0), l.In())
+	if err := tensor.MatMulT(dx, dy, w); err != nil {
+		return nil, fmt.Errorf("quant linear backward: %w", err)
+	}
+	return dx, nil
+}
+
+// HashInto feeds the quantized storage (values and scales) to the
+// write callback; the share.Store integrity checksum uses it so a
+// quantized base is covered bit-for-bit like an fp32 one.
+func (l *Linear) HashInto(write func([]byte)) {
+	write(l.w.data)
+	buf := make([]byte, 4)
+	for _, s := range l.w.scales {
+		bits := math.Float32bits(s)
+		buf[0] = byte(bits)
+		buf[1] = byte(bits >> 8)
+		buf[2] = byte(bits >> 16)
+		buf[3] = byte(bits >> 24)
+		write(buf)
+	}
+}
+
+// Params implements nn.Op: a quantized layer is never trainable.
+func (l *Linear) Params() []nn.Param { return nil }
+
+// SetFrozen implements nn.Op: quantized layers are always frozen.
+func (l *Linear) SetFrozen(bool) {}
+
+// QuantizeBlocks replaces every plain nn.Linear projection in the
+// given blocks with quantized storage. Blocks must be pristine (no
+// adapters attached yet); quantize first, then inject adapters. It
+// returns the total quantized storage bytes.
+func QuantizeBlocks(blocks []*model.Block, prec Precision) (int64, error) {
+	var total int64
+	quantizeSlot := func(slot *nn.Op) error {
+		lin, ok := (*slot).(*nn.Linear)
+		if !ok {
+			if *slot == nil {
+				return nil // OPT models have no gate projection
+			}
+			return fmt.Errorf("%w: projection already wrapped (%T)", ErrQuant, *slot)
+		}
+		ql, err := QuantizeLinear(lin, prec)
+		if err != nil {
+			return err
+		}
+		*slot = ql
+		total += ql.StorageBytes()
+		return nil
+	}
+	for i, b := range blocks {
+		slots := []*nn.Op{&b.Attn.Q, &b.Attn.K, &b.Attn.V, &b.Attn.O, &b.FFN.Up, &b.FFN.Down}
+		if b.FFN.Gate != nil {
+			slots = append(slots, &b.FFN.Gate)
+		}
+		for _, slot := range slots {
+			if err := quantizeSlot(slot); err != nil {
+				return 0, fmt.Errorf("block %d: %w", i, err)
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,301 @@
+// Package sched implements the Menos task scheduler of §4 (Algorithm
+// 2): an event-driven, operation-level GPU-memory scheduler combining
+// FCFS with backfilling, adapted from Mu'alem & Feitelson's IBM SP2
+// scheduler as the paper describes.
+//
+// The scheduler is time-source agnostic: it reacts to Submit (data
+// arrived from a client) and Complete (a computation released its
+// memory) events and grants execution through a callback, so the same
+// code drives both the discrete-event simulation and the real TCP
+// runtime.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors reported by the scheduler.
+var (
+	ErrNeverFits   = errors.New("sched: request exceeds total GPU memory")
+	ErrOutstanding = errors.New("sched: client already has an outstanding request or allocation")
+	ErrClosed      = errors.New("sched: scheduler closed")
+)
+
+// RequestKind distinguishes the two operation classes of §4.2.
+type RequestKind int
+
+// Request kinds.
+const (
+	KindForward  RequestKind = iota + 1 // no-grad forward: small footprint
+	KindBackward                        // re-forward + backward: large footprint
+)
+
+// String returns the kind name.
+func (k RequestKind) String() string {
+	switch k {
+	case KindForward:
+		return "forward"
+	case KindBackward:
+		return "backward"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Policy selects the scheduling discipline. The paper's design is
+// FCFS+backfilling; the others exist as ablations.
+type Policy int
+
+// Scheduling policies.
+const (
+	// PolicyFCFSBackfill is Algorithm 2: strict FCFS for the queue
+	// head, backfilling later requests into leftover memory.
+	PolicyFCFSBackfill Policy = iota + 1
+	// PolicyFCFS grants strictly in order; the head blocks everyone.
+	PolicyFCFS
+	// PolicySmallestFirst always grants the smallest fitting request;
+	// maximizes utilization but can starve large backward requests.
+	PolicySmallestFirst
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFCFSBackfill:
+		return "fcfs+backfill"
+	case PolicyFCFS:
+		return "fcfs"
+	case PolicySmallestFirst:
+		return "smallest-first"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// request is a queued scheduling request.
+type request struct {
+	clientID string
+	kind     RequestKind
+	bytes    int64
+	grant    func()
+}
+
+// Stats aggregates scheduler activity.
+type Stats struct {
+	Submitted     int64
+	Granted       int64
+	Backfilled    int64 // granted out of FCFS order
+	Completed     int64
+	Decisions     int64
+	DecisionTime  time.Duration // cumulative wall time inside schedule()
+	MaxQueueDepth int
+}
+
+// Scheduler tracks available GPU memory and pending operation
+// requests.
+type Scheduler struct {
+	mu      sync.Mutex
+	policy  Policy
+	avail   int64
+	total   int64
+	alloc   map[string]int64
+	waiting []*request
+	closed  bool
+	stats   Stats
+}
+
+// New creates a scheduler over totalMem bytes of schedulable GPU
+// memory.
+func New(totalMem int64, policy Policy) *Scheduler {
+	return &Scheduler{
+		policy: policy,
+		avail:  totalMem,
+		total:  totalMem,
+		alloc:  make(map[string]int64),
+	}
+}
+
+// Submit registers a request for bytes of GPU memory on behalf of
+// clientID; grant is invoked (possibly synchronously, under no lock)
+// when the request is scheduled. A client may have at most one
+// outstanding request or live allocation.
+func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant func()) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if bytes > s.total {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: need %d, total %d (client %q)", ErrNeverFits, bytes, s.total, clientID)
+	}
+	if _, ok := s.alloc[clientID]; ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q holds an allocation", ErrOutstanding, clientID)
+	}
+	for _, r := range s.waiting {
+		if r.clientID == clientID {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %q is queued", ErrOutstanding, clientID)
+		}
+	}
+	s.waiting = append(s.waiting, &request{clientID: clientID, kind: kind, bytes: bytes, grant: grant})
+	s.stats.Submitted++
+	if len(s.waiting) > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = len(s.waiting)
+	}
+	grants := s.schedule()
+	s.mu.Unlock()
+	for _, g := range grants {
+		g()
+	}
+	return nil
+}
+
+// Complete reclaims the memory allocated to clientID (Algorithm 2,
+// lines 10-13) and runs a scheduling cycle. It returns the reclaimed
+// byte count (0 if the client held nothing).
+func (s *Scheduler) Complete(clientID string) int64 {
+	s.mu.Lock()
+	reclaimed := s.alloc[clientID]
+	if reclaimed > 0 {
+		s.avail += reclaimed
+		delete(s.alloc, clientID)
+		s.stats.Completed++
+	}
+	grants := s.schedule()
+	s.mu.Unlock()
+	for _, g := range grants {
+		g()
+	}
+	return reclaimed
+}
+
+// schedule is Algorithm 2's SCHEDULE procedure. Caller holds s.mu; the
+// returned grant callbacks must be invoked after unlocking.
+func (s *Scheduler) schedule() []func() {
+	start := time.Now()
+	defer func() {
+		s.stats.Decisions++
+		s.stats.DecisionTime += time.Since(start)
+	}()
+
+	var grants []func()
+	switch s.policy {
+	case PolicySmallestFirst:
+		// Ablation: repeatedly grant the smallest fitting request.
+		for {
+			best := -1
+			for i, r := range s.waiting {
+				if r.bytes <= s.avail && (best < 0 || r.bytes < s.waiting[best].bytes) {
+					best = i
+				}
+			}
+			if best < 0 {
+				break
+			}
+			grants = append(grants, s.grantAt(best, best != 0))
+		}
+	case PolicyFCFS:
+		// Strict order: stop at the first request that does not fit.
+		for len(s.waiting) > 0 && s.waiting[0].bytes <= s.avail {
+			grants = append(grants, s.grantAt(0, false))
+		}
+	default: // PolicyFCFSBackfill
+		// Lines 15-22: grant the head if it fits; if the head does not
+		// fit, keep it (fairness) and fall through to backfilling.
+		for len(s.waiting) > 0 && s.waiting[0].bytes <= s.avail {
+			grants = append(grants, s.grantAt(0, false))
+		}
+		// Lines 23-24: backfill later requests into leftover memory.
+		for i := 1; i < len(s.waiting); {
+			if s.waiting[i].bytes <= s.avail {
+				grants = append(grants, s.grantAt(i, true))
+				continue // slice shifted; same index is the next item
+			}
+			i++
+		}
+	}
+	return grants
+}
+
+// grantAt removes the request at index i, allocates its memory, and
+// returns its grant callback. Caller holds s.mu.
+func (s *Scheduler) grantAt(i int, backfilled bool) func() {
+	r := s.waiting[i]
+	s.waiting = append(s.waiting[:i], s.waiting[i+1:]...)
+	s.avail -= r.bytes
+	s.alloc[r.clientID] = r.bytes
+	s.stats.Granted++
+	if backfilled {
+		s.stats.Backfilled++
+	}
+	return r.grant
+}
+
+// Reserve immediately claims bytes for a long-lived holding (e.g. a
+// client's persistent adapter/optimizer state) outside the request
+// queue. Unlike Submit it never queues: if the memory is not free right
+// now, it fails. Release the reservation with Complete(id).
+func (s *Scheduler) Reserve(id string, bytes int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.alloc[id]; ok {
+		return fmt.Errorf("%w: %q holds an allocation", ErrOutstanding, id)
+	}
+	if bytes > s.avail {
+		return fmt.Errorf("%w: reserve %d, available %d", ErrNeverFits, bytes, s.avail)
+	}
+	s.avail -= bytes
+	s.alloc[id] = bytes
+	return nil
+}
+
+// Total returns the scheduler's full memory budget.
+func (s *Scheduler) Total() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Available returns schedulable free memory.
+func (s *Scheduler) Available() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
+}
+
+// QueueDepth returns the number of waiting requests.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiting)
+}
+
+// Allocated returns the bytes currently granted to clientID.
+func (s *Scheduler) Allocated(clientID string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.alloc[clientID]
+}
+
+// Stats returns a snapshot of scheduler statistics.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close rejects future submissions. Pending requests stay queued (the
+// owner is expected to drain or abandon them).
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

@@ -1,0 +1,612 @@
+// Package server implements the real (functional-plane) Menos server:
+// it accepts split fine-tuning clients over any net.Listener, shares
+// one base model across all of them through a share.Store, profiles
+// each client's memory demands on arrival, and runs every forward and
+// backward under the Algorithm-2 scheduler with on-demand memory
+// allocation — Algorithm 1's serving loop, executing real tensor math.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"menos/internal/gpu"
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/profile"
+	"menos/internal/sched"
+	"menos/internal/share"
+	"menos/internal/split"
+	"menos/internal/tensor"
+	"menos/internal/trace"
+)
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config configures a Menos server.
+type Config struct {
+	// Store holds the shared base model (required).
+	Store *share.Store
+	// GPU is the simulated device whose budget the scheduler manages.
+	// Defaults to a V100. Persistent components are charged to it on
+	// startup and per client.
+	GPU *gpu.Device
+	// SchedPolicy is the scheduler discipline (default FCFS+backfill).
+	SchedPolicy sched.Policy
+	// OnDemand enables Fig. 3(d)'s policy: no-grad first forward,
+	// release while waiting, re-forward on backward. When false the
+	// server preserves activations between forward and backward
+	// (Fig. 3(b)), the ablation baseline.
+	OnDemand bool
+	// MaxClients caps concurrently admitted clients (0 = unlimited).
+	// Admission beyond the cap is rejected at handshake with a clear
+	// reason rather than degrading everyone.
+	MaxClients int
+	// Logger receives serving events; nil silences logging.
+	Logger *log.Logger
+}
+
+// Server is a running Menos server.
+type Server struct {
+	cfg       Config
+	store     *share.Store
+	device    *gpu.Device
+	scheduler *sched.Scheduler
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+
+	stats struct {
+		sync.Mutex
+		clientsServed int64
+		iterations    int64
+		schedWait     time.Duration
+		compute       time.Duration
+	}
+}
+
+// New creates a server over the shared store. The store's base
+// parameters are charged against the GPU budget immediately — the
+// paper's "preloaded into the GPU memory in advance".
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("server: nil store")
+	}
+	if cfg.GPU == nil {
+		cfg.GPU = gpu.NewDevice(gpu.V100())
+	}
+	if cfg.SchedPolicy == 0 {
+		cfg.SchedPolicy = sched.PolicyFCFSBackfill
+	}
+	if _, err := cfg.GPU.Alloc("base-model", cfg.Store.BaseParamBytes()); err != nil {
+		return nil, fmt.Errorf("server: loading base model: %w", err)
+	}
+	s := &Server{
+		cfg:       cfg,
+		store:     cfg.Store,
+		device:    cfg.GPU,
+		scheduler: sched.New(cfg.GPU.Available(), cfg.SchedPolicy),
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+	return s, nil
+}
+
+// Scheduler exposes the scheduler for stats inspection.
+func (s *Server) Scheduler() *sched.Scheduler { return s.scheduler }
+
+// Device exposes the accounting device.
+func (s *Server) Device() *gpu.Device { return s.device }
+
+// Stats summarizes serving activity.
+type Stats struct {
+	ClientsServed int64
+	Iterations    int64
+	AvgSchedWait  time.Duration
+	AvgCompute    time.Duration
+}
+
+// Stats returns a snapshot.
+func (s *Server) Stats() Stats {
+	s.stats.Lock()
+	defer s.stats.Unlock()
+	st := Stats{ClientsServed: s.stats.clientsServed, Iterations: s.stats.iterations}
+	if s.stats.iterations > 0 {
+		st.AvgSchedWait = s.stats.schedWait / time.Duration(s.stats.iterations)
+		st.AvgCompute = s.stats.compute / time.Duration(s.stats.iterations)
+	}
+	return st
+}
+
+// Serve accepts clients on l until Close. It always returns a non-nil
+// error; after Close the error is ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for
+// serving goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		_ = l.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.scheduler.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// session is one client's serving state (a "serving process" S_i).
+type session struct {
+	id        string
+	inst      *share.Instance
+	body      *model.BodySection
+	params    []nn.Param
+	optimizer nn.Optimizer
+	demands   profile.Result
+	batch     int
+	seq       int
+
+	// cachedInput retains x_c between the first forward and the
+	// backward re-forward ("we just need to cache the forward
+	// activations for the re-forward computation, which is
+	// negligible").
+	cachedInput *tensor.Tensor
+	cachedIter  int
+	cachedBatch int
+	cachedSeq   int
+
+	// preserved holds the activation cache between forward and
+	// backward when OnDemand is disabled (Fig. 3(b) ablation).
+	preserved *model.BodyCache
+
+	// decode holds an open incremental-inference session; its KV bytes
+	// are reserved from the scheduler until DecodeClose.
+	decode *model.BodyDecodeState
+}
+
+// handleConn runs one client's full lifecycle.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	sess, err := s.handshake(conn)
+	if err != nil {
+		s.logf("handshake failed: %v", err)
+		return
+	}
+	defer s.teardown(sess)
+	s.logf("client %q admitted (fwd=%d bwd=%d bytes)",
+		sess.id, sess.demands.ForwardBytes, sess.demands.BackwardBytes)
+
+	for {
+		msg, err := split.ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("client %q: read: %v", sess.id, err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *split.ForwardReq:
+			if err := s.serveForward(conn, sess, m); err != nil {
+				s.logf("client %q: forward: %v", sess.id, err)
+				s.sendError(conn, err)
+				return
+			}
+		case *split.BackwardReq:
+			if err := s.serveBackward(conn, sess, m); err != nil {
+				s.logf("client %q: backward: %v", sess.id, err)
+				s.sendError(conn, err)
+				return
+			}
+		case *split.DecodeOpen:
+			if err := s.serveDecodeOpen(conn, sess, m); err != nil {
+				s.logf("client %q: decode open: %v", sess.id, err)
+				s.sendError(conn, err)
+				return
+			}
+		case *split.DecodeReq:
+			if err := s.serveDecodeStep(conn, sess, m); err != nil {
+				s.logf("client %q: decode: %v", sess.id, err)
+				s.sendError(conn, err)
+				return
+			}
+		case *split.DecodeClose:
+			s.closeDecode(sess)
+		case *split.Bye:
+			s.logf("client %q: bye", sess.id)
+			return
+		default:
+			s.sendError(conn, fmt.Errorf("unexpected message %v", msg.MsgType()))
+			return
+		}
+	}
+}
+
+// handshake admits a client: validates the Hello, builds the instance,
+// attaches the adapter, charges persistent memory, and profiles.
+func (s *Server) handshake(conn net.Conn) (*session, error) {
+	msg, err := split.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("read hello: %w", err)
+	}
+	hello, ok := msg.(*split.Hello)
+	if !ok {
+		return nil, fmt.Errorf("expected hello, got %v", msg.MsgType())
+	}
+	reject := func(reason string) (*session, error) {
+		_ = split.WriteMessage(conn, &split.HelloAck{OK: false, Reason: reason})
+		return nil, fmt.Errorf("rejected %q: %s", hello.ClientID, reason)
+	}
+	if hello.ClientID == "" {
+		return reject("missing client id")
+	}
+	if hello.ModelName != s.store.Config().Name {
+		return reject(fmt.Sprintf("model %q not hosted (serving %q)", hello.ModelName, s.store.Config().Name))
+	}
+	if hello.Batch <= 0 || hello.Seq <= 0 || hello.Seq > s.store.Config().MaxSeq {
+		return reject(fmt.Sprintf("bad geometry batch=%d seq=%d", hello.Batch, hello.Seq))
+	}
+	if err := hello.Adapter.Validate(); err != nil {
+		return reject(err.Error())
+	}
+
+	if s.cfg.MaxClients > 0 && s.store.ActiveInstances() >= s.cfg.MaxClients {
+		return reject(fmt.Sprintf("server at capacity (%d clients)", s.cfg.MaxClients))
+	}
+	inst, err := s.store.NewInstance(hello.ClientID, hello.Cut)
+	if err != nil {
+		return reject(err.Error())
+	}
+	cleanup := func() { _ = inst.Release() }
+
+	if _, err := inst.AttachAdapter(tensor.NewRNG(hello.AdapterSeed), hello.Adapter); err != nil {
+		cleanup()
+		return reject(err.Error())
+	}
+	sess := &session{
+		id:     hello.ClientID,
+		inst:   inst,
+		body:   inst.Body(),
+		params: inst.AdapterParams(),
+		batch:  hello.Batch,
+		seq:    hello.Seq,
+	}
+	switch hello.Optimizer.Kind {
+	case "", "adam":
+		lr := hello.Optimizer.LR
+		if lr == 0 {
+			lr = 1e-3
+		}
+		sess.optimizer = nn.NewAdam(lr)
+	case "sgd":
+		sess.optimizer = nn.NewSGD(hello.Optimizer.LR, 0)
+	default:
+		cleanup()
+		return reject(fmt.Sprintf("unknown optimizer %q", hello.Optimizer.Kind))
+	}
+
+	// Reserve the client's persistent footprint (adapter params,
+	// grads, Adam moments, process context) outside the request
+	// queue. The reservation shrinks the schedulable pool for the
+	// client's lifetime.
+	persistent := 4*inst.Adapter().ParamBytes() + contextOverheadBytes
+	if err := s.scheduler.Reserve("persist:"+hello.ClientID, persistent); err != nil {
+		cleanup()
+		return reject(fmt.Sprintf("insufficient GPU memory for client state: %v", err))
+	}
+	releaseReservation := func() { s.scheduler.Complete("persist:" + hello.ClientID) }
+
+	// Profiling phase (§3.3): random inputs through fwd/bwd.
+	demands, err := profile.MeasureBody(sess.body, sess.params, hello.Batch, hello.Seq,
+		s.store.Config().Dim, hello.AdapterSeed)
+	if err != nil {
+		releaseReservation()
+		cleanup()
+		return reject(fmt.Sprintf("profiling failed: %v", err))
+	}
+	sess.demands = demands
+	// Scheduler principle 1: a demand that could never be granted is
+	// rejected up front rather than deadlocking the client later.
+	if demands.BackwardBytes > s.scheduler.Available() {
+		releaseReservation()
+		cleanup()
+		return reject(fmt.Sprintf("backward demand %d exceeds schedulable memory %d",
+			demands.BackwardBytes, s.scheduler.Available()+persistent))
+	}
+
+	if err := split.WriteMessage(conn, &split.HelloAck{
+		OK:            true,
+		ForwardBytes:  demands.ForwardBytes,
+		BackwardBytes: demands.BackwardBytes,
+	}); err != nil {
+		releaseReservation()
+		cleanup()
+		return nil, fmt.Errorf("write ack: %w", err)
+	}
+	s.stats.Lock()
+	s.stats.clientsServed++
+	s.stats.Unlock()
+	return sess, nil
+}
+
+// contextOverheadBytes mirrors memmodel.ContextOverheadBytes for the
+// real runtime's accounting device.
+const contextOverheadBytes = 128 << 20
+
+func (s *Server) teardown(sess *session) {
+	s.closeDecode(sess)
+	s.scheduler.Complete(sess.id)
+	s.scheduler.Complete("persist:" + sess.id)
+	if err := sess.inst.Release(); err != nil && !errors.Is(err, share.ErrReleased) {
+		s.logf("client %q: release: %v", sess.id, err)
+	}
+}
+
+// acquire blocks until the scheduler grants bytes to the session.
+func (s *Server) acquire(sess *session, kind sched.RequestKind, bytes int64) (time.Duration, error) {
+	start := time.Now()
+	granted := make(chan struct{}, 1) // may fire synchronously inside Submit
+	if err := s.scheduler.Submit(sess.id, kind, bytes, func() { granted <- struct{}{} }); err != nil {
+		return 0, err
+	}
+	<-granted
+	return time.Since(start), nil
+}
+
+// serveForward is Algorithm 1, lines 4-8.
+func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardReq) error {
+	if req.Activations == nil {
+		return errors.New("forward request without activations")
+	}
+	// Geometry at or below the profiled one is memory-safe (demands
+	// shrink monotonically); anything larger would invalidate the
+	// profiled M_f/M_b and risk an OOM, so it is rejected.
+	if req.Batch <= 0 || req.Seq <= 0 || req.Batch > sess.batch || req.Seq > sess.seq {
+		return fmt.Errorf("geometry (%d,%d) exceeds profiled (%d,%d)",
+			req.Batch, req.Seq, sess.batch, sess.seq)
+	}
+	wait, err := s.acquire(sess, sched.KindForward, sess.demands.ForwardBytes)
+	if err != nil {
+		return err
+	}
+	compStart := time.Now()
+
+	var resp *tensor.Tensor
+	if s.cfg.OnDemand {
+		// Fig. 3(d): no-grad forward; only x_c is cached for the
+		// re-forward.
+		xs, _, err := sess.body.Forward(req.Activations, req.Batch, req.Seq, false)
+		if err != nil {
+			s.scheduler.Complete(sess.id)
+			return err
+		}
+		sess.cachedInput = req.Activations
+		sess.cachedIter = req.Iter
+		sess.cachedBatch = req.Batch
+		sess.cachedSeq = req.Seq
+		resp = xs
+	} else {
+		// Fig. 3(b): grad-enabled forward, activations preserved
+		// until the backward arrives.
+		xs, cache, err := sess.body.Forward(req.Activations, req.Batch, req.Seq, true)
+		if err != nil {
+			s.scheduler.Complete(sess.id)
+			return err
+		}
+		sess.preserved = cache
+		sess.cachedIter = req.Iter
+		resp = xs
+	}
+
+	comp := time.Since(compStart)
+	if s.cfg.OnDemand {
+		// Release GPU memory before waiting for gradients.
+		s.scheduler.Complete(sess.id)
+	}
+	s.recordIterationHalf(wait, comp)
+	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp})
+}
+
+// serveBackward is Algorithm 1, lines 9-14.
+func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.BackwardReq) error {
+	if req.Gradients == nil {
+		return errors.New("backward request without gradients")
+	}
+	if req.Iter != sess.cachedIter {
+		return fmt.Errorf("backward for iteration %d, but forward was %d", req.Iter, sess.cachedIter)
+	}
+
+	var wait time.Duration
+	var cache *model.BodyCache
+	var err error
+	compStart := time.Now()
+	if s.cfg.OnDemand {
+		if sess.cachedInput == nil {
+			return errors.New("backward before forward")
+		}
+		wait, err = s.acquire(sess, sched.KindBackward, sess.demands.BackwardBytes)
+		if err != nil {
+			return err
+		}
+		compStart = time.Now()
+		// Re-forward with gradient preparation.
+		_, cache, err = sess.body.Forward(sess.cachedInput, sess.cachedBatch, sess.cachedSeq, true)
+		if err != nil {
+			s.scheduler.Complete(sess.id)
+			return err
+		}
+		sess.cachedInput = nil
+	} else {
+		if sess.preserved == nil {
+			return errors.New("backward before forward")
+		}
+		cache = sess.preserved
+		sess.preserved = nil
+	}
+
+	gs, err := sess.body.Backward(cache, req.Gradients)
+	if err != nil {
+		s.scheduler.Complete(sess.id)
+		return err
+	}
+	// Optimize the server-side adapter φ_s (Algorithm 1, line 12).
+	// Under gradient accumulation (Apply=false) the gradients keep
+	// accumulating across micro-batches and the step is deferred.
+	if req.Apply {
+		if err := sess.optimizer.Step(sess.params); err != nil {
+			s.scheduler.Complete(sess.id)
+			return err
+		}
+		nn.ZeroGrads(sess.params)
+	}
+	comp := time.Since(compStart)
+
+	// Release GPU memory (both policies release after backward).
+	s.scheduler.Complete(sess.id)
+	s.recordIterationHalf(wait, comp)
+
+	s.stats.Lock()
+	s.stats.iterations++
+	s.stats.Unlock()
+	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs})
+}
+
+func (s *Server) recordIterationHalf(wait, comp time.Duration) {
+	s.stats.Lock()
+	s.stats.schedWait += wait
+	s.stats.compute += comp
+	s.stats.Unlock()
+}
+
+func (s *Server) sendError(conn net.Conn, err error) {
+	_ = split.WriteMessage(conn, &split.ErrorMsg{Reason: err.Error()})
+}
+
+// Breakdown satisfies experiment harnesses that want a trace view of
+// server activity.
+func (s *Server) Breakdown() *trace.Breakdown {
+	bd := &trace.Breakdown{}
+	st := s.Stats()
+	if st.Iterations > 0 {
+		bd.Add(0, st.AvgCompute*time.Duration(st.Iterations), st.AvgSchedWait*time.Duration(st.Iterations))
+	}
+	return bd
+}
+
+// serveDecodeOpen starts an incremental-inference session: the KV
+// cache for the whole session is reserved from the scheduler up front
+// (the inference-time analogue of the profiled training demands), so a
+// decode session can never OOM mid-stream.
+func (s *Server) serveDecodeOpen(conn net.Conn, sess *session, req *split.DecodeOpen) error {
+	reject := func(reason string) error {
+		return split.WriteMessage(conn, &split.DecodeAck{OK: false, Reason: reason})
+	}
+	if sess.decode != nil {
+		return reject("decode session already open")
+	}
+	if req.Capacity <= 0 || req.Capacity > s.store.Config().MaxSeq {
+		return reject(fmt.Sprintf("capacity %d out of range (1..%d)",
+			req.Capacity, s.store.Config().MaxSeq))
+	}
+	state, err := sess.body.NewDecodeState(req.Capacity, s.store.Config().Dim)
+	if err != nil {
+		return reject(err.Error())
+	}
+	if err := s.scheduler.Reserve("decode:"+sess.id, state.Bytes()); err != nil {
+		return reject(fmt.Sprintf("insufficient GPU memory for KV cache: %v", err))
+	}
+	sess.decode = state
+	s.logf("client %q: decode session open (%d positions, %d KV bytes)",
+		sess.id, req.Capacity, state.Bytes())
+	return split.WriteMessage(conn, &split.DecodeAck{OK: true, KVBytes: state.Bytes()})
+}
+
+// serveDecodeStep advances an open session by one position.
+func (s *Server) serveDecodeStep(conn net.Conn, sess *session, req *split.DecodeReq) error {
+	if sess.decode == nil {
+		return errors.New("decode request without an open session")
+	}
+	if req.Activation == nil {
+		return errors.New("decode request without activation")
+	}
+	if req.Pos != sess.decode.Len() {
+		return fmt.Errorf("decode position %d, session is at %d", req.Pos, sess.decode.Len())
+	}
+	out, err := sess.body.DecodeStep(req.Activation, sess.decode)
+	if err != nil {
+		return err
+	}
+	return split.WriteMessage(conn, &split.DecodeResp{Pos: req.Pos, Activation: out})
+}
+
+// closeDecode releases an open session's KV reservation, if any.
+func (s *Server) closeDecode(sess *session) {
+	if sess.decode == nil {
+		return
+	}
+	sess.decode = nil
+	s.scheduler.Complete("decode:" + sess.id)
+	s.logf("client %q: decode session closed", sess.id)
+}

@@ -1,0 +1,502 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"menos/internal/adapter"
+	"menos/internal/client"
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/share"
+	"menos/internal/split"
+	"menos/internal/tensor"
+)
+
+const weightSeed = 1234
+
+func testModelCfg() model.Config { return model.OPTTiny() }
+
+func newTestServer(t *testing.T, onDemand bool) (*Server, string) {
+	t.Helper()
+	store, err := share.NewStore(tensor.NewRNG(weightSeed), testModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, OnDemand: onDemand})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv, l.Addr().String()
+}
+
+func clientCfg(id string) client.Config {
+	return client.Config{
+		ClientID:    id,
+		Model:       testModelCfg(),
+		WeightSeed:  weightSeed,
+		Cut:         1,
+		Adapter:     adapter.LoRASpec(adapter.DefaultLoRA()),
+		AdapterSeed: 99,
+		LR:          5e-3,
+		Batch:       2,
+		Seq:         6,
+	}
+}
+
+func batchFor(cfg client.Config, seed uint64) (ids, targets []int) {
+	r := tensor.NewRNG(seed)
+	n := cfg.Batch * cfg.Seq
+	ids = make([]int, n)
+	targets = make([]int, n)
+	vocab := cfg.Model.Vocab
+	for i := range ids {
+		ids[i] = r.Intn(vocab)
+		targets[i] = r.Intn(vocab)
+	}
+	return ids, targets
+}
+
+// localBaseline reproduces the exact same fine-tuning locally: same
+// weight seed, same adapter seeds on the same block ranges, same
+// optimizer. Returns per-step losses.
+func localBaseline(t *testing.T, cfg client.Config, ids, targets []int, steps int) []float64 {
+	t.Helper()
+	m, err := model.New(tensor.NewRNG(cfg.WeightSeed), cfg.Model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetFrozenBase(true)
+	// Client-side adapter (φ_i) over blocks [0, cut).
+	adClient, err := cfg.Adapter.Inject(tensor.NewRNG(cfg.AdapterSeed^client.AdapterSalt),
+		m.Blocks[:cfg.Cut], cfg.Model.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Server-side adapter (φ_s) over blocks [cut, L).
+	adServer, err := cfg.Adapter.Inject(tensor.NewRNG(cfg.AdapterSeed),
+		m.Blocks[cfg.Cut:], cfg.Model.Dim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optC := nn.NewAdam(cfg.LR)
+	optS := nn.NewAdam(cfg.LR)
+
+	losses := make([]float64, 0, steps)
+	for i := 0; i < steps; i++ {
+		res, err := m.LossAndGrad(ids, targets, cfg.Batch, cfg.Seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses = append(losses, res.Loss)
+		if err := optC.Step(adClient.Params()); err != nil {
+			t.Fatal(err)
+		}
+		if err := optS.Step(adServer.Params()); err != nil {
+			t.Fatal(err)
+		}
+		nn.ZeroGrads(adClient.Params())
+		nn.ZeroGrads(adServer.Params())
+	}
+	return losses
+}
+
+// TestSplitFineTuningEqualsLocal is the paper's convergence claim made
+// exact: "the fine-tuning results of Menos are identical to
+// single-device fine-tuning, as it only distributes computation while
+// maintaining the same logical flow". We assert the per-step losses
+// over real TCP match the local run to float tolerance.
+func TestSplitFineTuningEqualsLocal(t *testing.T) {
+	_, addr := newTestServer(t, true)
+	cfg := clientCfg("equiv")
+	ids, targets := batchFor(cfg, 7)
+	const steps = 5
+
+	c, err := client.Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var splitLosses []float64
+	for i := 0; i < steps; i++ {
+		res, err := c.Step(ids, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		splitLosses = append(splitLosses, res.Loss)
+	}
+
+	localLosses := localBaseline(t, cfg, ids, targets, steps)
+	for i := range localLosses {
+		if diff := math.Abs(splitLosses[i] - localLosses[i]); diff > 1e-5 {
+			t.Fatalf("step %d: split loss %v != local loss %v (diff %v)",
+				i, splitLosses[i], localLosses[i], diff)
+		}
+	}
+	// And learning is actually happening.
+	if splitLosses[steps-1] >= splitLosses[0] {
+		t.Fatalf("no learning: %v -> %v", splitLosses[0], splitLosses[steps-1])
+	}
+}
+
+// TestPreservePolicyProducesIdenticalMath: the re-forward of the
+// on-demand policy must be numerically identical to preserving the
+// activations (Fig. 3's policies change memory behaviour, not
+// results).
+func TestPreservePolicyProducesIdenticalMath(t *testing.T) {
+	runPolicy := func(onDemand bool) []float64 {
+		_, addr := newTestServer(t, onDemand)
+		cfg := clientCfg("policy")
+		ids, targets := batchFor(cfg, 8)
+		c, err := client.Dial(addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var losses []float64
+		for i := 0; i < 4; i++ {
+			res, err := c.Step(ids, targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			losses = append(losses, res.Loss)
+		}
+		return losses
+	}
+	onDemand := runPolicy(true)
+	preserve := runPolicy(false)
+	for i := range onDemand {
+		if onDemand[i] != preserve[i] {
+			t.Fatalf("step %d: on-demand %v != preserve %v", i, onDemand[i], preserve[i])
+		}
+	}
+}
+
+// TestConcurrentClientsShareBase runs several clients at once with
+// different data and different adapter kinds — the heterogeneity §3.1
+// motivates — and verifies isolation plus base integrity.
+func TestConcurrentClientsShareBase(t *testing.T) {
+	srv, addr := newTestServer(t, true)
+
+	specs := []adapter.Spec{
+		adapter.LoRASpec(adapter.DefaultLoRA()),
+		adapter.PrefixSpec(adapter.PrefixConfig{PrefixLen: 4}),
+		adapter.BottleneckSpec(adapter.BottleneckConfig{Hidden: 12}),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(specs))
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec adapter.Spec) {
+			defer wg.Done()
+			cfg := clientCfg(fmt.Sprintf("hetero-%d", i))
+			cfg.Adapter = spec
+			cfg.Cut = 1 + i%2 // different cut layers, too
+			ids, targets := batchFor(cfg, uint64(20+i))
+			c, err := client.Dial(addr, cfg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			first, err := c.Step(ids, targets)
+			if err != nil {
+				errs <- err
+				return
+			}
+			var last client.StepResult
+			for s := 0; s < 8; s++ {
+				last, err = c.Step(ids, targets)
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			if last.Loss >= first.Loss {
+				errs <- fmt.Errorf("client %d did not learn: %v -> %v", i, first.Loss, last.Loss)
+			}
+		}(i, spec)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := srv.Stats(); err.ClientsServed != 3 {
+		t.Fatalf("served %d clients", err.ClientsServed)
+	}
+}
+
+func TestHandshakeRejections(t *testing.T) {
+	_, addr := newTestServer(t, true)
+
+	t.Run("wrong model", func(t *testing.T) {
+		cfg := clientCfg("wrong-model")
+		cfg.Model = model.LlamaTiny()
+		if _, err := client.Dial(addr, cfg); !errors.Is(err, client.ErrRejected) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("bad adapter", func(t *testing.T) {
+		cfg := clientCfg("bad-adapter")
+		cfg.Adapter = adapter.Spec{Kind: adapter.KindLoRA} // rank 0
+		if _, err := client.Dial(addr, cfg); err == nil {
+			t.Fatal("bad adapter accepted")
+		}
+	})
+	t.Run("bad seq", func(t *testing.T) {
+		cfg := clientCfg("bad-seq")
+		cfg.Seq = testModelCfg().MaxSeq + 1
+		if _, err := client.Dial(addr, cfg); !errors.Is(err, client.ErrRejected) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("duplicate id", func(t *testing.T) {
+		cfg := clientCfg("dup")
+		c1, err := client.Dial(addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c1.Close()
+		if _, err := client.Dial(addr, cfg); !errors.Is(err, client.ErrRejected) {
+			t.Fatalf("duplicate err = %v", err)
+		}
+	})
+}
+
+// TestAbruptDisconnectReleasesInstance: a client vanishing mid-session
+// must not leak its instance or its memory reservation.
+func TestAbruptDisconnectReleasesInstance(t *testing.T) {
+	srv, addr := newTestServer(t, true)
+	cfg := clientCfg("flaky")
+	ids, targets := batchFor(cfg, 9)
+
+	c, err := client.Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Step(ids, targets); err != nil {
+		t.Fatal(err)
+	}
+	// Abrupt close without Bye.
+	_ = c.Close()
+
+	// The same client id must eventually be admitted again (the old
+	// instance released). Retry a few times while teardown races.
+	var again *client.Client
+	for i := 0; i < 100; i++ {
+		again, err = client.Dial(addr, cfg)
+		if err == nil {
+			break
+		}
+	}
+	if err != nil {
+		t.Fatalf("re-admission failed: %v", err)
+	}
+	defer again.Close()
+	if _, err := again.Step(ids, targets); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+}
+
+// TestServerRejectsOversizedGeometry: the profiled batch/seq bound the
+// granted memory; a larger request must be an error, not an OOM, while
+// smaller geometry (e.g. single-token generation) is memory-safe and
+// accepted.
+func TestServerRejectsOversizedGeometry(t *testing.T) {
+	_, addr := newTestServer(t, true)
+	cfg := clientCfg("geom")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := client.New(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smaller-than-profiled geometry works (profiled 2x6).
+	small := tensor.New(4, testModelCfg().Dim)
+	if err := split.WriteMessage(conn, &split.ForwardReq{Iter: 0, Batch: 1, Seq: 4, Activations: small}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := split.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*split.ForwardResp); !ok {
+		t.Fatalf("small geometry rejected: %v", msg.MsgType())
+	}
+
+	// Larger-than-profiled geometry is rejected.
+	big := tensor.New(48, testModelCfg().Dim)
+	if err := split.WriteMessage(conn, &split.ForwardReq{Iter: 1, Batch: 8, Seq: 6, Activations: big}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = split.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := msg.(*split.ErrorMsg); !ok {
+		t.Fatalf("expected error message, got %v", msg.MsgType())
+	}
+	_ = c
+}
+
+// TestEvaluate runs a no-grad evaluation round-trip.
+func TestEvaluate(t *testing.T) {
+	_, addr := newTestServer(t, true)
+	cfg := clientCfg("eval")
+	ids, targets := batchFor(cfg, 10)
+	c, err := client.Dial(addr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	loss, err := c.Evaluate(ids, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss = %v", loss)
+	}
+	// Evaluation must not move parameters: next evaluation identical.
+	loss2, err := c.Evaluate(ids, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != loss2 {
+		t.Fatalf("evaluate mutated state: %v != %v", loss, loss2)
+	}
+}
+
+// TestBaseIntegrityAfterServing: after real fine-tuning traffic, the
+// shared base parameters are bit-identical (the read-only contract).
+func TestBaseIntegrityAfterServing(t *testing.T) {
+	store, err := share.NewStore(tensor.NewRNG(weightSeed), testModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, OnDemand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	cfg := clientCfg("integrity")
+	ids, targets := batchFor(cfg, 11)
+	c, err := client.Dial(l.Addr().String(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Step(ids, targets); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = c.Close()
+	if err := store.VerifyIntegrity(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerBudgetRestoredAfterClients: serving N clients and
+// disconnecting them must return the scheduler to its initial budget
+// (no leaked grants or reservations).
+func TestSchedulerBudgetRestoredAfterClients(t *testing.T) {
+	srv, addr := newTestServer(t, true)
+	before := srv.Scheduler().Available()
+	for i := 0; i < 3; i++ {
+		cfg := clientCfg(fmt.Sprintf("budget-%d", i))
+		ids, targets := batchFor(cfg, uint64(30+i))
+		c, err := client.Dial(addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Step(ids, targets); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Teardown is asynchronous to Close; wait for the budget to drain
+	// back.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Scheduler().Available() == before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("budget leaked: %d != %d", srv.Scheduler().Available(), before)
+}
+
+// TestMaxClientsAdmission: the cap rejects the (n+1)th client with a
+// clear reason, and a slot frees up when a client leaves.
+func TestMaxClientsAdmission(t *testing.T) {
+	store, err := share.NewStore(tensor.NewRNG(weightSeed), testModelCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, OnDemand: true, MaxClients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	addr := l.Addr().String()
+
+	c1, err := client.Dial(addr, clientCfg("cap-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := client.Dial(addr, clientCfg("cap-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Dial(addr, clientCfg("cap-3")); !errors.Is(err, client.ErrRejected) {
+		t.Fatalf("third client err = %v, want rejection", err)
+	}
+	// Freeing a slot admits a new client.
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var c3 *client.Client
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c3, err = client.Dial(addr, clientCfg("cap-3"))
+		if err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("slot never freed: %v", err)
+	}
+	defer c3.Close()
+}

@@ -1,0 +1,46 @@
+package sim
+
+// Mailbox is an unbounded FIFO channel between simulation processes:
+// Send never blocks; Recv parks the receiver until an item arrives.
+type Mailbox[T any] struct {
+	kernel *Kernel
+	name   string
+	items  []T
+	signal *Signal
+}
+
+// NewMailbox creates a mailbox bound to the kernel.
+func NewMailbox[T any](k *Kernel, name string) *Mailbox[T] {
+	return &Mailbox[T]{kernel: k, name: name, signal: k.NewSignal()}
+}
+
+// Send enqueues v and wakes one waiting receiver. Safe to call from
+// process context or kernel callbacks.
+func (m *Mailbox[T]) Send(v T) {
+	m.items = append(m.items, v)
+	m.signal.Fire()
+}
+
+// Recv dequeues the next item, parking the process while the mailbox
+// is empty.
+func (m *Mailbox[T]) Recv(p *Proc) T {
+	for len(m.items) == 0 {
+		m.signal.Wait(p, "mailbox "+m.name)
+	}
+	v := m.items[0]
+	m.items = m.items[1:]
+	return v
+}
+
+// TryRecv dequeues without blocking; ok is false when empty.
+func (m *Mailbox[T]) TryRecv() (v T, ok bool) {
+	if len(m.items) == 0 {
+		return v, false
+	}
+	v = m.items[0]
+	m.items = m.items[1:]
+	return v, true
+}
+
+// Len returns the queued item count.
+func (m *Mailbox[T]) Len() int { return len(m.items) }

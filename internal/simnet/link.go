@@ -1,0 +1,104 @@
+// Package simnet models the wide-area link between split-learning
+// clients and the server: a bandwidth/latency pipe with mild fair-share
+// contention and deterministic jitter. The paper's geo-distributed
+// setup (Toronto ↔ Vancouver over the Internet) is reproduced by a
+// preset calibrated to the transfer sizes and communication times of
+// §5 (≈8 MB/s effective per-flow throughput, ≈60 ms RTT).
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"menos/internal/sim"
+	"menos/internal/tensor"
+)
+
+// Link is a shared bidirectional WAN pipe.
+type Link struct {
+	kernel *sim.Kernel
+
+	// BytesPerSecond is the effective per-flow application throughput.
+	BytesPerSecond float64
+	// OneWayLatency is half the RTT, added to every transfer.
+	OneWayLatency time.Duration
+	// ContentionFactor inflates transfer time by this fraction per
+	// additional concurrent flow ("clients must share the server's
+	// bandwidth, but the impact is negligible").
+	ContentionFactor float64
+	// JitterFraction adds a deterministic pseudo-random ±fraction to
+	// each transfer.
+	JitterFraction float64
+
+	rng    *tensor.RNG
+	active int
+
+	totalBytes     int64
+	totalTransfers int64
+}
+
+// WANPreset returns the paper-calibrated Internet link.
+func WANPreset(k *sim.Kernel) *Link {
+	return &Link{
+		kernel:           k,
+		BytesPerSecond:   8 << 20, // ≈8 MiB/s: 51.2 MB/round ⇒ 6.4 s (OPT)
+		OneWayLatency:    30 * time.Millisecond,
+		ContentionFactor: 0.015,
+		JitterFraction:   0.04,
+		rng:              tensor.NewRNG(0xbeef),
+	}
+}
+
+// LANPreset returns a fast local link, used by tests that want
+// communication out of the picture.
+func LANPreset(k *sim.Kernel) *Link {
+	return &Link{
+		kernel:         k,
+		BytesPerSecond: 1 << 30,
+		OneWayLatency:  200 * time.Microsecond,
+		rng:            tensor.NewRNG(0xbeef),
+	}
+}
+
+// TransferDuration computes the simulated time to move bytes over the
+// link given the current contention, including jitter.
+func (l *Link) TransferDuration(bytes int64) time.Duration {
+	seconds := float64(bytes) / l.BytesPerSecond
+	seconds *= 1 + l.ContentionFactor*float64(l.active)
+	if l.JitterFraction > 0 {
+		seconds *= 1 + l.JitterFraction*(2*l.rng.Float64()-1)
+	}
+	return l.OneWayLatency + time.Duration(seconds*float64(time.Second))
+}
+
+// Transfer moves bytes over the link from within a sim process,
+// sleeping for the transfer duration. It returns the time taken.
+func (l *Link) Transfer(p *sim.Proc, bytes int64) time.Duration {
+	if bytes < 0 {
+		bytes = 0
+	}
+	d := l.TransferDuration(bytes)
+	l.active++
+	l.totalBytes += bytes
+	l.totalTransfers++
+	p.Sleep(d)
+	l.active--
+	return d
+}
+
+// Stats summarizes link usage.
+type Stats struct {
+	TotalBytes     int64
+	TotalTransfers int64
+}
+
+// Stats returns cumulative usage counters.
+func (l *Link) Stats() Stats {
+	return Stats{TotalBytes: l.totalBytes, TotalTransfers: l.totalTransfers}
+}
+
+// String describes the link.
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%.1f MiB/s, %v one-way)",
+		l.BytesPerSecond/(1<<20), l.OneWayLatency)
+}

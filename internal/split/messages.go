@@ -1,0 +1,329 @@
+package split
+
+import (
+	"menos/internal/adapter"
+	"menos/internal/tensor"
+)
+
+// OptimizerConfig is the client's server-side optimizer choice (the
+// server optimizes φ_s on the client's behalf, Algorithm 1 line 12).
+type OptimizerConfig struct {
+	Kind string // "adam", "sgd"
+	LR   float64
+}
+
+// Hello is the first client message: the fine-tuning configuration the
+// server needs for profiling (§3.3) — model, cut, adapter settings,
+// batch geometry — plus a seed so the server-side adapter φ_s is
+// initialized deterministically.
+type Hello struct {
+	ClientID    string
+	ModelName   string
+	Cut         int
+	Adapter     adapter.Spec
+	Optimizer   OptimizerConfig
+	Batch       int
+	Seq         int
+	AdapterSeed uint64
+}
+
+// MsgType implements Message.
+func (*Hello) MsgType() MsgType { return TypeHello }
+
+func (m *Hello) encode(e *encoder) {
+	e.str(m.ClientID)
+	e.str(m.ModelName)
+	e.i64(int64(m.Cut))
+	encodeSpec(e, m.Adapter)
+	e.str(m.Optimizer.Kind)
+	e.f64(m.Optimizer.LR)
+	e.i64(int64(m.Batch))
+	e.i64(int64(m.Seq))
+	e.u64(m.AdapterSeed)
+}
+
+func (m *Hello) decode(d *decoder) {
+	m.ClientID = d.str()
+	m.ModelName = d.str()
+	m.Cut = int(d.i64())
+	m.Adapter = decodeSpec(d)
+	m.Optimizer.Kind = d.str()
+	m.Optimizer.LR = d.f64()
+	m.Batch = int(d.i64())
+	m.Seq = int(d.i64())
+	m.AdapterSeed = d.u64()
+}
+
+func encodeSpec(e *encoder, s adapter.Spec) {
+	e.u8(uint8(s.Kind))
+	e.i64(int64(s.Rank))
+	e.f64(s.Alpha)
+	e.u32(uint32(len(s.Targets)))
+	for _, t := range s.Targets {
+		e.u8(uint8(t))
+	}
+	e.i64(int64(s.PrefixLen))
+	e.i64(int64(s.Hidden))
+}
+
+func decodeSpec(d *decoder) adapter.Spec {
+	var s adapter.Spec
+	s.Kind = adapter.Kind(d.u8())
+	s.Rank = int(d.i64())
+	s.Alpha = d.f64()
+	n := int(d.u32())
+	if n > 16 { // defensive bound; no adapter has more than 4 targets
+		d.fail()
+		return s
+	}
+	for i := 0; i < n; i++ {
+		s.Targets = append(s.Targets, adapter.Target(d.u8()))
+	}
+	s.PrefixLen = int(d.i64())
+	s.Hidden = int(d.i64())
+	return s
+}
+
+// HelloAck reports profiling results (or rejection) back to the
+// client.
+type HelloAck struct {
+	OK bool
+	// ForwardBytes / BackwardBytes are the profiled memory demands the
+	// server measured for this client.
+	ForwardBytes  int64
+	BackwardBytes int64
+	Reason        string // set when !OK
+}
+
+// MsgType implements Message.
+func (*HelloAck) MsgType() MsgType { return TypeHelloAck }
+
+func (m *HelloAck) encode(e *encoder) {
+	e.bool(m.OK)
+	e.i64(m.ForwardBytes)
+	e.i64(m.BackwardBytes)
+	e.str(m.Reason)
+}
+
+func (m *HelloAck) decode(d *decoder) {
+	m.OK = d.bool()
+	m.ForwardBytes = d.i64()
+	m.BackwardBytes = d.i64()
+	m.Reason = d.str()
+}
+
+// ForwardReq carries the client's intermediate activations x_c
+// (step 1 of §2.2).
+type ForwardReq struct {
+	Iter        int
+	Batch, Seq  int
+	Activations *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*ForwardReq) MsgType() MsgType { return TypeForwardReq }
+
+func (m *ForwardReq) encode(e *encoder) {
+	e.i64(int64(m.Iter))
+	e.i64(int64(m.Batch))
+	e.i64(int64(m.Seq))
+	e.tensor(m.Activations)
+}
+
+func (m *ForwardReq) decode(d *decoder) {
+	m.Iter = int(d.i64())
+	m.Batch = int(d.i64())
+	m.Seq = int(d.i64())
+	m.Activations = d.tensor()
+}
+
+// ForwardResp returns the server activations x_s (step 2).
+type ForwardResp struct {
+	Iter        int
+	Activations *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*ForwardResp) MsgType() MsgType { return TypeForwardResp }
+
+func (m *ForwardResp) encode(e *encoder) {
+	e.i64(int64(m.Iter))
+	e.tensor(m.Activations)
+}
+
+func (m *ForwardResp) decode(d *decoder) {
+	m.Iter = int(d.i64())
+	m.Activations = d.tensor()
+}
+
+// BackwardReq carries the client's gradients g_c at the upper cut
+// (step 3). Apply=false accumulates the server-side adapter gradients
+// without an optimizer step (gradient accumulation / micro-batching);
+// Apply=true steps the optimizer with everything accumulated so far.
+type BackwardReq struct {
+	Iter      int
+	Apply     bool
+	Gradients *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*BackwardReq) MsgType() MsgType { return TypeBackwardReq }
+
+func (m *BackwardReq) encode(e *encoder) {
+	e.i64(int64(m.Iter))
+	e.bool(m.Apply)
+	e.tensor(m.Gradients)
+}
+
+func (m *BackwardReq) decode(d *decoder) {
+	m.Iter = int(d.i64())
+	m.Apply = d.bool()
+	m.Gradients = d.tensor()
+}
+
+// BackwardResp returns the server gradients g_s at the lower cut
+// (step 4).
+type BackwardResp struct {
+	Iter      int
+	Gradients *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*BackwardResp) MsgType() MsgType { return TypeBackwardResp }
+
+func (m *BackwardResp) encode(e *encoder) {
+	e.i64(int64(m.Iter))
+	e.tensor(m.Gradients)
+}
+
+func (m *BackwardResp) decode(d *decoder) {
+	m.Iter = int(d.i64())
+	m.Gradients = d.tensor()
+}
+
+// Bye announces a clean client departure so the server releases the
+// instance immediately.
+type Bye struct{}
+
+// MsgType implements Message.
+func (*Bye) MsgType() MsgType { return TypeBye }
+
+func (m *Bye) encode(*encoder) {}
+func (m *Bye) decode(*decoder) {}
+
+// ErrorMsg reports a server-side failure for the current request.
+type ErrorMsg struct {
+	Reason string
+}
+
+// MsgType implements Message.
+func (*ErrorMsg) MsgType() MsgType { return TypeError }
+
+func (m *ErrorMsg) encode(e *encoder) { e.str(m.Reason) }
+func (m *ErrorMsg) decode(d *decoder) { m.Reason = d.str() }
+
+// Interface conformance.
+var (
+	_ Message = (*Hello)(nil)
+	_ Message = (*HelloAck)(nil)
+	_ Message = (*ForwardReq)(nil)
+	_ Message = (*ForwardResp)(nil)
+	_ Message = (*BackwardReq)(nil)
+	_ Message = (*BackwardResp)(nil)
+	_ Message = (*Bye)(nil)
+	_ Message = (*ErrorMsg)(nil)
+)
+
+// DecodeOpen starts an incremental (KV-cached) split decoding session
+// for up to Capacity positions. The server reserves the body-side KV
+// cache from its memory scheduler for the session's lifetime — the
+// inference-time analogue of the training-time 𝕀 management.
+type DecodeOpen struct {
+	Capacity int
+}
+
+// MsgType implements Message.
+func (*DecodeOpen) MsgType() MsgType { return TypeDecodeOpen }
+
+func (m *DecodeOpen) encode(e *encoder) { e.i64(int64(m.Capacity)) }
+func (m *DecodeOpen) decode(d *decoder) { m.Capacity = int(d.i64()) }
+
+// DecodeAck accepts or rejects a decode session, reporting the KV
+// bytes reserved server-side.
+type DecodeAck struct {
+	OK      bool
+	KVBytes int64
+	Reason  string
+}
+
+// MsgType implements Message.
+func (*DecodeAck) MsgType() MsgType { return TypeDecodeAck }
+
+func (m *DecodeAck) encode(e *encoder) {
+	e.bool(m.OK)
+	e.i64(m.KVBytes)
+	e.str(m.Reason)
+}
+
+func (m *DecodeAck) decode(d *decoder) {
+	m.OK = d.bool()
+	m.KVBytes = d.i64()
+	m.Reason = d.str()
+}
+
+// DecodeReq advances the session by one position with the client's
+// (1, dim) input-section activation.
+type DecodeReq struct {
+	Pos        int
+	Activation *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*DecodeReq) MsgType() MsgType { return TypeDecodeReq }
+
+func (m *DecodeReq) encode(e *encoder) {
+	e.i64(int64(m.Pos))
+	e.tensor(m.Activation)
+}
+
+func (m *DecodeReq) decode(d *decoder) {
+	m.Pos = int(d.i64())
+	m.Activation = d.tensor()
+}
+
+// DecodeResp returns the body output for one position.
+type DecodeResp struct {
+	Pos        int
+	Activation *tensor.Tensor
+}
+
+// MsgType implements Message.
+func (*DecodeResp) MsgType() MsgType { return TypeDecodeResp }
+
+func (m *DecodeResp) encode(e *encoder) {
+	e.i64(int64(m.Pos))
+	e.tensor(m.Activation)
+}
+
+func (m *DecodeResp) decode(d *decoder) {
+	m.Pos = int(d.i64())
+	m.Activation = d.tensor()
+}
+
+// DecodeClose ends the session, releasing the server-side KV reserve.
+type DecodeClose struct{}
+
+// MsgType implements Message.
+func (*DecodeClose) MsgType() MsgType { return TypeDecodeClose }
+
+func (m *DecodeClose) encode(*encoder) {}
+func (m *DecodeClose) decode(*decoder) {}
+
+// Interface conformance for the decode messages.
+var (
+	_ Message = (*DecodeOpen)(nil)
+	_ Message = (*DecodeAck)(nil)
+	_ Message = (*DecodeReq)(nil)
+	_ Message = (*DecodeResp)(nil)
+	_ Message = (*DecodeClose)(nil)
+)

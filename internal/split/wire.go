@@ -1,0 +1,322 @@
+// Package split defines the wire protocol between split fine-tuning
+// clients and the server: length-prefixed binary frames carrying the
+// §2.2 message flow (hello/profile, forward activations, backward
+// gradients) plus error reporting. The encoding is hand-rolled on
+// encoding/binary — no reflection — so activation payloads (megabytes
+// per iteration) serialize at memory-copy speed.
+package split
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"menos/internal/tensor"
+)
+
+// Protocol constants.
+const (
+	// Magic marks the start of every frame.
+	Magic uint16 = 0x4D53 // "MS"
+	// Version is the protocol version; mismatches are rejected.
+	Version uint8 = 1
+	// MaxFrameBytes bounds a frame payload; larger frames indicate a
+	// corrupt or hostile stream.
+	MaxFrameBytes = 512 << 20
+
+	headerSize = 8 // magic(2) + version(1) + type(1) + length(4)
+)
+
+// Errors reported by the codec.
+var (
+	ErrBadFrame  = errors.New("split: malformed frame")
+	ErrTooLarge  = errors.New("split: frame exceeds size limit")
+	ErrShortRead = errors.New("split: truncated payload")
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Message types.
+const (
+	TypeHello MsgType = iota + 1
+	TypeHelloAck
+	TypeForwardReq
+	TypeForwardResp
+	TypeBackwardReq
+	TypeBackwardResp
+	TypeBye
+	TypeError
+	TypeDecodeOpen
+	TypeDecodeAck
+	TypeDecodeReq
+	TypeDecodeResp
+	TypeDecodeClose
+)
+
+// String returns the message type name.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeHelloAck:
+		return "hello-ack"
+	case TypeForwardReq:
+		return "forward-req"
+	case TypeForwardResp:
+		return "forward-resp"
+	case TypeBackwardReq:
+		return "backward-req"
+	case TypeBackwardResp:
+		return "backward-resp"
+	case TypeBye:
+		return "bye"
+	case TypeError:
+		return "error"
+	case TypeDecodeOpen:
+		return "decode-open"
+	case TypeDecodeAck:
+		return "decode-ack"
+	case TypeDecodeReq:
+		return "decode-req"
+	case TypeDecodeResp:
+		return "decode-resp"
+	case TypeDecodeClose:
+		return "decode-close"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Message is one protocol frame payload.
+type Message interface {
+	MsgType() MsgType
+	encode(w *encoder)
+	decode(r *decoder)
+}
+
+// WriteMessage frames and writes m.
+func WriteMessage(w io.Writer, m Message) error {
+	var enc encoder
+	m.encode(&enc)
+	payload := enc.buf
+	if len(payload) > MaxFrameBytes {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	header := make([]byte, headerSize)
+	binary.LittleEndian.PutUint16(header[0:], Magic)
+	header[2] = Version
+	header[3] = byte(m.MsgType())
+	binary.LittleEndian.PutUint32(header[4:], uint32(len(payload)))
+	if _, err := w.Write(header); err != nil {
+		return fmt.Errorf("split: write header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("split: write payload: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage reads and decodes one frame.
+func ReadMessage(r io.Reader) (Message, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("split: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint16(header[0:]) != Magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	if header[2] != Version {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, header[2], Version)
+	}
+	msgType := MsgType(header[3])
+	length := binary.LittleEndian.Uint32(header[4:])
+	if length > MaxFrameBytes {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTooLarge, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("split: read payload: %w", err)
+	}
+	m, err := newMessage(msgType)
+	if err != nil {
+		return nil, err
+	}
+	dec := decoder{buf: payload}
+	m.decode(&dec)
+	if dec.err != nil {
+		return nil, fmt.Errorf("split: decode %v: %w", msgType, dec.err)
+	}
+	if dec.off != len(payload) {
+		return nil, fmt.Errorf("%w: %d trailing bytes in %v", ErrBadFrame, len(payload)-dec.off, msgType)
+	}
+	return m, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeHelloAck:
+		return &HelloAck{}, nil
+	case TypeForwardReq:
+		return &ForwardReq{}, nil
+	case TypeForwardResp:
+		return &ForwardResp{}, nil
+	case TypeBackwardReq:
+		return &BackwardReq{}, nil
+	case TypeBackwardResp:
+		return &BackwardResp{}, nil
+	case TypeBye:
+		return &Bye{}, nil
+	case TypeError:
+		return &ErrorMsg{}, nil
+	case TypeDecodeOpen:
+		return &DecodeOpen{}, nil
+	case TypeDecodeAck:
+		return &DecodeAck{}, nil
+	case TypeDecodeReq:
+		return &DecodeReq{}, nil
+	case TypeDecodeResp:
+		return &DecodeResp{}, nil
+	case TypeDecodeClose:
+		return &DecodeClose{}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, int(t))
+	}
+}
+
+// encoder builds a payload buffer.
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) bool(v bool)  { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+func (e *encoder) ints(vs []int) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.i64(int64(v))
+	}
+}
+func (e *encoder) floats(vs []float32) {
+	e.u32(uint32(len(vs)))
+	for _, v := range vs {
+		e.u32(math.Float32bits(v))
+	}
+}
+func (e *encoder) tensor(t *tensor.Tensor) {
+	if t == nil {
+		e.u8(0)
+		return
+	}
+	e.u8(1)
+	e.ints(t.Shape())
+	e.floats(t.Data())
+}
+
+// decoder consumes a payload buffer, latching the first error.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail() {
+	if d.err == nil {
+		d.err = ErrShortRead
+	}
+}
+
+func (d *decoder) u8() uint8 {
+	if d.err != nil || d.off+1 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+func (d *decoder) bool() bool { return d.u8() != 0 }
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.off+4 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+func (d *decoder) i64() int64   { return int64(d.u64()) }
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *decoder) str() string {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}
+func (d *decoder) ints() []int {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	vs := make([]int, n)
+	for i := range vs {
+		vs[i] = int(d.i64())
+	}
+	return vs
+}
+func (d *decoder) floats() []float32 {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+4*n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	vs := make([]float32, n)
+	for i := range vs {
+		vs[i] = math.Float32frombits(d.u32())
+	}
+	return vs
+}
+func (d *decoder) tensor() *tensor.Tensor {
+	if d.u8() == 0 {
+		return nil
+	}
+	shape := d.ints()
+	data := d.floats()
+	if d.err != nil {
+		return nil
+	}
+	t, err := tensor.FromSlice(data, shape...)
+	if err != nil {
+		d.err = err
+		return nil
+	}
+	return t
+}

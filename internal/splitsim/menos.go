@@ -1,0 +1,312 @@
+package splitsim
+
+import (
+	"fmt"
+	"time"
+
+	"menos/internal/costmodel"
+	"menos/internal/gpu"
+	"menos/internal/memmodel"
+	"menos/internal/sched"
+	"menos/internal/sim"
+	"menos/internal/trace"
+)
+
+// runMenos simulates the Menos server: one shared base-model copy,
+// per-client serving processes, on-demand memory allocation under the
+// configured policy, and the Algorithm-2 scheduler.
+//
+// GPU compute is modeled as freely time-shared (CUDA streams): the
+// scarce, scheduled resource is memory, exactly as in the paper. The
+// growing cost of concurrency appears as the release/re-collection
+// overhead of Table 2, which scales with the per-GPU client density.
+// serverSim is one Menos server in the simulation: its own GPUs, base
+// copy and scheduler.
+type serverSim struct {
+	devices   *gpu.DeviceSet
+	scheduler *sched.Scheduler
+	clients   int
+}
+
+func runMenos(cfg Config) (*Result, error) {
+	kernel := sim.New()
+	link := cfg.LinkPreset(kernel)
+
+	// One server instance per cfg.Servers, each with its own shared
+	// base copy (sharded over its GPUs), manager context and
+	// scheduler. Clients are assigned round-robin.
+	w0 := cfg.Clients[0].Workload
+	servers := make([]*serverSim, cfg.Servers)
+	serverOf := func(i int) *serverSim { return servers[i%cfg.Servers] }
+	for s := range servers {
+		devices, err := gpu.NewDeviceSet(cfg.GPUSpec, cfg.GPUs)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := devices.AllocSharded("base-model", w0.ServerBaseBytes()); err != nil {
+			return nil, fmt.Errorf("server %d: loading shared base model: %w", s, err)
+		}
+		if _, err := devices.Alloc("manager", memmodel.ManagerOverheadBytes); err != nil {
+			return nil, fmt.Errorf("server %d: manager context: %w", s, err)
+		}
+		servers[s] = &serverSim{devices: devices}
+	}
+	for i, cl := range cfg.Clients {
+		srv := serverOf(i)
+		srv.clients++
+		if _, err := srv.devices.Alloc("persist:"+cl.ID, cl.Workload.PersistentClientBytes()); err != nil {
+			return nil, fmt.Errorf("client %q persistent state: %w", cl.ID, err)
+		}
+	}
+	var persistent int64
+	for _, srv := range servers {
+		persistent += srv.devices.Used()
+	}
+
+	// Profiling phase (§3.3): the server measures each client's
+	// forward and backward memory demands before serving. In the
+	// simulation the profiler is the analytic model; the real runtime
+	// measures instantiated caches.
+	demands := make(map[string]struct{ fwd, bwd int64 }, len(cfg.Clients))
+	for _, cl := range cfg.Clients {
+		d := struct{ fwd, bwd int64 }{
+			fwd: cl.Workload.NoGradForwardBytes(),
+			bwd: cl.Workload.BackwardPeakBytes(),
+		}
+		switch cfg.Policy {
+		case PolicyReleaseOnWait:
+			d.fwd = cl.Workload.ActivationBytes()
+		case PolicyPreserve, PolicyPersistAll:
+			d.fwd = cl.Workload.ActivationBytes()
+			d.bwd = 0 // memory held since forward
+		}
+		demands[cl.ID] = d
+	}
+
+	for _, srv := range servers {
+		srv.scheduler = sched.New(srv.devices.Available(), cfg.SchedPol)
+	}
+
+	results := make([]ClientResult, len(cfg.Clients))
+	for i := range cfg.Clients {
+		results[i] = ClientResult{ID: cfg.Clients[i].ID, Breakdown: &trace.Breakdown{}}
+	}
+	var waits WaitStats
+	var samples []MemSample
+	sampleMem := func(at time.Duration) {
+		var used int64
+		for _, srv := range servers {
+			used += srv.scheduler.Total() - srv.scheduler.Available()
+		}
+		// Coalesce same-instant transitions: keep the last value.
+		if n := len(samples); n > 0 && samples[n-1].At == at {
+			samples[n-1].Bytes = used
+			return
+		}
+		samples = append(samples, MemSample{At: at, Bytes: used})
+	}
+	recordWait := func(kind sched.RequestKind, d time.Duration) {
+		if kind == sched.KindForward {
+			waits.ForwardTotal += d
+			waits.Forwards++
+		} else {
+			waits.BackwardTotal += d
+			waits.Backwards++
+		}
+	}
+
+	for i, cl := range cfg.Clients {
+		cl := cl
+		srv := serverOf(i)
+		scheduler := srv.scheduler
+		bd := results[i].Breakdown
+		cost := costmodel.New(cfg.ServerPerf, cl.Workload)
+		clientTotal := costmodel.ClientComputeTime(cl.Platform, cl.Workload)
+		pre, mid, post := clientPhases(clientTotal)
+		demand := demands[cl.ID]
+		transfer := cl.Workload.TransferBytes()
+		// Release-overhead concurrency: clients per GPU on this
+		// client's server (allocator fragmentation is per-device).
+		density := (srv.clients + cfg.GPUs - 1) / cfg.GPUs
+		releaseCost := cost.ReleaseOverhead(density)
+
+		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
+			grant := func(kind sched.RequestKind, bytes int64) time.Duration {
+				d := waitGrant(p, scheduler, cl.ID, kind, bytes)
+				recordWait(kind, d)
+				sampleMem(p.Now())
+				return d
+			}
+			release := func() {
+				scheduler.Complete(cl.ID)
+				sampleMem(p.Now())
+			}
+			if cl.StartDelay > 0 {
+				p.Sleep(cl.StartDelay)
+			}
+			persisted := false
+			for iter := 0; iter < cfg.Iterations; iter++ {
+				var comm, comp, schedT time.Duration
+
+				// Client computes the input section and uploads x_c.
+				p.Sleep(pre)
+				comp += pre
+				comm += link.Transfer(p, transfer)
+
+				// ---- Server: forward request ----
+				switch cfg.Policy {
+				case PolicyPersistAll:
+					// Reserve once, on the first iteration, forever.
+					if !persisted {
+						schedT += grant(sched.KindForward, demand.fwd)
+						persisted = true
+					}
+					fwd := cost.ForwardTime(cl.Workload)
+					p.Sleep(fwd)
+					comp += fwd
+				case PolicyPreserve, PolicyReleaseOnWait:
+					schedT += grant(sched.KindForward, demand.fwd)
+					fwd := cost.ForwardTime(cl.Workload)
+					p.Sleep(fwd)
+					comp += fwd
+					if cfg.Policy == PolicyReleaseOnWait {
+						release()
+						p.Sleep(releaseCost / 2)
+						comp += releaseCost / 2
+					}
+					// PolicyPreserve: memory stays allocated through
+					// the gradient wait.
+				default: // PolicyOnDemand, Fig. 3(d)
+					schedT += grant(sched.KindForward, demand.fwd)
+					fwd := cost.NoGradForwardTime(cl.Workload)
+					p.Sleep(fwd)
+					comp += fwd
+					release()
+				}
+
+				// Server returns x_s; client runs the output section,
+				// computes the loss, and uploads g_c.
+				comm += link.Transfer(p, transfer)
+				p.Sleep(mid)
+				comp += mid
+				comm += link.Transfer(p, transfer)
+
+				// ---- Server: backward request ----
+				switch cfg.Policy {
+				case PolicyPersistAll:
+					bwd := cost.BackwardTime(cl.Workload)
+					p.Sleep(bwd)
+					comp += bwd
+				case PolicyPreserve:
+					bwd := cost.BackwardTime(cl.Workload)
+					p.Sleep(bwd)
+					comp += bwd
+					release()
+					p.Sleep(releaseCost)
+					comp += releaseCost
+				case PolicyReleaseOnWait:
+					schedT += grant(sched.KindBackward, demand.bwd)
+					bwd := cost.ForwardTime(cl.Workload) + cost.BackwardTime(cl.Workload)
+					p.Sleep(bwd)
+					comp += bwd
+					release()
+					p.Sleep(releaseCost / 2)
+					comp += releaseCost / 2
+				default: // PolicyOnDemand
+					schedT += grant(sched.KindBackward, demand.bwd)
+					bwd := cost.ForwardTime(cl.Workload) + // re-forward
+						cost.BackwardTime(cl.Workload)
+					p.Sleep(bwd)
+					comp += bwd
+					release()
+					// Releasing and re-collecting fragmented memory
+					// happens after the grant is returned (Table 2's
+					// growing overhead).
+					p.Sleep(releaseCost)
+					comp += releaseCost
+				}
+				p.Sleep(costmodel.OptimizerStepTime)
+				comp += costmodel.OptimizerStepTime
+
+				// Server returns g_s; client finishes its backward and
+				// optimizer step.
+				comm += link.Transfer(p, transfer)
+				p.Sleep(post)
+				comp += post
+
+				bd.Add(comm, comp, schedT)
+			}
+		})
+	}
+
+	if err := kernel.Run(); err != nil {
+		return nil, fmt.Errorf("menos simulation: %w", err)
+	}
+
+	agg := &trace.Breakdown{}
+	for _, r := range results {
+		agg.Merge(r.Breakdown)
+	}
+	var schedStats sched.Stats
+	for _, srv := range servers {
+		st := srv.scheduler.Stats()
+		schedStats.Submitted += st.Submitted
+		schedStats.Granted += st.Granted
+		schedStats.Backfilled += st.Backfilled
+		schedStats.Completed += st.Completed
+		schedStats.Decisions += st.Decisions
+		schedStats.DecisionTime += st.DecisionTime
+		if st.MaxQueueDepth > schedStats.MaxQueueDepth {
+			schedStats.MaxQueueDepth = st.MaxQueueDepth
+		}
+	}
+	return &Result{
+		Mode:            ModeMenos,
+		Clients:         results,
+		Aggregate:       agg,
+		PersistentBytes: persistent,
+		PeakBytes:       persistent + peakTransient(cfg, demands),
+		SchedStats:      schedStats,
+		Waits:           waits,
+		MemSamples:      samples,
+		SimulatedTime:   kernel.Now(),
+	}, nil
+}
+
+// waitGrant submits a request to the Menos scheduler and parks the
+// process until granted, returning the wait (plus the fixed scheduler
+// decision cost).
+func waitGrant(p *sim.Proc, s *sched.Scheduler, id string, kind sched.RequestKind, bytes int64) time.Duration {
+	start := p.Now()
+	granted := false
+	sig := p.Kernel().NewSignal()
+	err := s.Submit(id, kind, bytes, func() {
+		granted = true
+		sig.Fire()
+	})
+	if err != nil {
+		// Requests that can never fit stall the client forever; the
+		// deadlock detector will surface it with this reason.
+		sig.Wait(p, fmt.Sprintf("unschedulable: %v", err))
+	}
+	for !granted {
+		sig.Wait(p, "memory grant "+id)
+	}
+	return p.Now() - start + costmodel.SchedulerDecisionTime
+}
+
+// peakTransient estimates the transient memory above the persistent
+// floor: the largest single backward footprint that can be in flight.
+func peakTransient(cfg Config, demands map[string]struct{ fwd, bwd int64 }) int64 {
+	var maxBwd int64
+	for _, d := range demands {
+		b := d.bwd
+		if b == 0 {
+			b = d.fwd
+		}
+		if b > maxBwd {
+			maxBwd = b
+		}
+	}
+	return maxBwd
+}

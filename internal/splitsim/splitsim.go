@@ -1,0 +1,308 @@
+// Package splitsim runs split fine-tuning workloads on the performance
+// plane: clients, the WAN link, the server's GPUs, the Menos scheduler
+// and the vanilla task-swapping baseline, all as deterministic
+// discrete-event processes. One simulated "154-second" iteration takes
+// microseconds of wall time, which is what makes regenerating every
+// timing figure of the paper practical.
+package splitsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"menos/internal/costmodel"
+	"menos/internal/gpu"
+	"menos/internal/memmodel"
+	"menos/internal/sched"
+	"menos/internal/sim"
+	"menos/internal/simnet"
+	"menos/internal/trace"
+)
+
+// ErrConfig is returned (wrapped) for invalid simulation configs.
+var ErrConfig = errors.New("splitsim: invalid config")
+
+// Mode selects the server system under test.
+type Mode int
+
+// Server modes.
+const (
+	ModeMenos   Mode = iota + 1 // base-model sharing + on-demand allocation
+	ModeVanilla                 // per-client replicas + task-level swapping
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeMenos:
+		return "menos"
+	case ModeVanilla:
+		return "vanilla"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// MemPolicy selects the Menos memory-allocation policy, one per
+// sub-figure of Fig. 3.
+type MemPolicy int
+
+// Memory policies.
+const (
+	// PolicyOnDemand is Fig. 3(d): no-grad first forward, release on
+	// every wait, re-forward before backward. The Menos default.
+	PolicyOnDemand MemPolicy = iota + 1
+	// PolicyReleaseOnWait is Fig. 3(c): grad-enabled first forward,
+	// released while waiting for gradients, re-forward on backward.
+	PolicyReleaseOnWait
+	// PolicyPreserve is Fig. 3(b): activations held from forward
+	// until the backward completes (released between iterations).
+	PolicyPreserve
+	// PolicyPersistAll is Fig. 3(a): activation memory reserved for
+	// the client's whole session (vanilla-style, but with base
+	// sharing).
+	PolicyPersistAll
+)
+
+// String returns the policy name.
+func (p MemPolicy) String() string {
+	switch p {
+	case PolicyOnDemand:
+		return "on-demand"
+	case PolicyReleaseOnWait:
+		return "release-on-wait"
+	case PolicyPreserve:
+		return "preserve"
+	case PolicyPersistAll:
+		return "persist-all"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ClientSpec describes one simulated client.
+type ClientSpec struct {
+	ID       string
+	Workload memmodel.Workload
+	Platform costmodel.Perf // client-side compute (GPU or CPU)
+	// StartDelay staggers the client's arrival (client churn: the
+	// vanilla baseline's task-level sharing exists precisely to serve
+	// "new incoming clients").
+	StartDelay time.Duration
+}
+
+// Config describes one simulation run.
+type Config struct {
+	Mode     Mode
+	Policy   MemPolicy    // Menos only; zero value means PolicyOnDemand
+	SchedPol sched.Policy // Menos only; zero value means FCFS+backfill
+	GPUSpec  gpu.Spec
+	GPUs     int // per server
+	// Servers scales out horizontally (Menos mode): each server hosts
+	// its own shared base copy on its own GPUs with its own scheduler
+	// (the paper's "GPUs distributed across multiple servers", managed
+	// by a distributed runtime). Clients are assigned round-robin.
+	Servers    int
+	ServerPerf costmodel.Perf
+	Clients    []ClientSpec
+	Iterations int
+	// LinkPreset builds the client-server link; nil means the paper's
+	// WAN.
+	LinkPreset func(*sim.Kernel) *simnet.Link
+}
+
+func (c *Config) applyDefaults() {
+	if c.Policy == 0 {
+		c.Policy = PolicyOnDemand
+	}
+	if c.SchedPol == 0 {
+		c.SchedPol = sched.PolicyFCFSBackfill
+	}
+	if c.GPUs == 0 {
+		c.GPUs = 1
+	}
+	if c.Servers == 0 {
+		c.Servers = 1
+	}
+	if c.GPUSpec.MemoryBytes == 0 {
+		c.GPUSpec = gpu.V100()
+	}
+	if c.ServerPerf.EffectiveFLOPS == 0 {
+		c.ServerPerf = costmodel.V100Perf()
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 10
+	}
+	if c.LinkPreset == nil {
+		c.LinkPreset = simnet.WANPreset
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Mode != ModeMenos && c.Mode != ModeVanilla {
+		return fmt.Errorf("%w: mode %d", ErrConfig, int(c.Mode))
+	}
+	if len(c.Clients) == 0 {
+		return fmt.Errorf("%w: no clients", ErrConfig)
+	}
+	if c.Mode == ModeVanilla && c.Servers > 1 {
+		return fmt.Errorf("%w: the vanilla baseline models a single server", ErrConfig)
+	}
+	for i, cl := range c.Clients {
+		if cl.ID == "" {
+			return fmt.Errorf("%w: client %d has no id", ErrConfig, i)
+		}
+		if err := cl.Workload.Validate(); err != nil {
+			return fmt.Errorf("%w: client %q: %v", ErrConfig, cl.ID, err)
+		}
+		if cl.Workload.Model.Name != c.Clients[0].Workload.Model.Name {
+			return fmt.Errorf("%w: all clients must share one base model (got %q and %q)",
+				ErrConfig, c.Clients[0].Workload.Model.Name, cl.Workload.Model.Name)
+		}
+	}
+	return nil
+}
+
+// ClientResult is one client's measured breakdown.
+type ClientResult struct {
+	ID        string
+	Breakdown *trace.Breakdown
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Mode    Mode
+	Clients []ClientResult
+	// Aggregate merges all clients.
+	Aggregate *trace.Breakdown
+	// PersistentBytes is GPU memory held between iterations
+	// (Fig. 5's comparison basis).
+	PersistentBytes int64
+	// PeakBytes is the device-set high-water mark.
+	PeakBytes int64
+	// SchedStats reports Menos scheduler activity (zero for vanilla).
+	SchedStats sched.Stats
+	// Waits breaks scheduling time down by request kind; the paper
+	// observes forwards essentially never wait while backwards queue.
+	Waits WaitStats
+	// MemSamples traces transient scheduled memory over virtual time
+	// (Menos mode): one sample per allocation transition. This is the
+	// data behind the paper's Fig. 3 usage patterns.
+	MemSamples []MemSample
+	// SimulatedTime is the virtual time of the full run.
+	SimulatedTime time.Duration
+}
+
+// MemSample is one point of the transient-memory timeline.
+type MemSample struct {
+	At    time.Duration
+	Bytes int64
+}
+
+// PeakTransientBytes returns the highest sampled transient allocation.
+func (r *Result) PeakTransientBytes() int64 {
+	var peak int64
+	for _, s := range r.MemSamples {
+		if s.Bytes > peak {
+			peak = s.Bytes
+		}
+	}
+	return peak
+}
+
+// TimeAvgTransientBytes returns the time-weighted mean transient
+// allocation over the run (samples are step functions between
+// transitions).
+func (r *Result) TimeAvgTransientBytes() int64 {
+	if len(r.MemSamples) == 0 || r.SimulatedTime == 0 {
+		return 0
+	}
+	var weighted float64
+	for i, s := range r.MemSamples {
+		end := r.SimulatedTime
+		if i+1 < len(r.MemSamples) {
+			end = r.MemSamples[i+1].At
+		}
+		weighted += float64(s.Bytes) * float64(end-s.At)
+	}
+	return int64(weighted / float64(r.SimulatedTime))
+}
+
+// DutyCycle returns time-avg / peak transient memory: the fraction of
+// the run the GPU's transient memory is actually in use. The paper's
+// Fig. 3(d) point is that on-demand allocation drives this far below
+// the memory-preserving policies.
+func (r *Result) DutyCycle() float64 {
+	peak := r.PeakTransientBytes()
+	if peak == 0 {
+		return 0
+	}
+	return float64(r.TimeAvgTransientBytes()) / float64(peak)
+}
+
+// WaitStats aggregates grant-wait time per request kind.
+type WaitStats struct {
+	ForwardTotal  time.Duration
+	BackwardTotal time.Duration
+	Forwards      int
+	Backwards     int
+}
+
+// AvgForward returns the mean forward grant wait.
+func (w WaitStats) AvgForward() time.Duration {
+	if w.Forwards == 0 {
+		return 0
+	}
+	return w.ForwardTotal / time.Duration(w.Forwards)
+}
+
+// AvgBackward returns the mean backward grant wait.
+func (w WaitStats) AvgBackward() time.Duration {
+	if w.Backwards == 0 {
+		return 0
+	}
+	return w.BackwardTotal / time.Duration(w.Backwards)
+}
+
+// AvgIterationTime returns the mean per-client iteration time,
+// matching the Fig. 6 metric.
+func (r *Result) AvgIterationTime() time.Duration { return r.Aggregate.AvgTotal() }
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Mode {
+	case ModeMenos:
+		return runMenos(cfg)
+	default:
+		return runVanilla(cfg)
+	}
+}
+
+// HomogeneousClients builds n identical client specs, matching the
+// paper's evaluation setup where all clients share one configuration.
+func HomogeneousClients(n int, w memmodel.Workload, platform costmodel.Perf) []ClientSpec {
+	clients := make([]ClientSpec, n)
+	for i := range clients {
+		clients[i] = ClientSpec{
+			ID:       fmt.Sprintf("client-%d", i+1),
+			Workload: w,
+			Platform: platform,
+		}
+	}
+	return clients
+}
+
+// clientPhases splits the per-iteration client-side compute into the
+// three segments of the loop: before the activation upload, between
+// receiving x_s and sending g_c, and after receiving g_s.
+func clientPhases(total time.Duration) (pre, mid, post time.Duration) {
+	pre = time.Duration(0.3 * float64(total))
+	mid = time.Duration(0.5 * float64(total))
+	post = total - pre - mid
+	return pre, mid, post
+}

@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// matmulParallelThreshold is the minimum number of output rows before
+// MatMul fans work out across goroutines. Small matrices are cheaper to
+// compute serially than to coordinate.
+const matmulParallelThreshold = 64
+
+// MatMul computes dst = a @ b for rank-2 tensors: a is (m,k), b is
+// (k,n), dst is (m,n). dst must not alias a or b.
+//
+// The inner loop is written in the ikj order so the innermost traversal
+// is over contiguous rows of b and dst, which is dramatically faster
+// than the naive ijk order on row-major data.
+func MatMul(dst, a, b *Tensor) error {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		return fmt.Errorf("%w: matmul requires rank-2 operands, got %v @ %v -> %v",
+			ErrShape, a.shape, b.shape, dst.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmul %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	dst.Zero()
+	matmulAccum(dst.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+// MatMulAccum computes dst += a @ b with the same shape rules as
+// MatMul. It does not zero dst first.
+func MatMulAccum(dst, a, b *Tensor) error {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		return fmt.Errorf("%w: matmul requires rank-2 operands, got %v @ %v -> %v",
+			ErrShape, a.shape, b.shape, dst.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmul %v @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	matmulAccum(dst.data, a.data, b.data, m, k, n)
+	return nil
+}
+
+func matmulAccum(dst, a, b []float32, m, k, n int) {
+	if m >= matmulParallelThreshold {
+		matmulAccumParallel(dst, a, b, m, k, n)
+		return
+	}
+	matmulAccumRange(dst, a, b, 0, m, k, n)
+}
+
+func matmulAccumParallel(dst, a, b []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	chunk := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matmulAccumRange(dst, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func matmulAccumRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
+	for i := rowLo; i < rowHi; i++ {
+		ai := a[i*k : (i+1)*k]
+		di := dst[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b[p*n : (p+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulT computes dst = a @ bᵀ: a is (m,k), b is (n,k), dst is (m,n).
+// This avoids materializing the transpose, which the backward pass of a
+// linear layer would otherwise do on every step.
+func MatMulT(dst, a, b *Tensor) error {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		return fmt.Errorf("%w: matmulT requires rank-2 operands", ErrShape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmulT %v @ %vᵀ -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for i := 0; i < m; i++ {
+		ai := a.data[i*k : (i+1)*k]
+		di := dst.data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := b.data[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			di[j] = s
+		}
+	}
+	return nil
+}
+
+// MatMulTAccum computes dst += aᵀ @ b: a is (k,m), b is (k,n), dst is
+// (m,n). This is the weight-gradient kernel of a linear layer
+// (dW += xᵀ @ dy) without materializing xᵀ.
+func MatMulTAccum(dst, a, b *Tensor) error {
+	if len(a.shape) != 2 || len(b.shape) != 2 || len(dst.shape) != 2 {
+		return fmt.Errorf("%w: matmulTAccum requires rank-2 operands", ErrShape)
+	}
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("%w: matmulTAccum %vᵀ @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
+	}
+	for p := 0; p < k; p++ {
+		ap := a.data[p*m : (p+1)*m]
+		bp := b.data[p*n : (p+1)*n]
+		for i, av := range ap {
+			if av == 0 {
+				continue
+			}
+			di := dst.data[i*n : (i+1)*n]
+			for j, bv := range bp {
+				di[j] += av * bv
+			}
+		}
+	}
+	return nil
+}

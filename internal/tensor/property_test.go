@@ -1,0 +1,169 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: matmul distributes over addition: A(B+C) == AB + AC.
+func TestMatMulDistributivityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := NewNormal(rng, 1, m, k)
+		b := NewNormal(rng, 1, k, n)
+		c := NewNormal(rng, 1, k, n)
+
+		bc := New(k, n)
+		if err := Add(bc, b, c); err != nil {
+			return false
+		}
+		left := New(m, n)
+		if err := MatMul(left, a, bc); err != nil {
+			return false
+		}
+		ab := New(m, n)
+		ac := New(m, n)
+		if err := MatMul(ab, a, b); err != nil {
+			return false
+		}
+		if err := MatMul(ac, a, c); err != nil {
+			return false
+		}
+		right := New(m, n)
+		if err := Add(right, ab, ac); err != nil {
+			return false
+		}
+		for i := range left.Data() {
+			if math.Abs(float64(left.Data()[i]-right.Data()[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AXPY is linear: axpy(a, x, d) then axpy(b, x, d) equals
+// axpy(a+b, x, d).
+func TestAXPYLinearityProperty(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw int8) bool {
+		rng := NewRNG(seed)
+		n := 1 + rng.Intn(16)
+		alpha, beta := float32(aRaw)/16, float32(bRaw)/16
+		x := NewNormal(rng, 1, n)
+		d1 := NewNormal(rng, 1, n)
+		d2 := d1.Clone()
+
+		if err := AXPY(alpha, x, d1); err != nil {
+			return false
+		}
+		if err := AXPY(beta, x, d1); err != nil {
+			return false
+		}
+		if err := AXPY(alpha+beta, x, d2); err != nil {
+			return false
+		}
+		for i := range d1.Data() {
+			if math.Abs(float64(d1.Data()[i]-d2.Data()[i])) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SumRows(A) equals matmul(1ᵀ, A).
+func TestSumRowsMatchesOnesMatmulProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := NewNormal(rng, 1, rows, cols)
+		viaSum := New(cols)
+		if err := SumRows(viaSum, a); err != nil {
+			return false
+		}
+		ones := New(1, rows)
+		ones.Fill(1)
+		viaMatmul := New(1, cols)
+		if err := MatMul(viaMatmul, ones, a); err != nil {
+			return false
+		}
+		for i := 0; i < cols; i++ {
+			if math.Abs(float64(viaSum.At(i)-viaMatmul.At(0, i))) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling commutes with matmul: (αA)B == α(AB).
+func TestScaleCommutesWithMatMulProperty(t *testing.T) {
+	f := func(seed uint64, sRaw int8) bool {
+		rng := NewRNG(seed)
+		alpha := float32(sRaw) / 8
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := NewNormal(rng, 1, m, k)
+		b := NewNormal(rng, 1, k, n)
+
+		scaledA := a.Clone()
+		scaledA.Scale(alpha)
+		left := New(m, n)
+		if err := MatMul(left, scaledA, b); err != nil {
+			return false
+		}
+		right := New(m, n)
+		if err := MatMul(right, a, b); err != nil {
+			return false
+		}
+		right.Scale(alpha)
+		for i := range left.Data() {
+			if math.Abs(float64(left.Data()[i]-right.Data()[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reshape round-trips preserve both data and total size.
+func TestReshapeRoundTripProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		a := NewNormal(rng, 1, rows, cols)
+		flat, err := a.Reshape(rows * cols)
+		if err != nil {
+			return false
+		}
+		back, err := flat.Reshape(rows, cols)
+		if err != nil {
+			return false
+		}
+		if !back.SameShape(a) {
+			return false
+		}
+		for i := range a.Data() {
+			if a.Data()[i] != back.Data()[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

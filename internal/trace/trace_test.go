@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBreakdownAverages(t *testing.T) {
+	var b Breakdown
+	b.Add(2*time.Second, time.Second, 500*time.Millisecond)
+	b.Add(4*time.Second, time.Second, 1500*time.Millisecond)
+	if b.Iterations() != 2 {
+		t.Fatalf("iterations = %d", b.Iterations())
+	}
+	if b.AvgComm() != 3*time.Second {
+		t.Fatalf("avg comm = %v", b.AvgComm())
+	}
+	if b.AvgComp() != time.Second {
+		t.Fatalf("avg comp = %v", b.AvgComp())
+	}
+	if b.AvgSched() != time.Second {
+		t.Fatalf("avg sched = %v", b.AvgSched())
+	}
+	if b.AvgTotal() != 5*time.Second {
+		t.Fatalf("avg total = %v", b.AvgTotal())
+	}
+}
+
+func TestBreakdownEmpty(t *testing.T) {
+	var b Breakdown
+	if b.AvgComm() != 0 || b.AvgTotal() != 0 {
+		t.Fatal("empty breakdown not zero")
+	}
+}
+
+func TestBreakdownMerge(t *testing.T) {
+	var a, b Breakdown
+	a.Add(time.Second, 0, 0)
+	b.Add(3*time.Second, 0, 0)
+	a.Merge(&b)
+	if a.Iterations() != 2 || a.AvgComm() != 2*time.Second {
+		t.Fatalf("merged avg = %v over %d", a.AvgComm(), a.Iterations())
+	}
+}
+
+func TestBreakdownConcurrent(t *testing.T) {
+	var b Breakdown
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				b.Add(time.Millisecond, time.Millisecond, 0)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Iterations() != 800 {
+		t.Fatalf("iterations = %d", b.Iterations())
+	}
+}
+
+func TestSecondsFormatting(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{0, "0"},
+		{130 * time.Microsecond, "0.000130"},
+		{250 * time.Millisecond, "0.250"},
+		{63100 * time.Millisecond, "63.1"},
+	}
+	for _, tt := range tests {
+		if got := Seconds(tt.d); got != tt.want {
+			t.Fatalf("Seconds(%v) = %q, want %q", tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestGiBFormatting(t *testing.T) {
+	if got := GiB(24 << 30); got != "24.0" {
+		t.Fatalf("GiB = %q", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Test Table", "Model", "Clients", "Time (s)")
+	tb.AddRow("opt", "4", "7.1")
+	tb.AddRow("llama2-7b", "2", "63.1")
+	out := tb.Render()
+	if !strings.Contains(out, "Test Table") || !strings.Contains(out, "llama2-7b") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "Clients" and the row values start at the same offset.
+	if strings.Index(lines[1], "Clients") != strings.Index(lines[3], "4") {
+		t.Fatalf("misaligned:\n%s", out)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("only")
+	if got := tb.Rows()[0][1]; got != "" {
+		t.Fatalf("pad = %q", got)
+	}
+	if out := tb.Render(); !strings.Contains(out, "only") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow("with,comma", "quote\"inside")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "\"with,comma\"") {
+		t.Fatalf("csv escaping:\n%s", out)
+	}
+	if !strings.Contains(out, "\"quote\"\"inside\"") {
+		t.Fatalf("quote escaping:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "name,value\n") {
+		t.Fatalf("header:\n%s", out)
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := NewFigure("Fig X", "clients")
+	vanilla := f.NewSeries("vanilla")
+	menos := f.NewSeries("menos")
+	for n := 1; n <= 3; n++ {
+		vanilla.Add(float64(n), float64(n)*10)
+		menos.Add(float64(n), 5)
+	}
+	// Series with a missing point.
+	menos.X = menos.X[:2]
+	menos.Y = menos.Y[:2]
+	out := f.Render()
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "menos") {
+		t.Fatalf("figure:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("missing point not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "30") {
+		t.Fatalf("values missing:\n%s", out)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4) != "4" {
+		t.Fatal("integer formatting")
+	}
+	if trimFloat(4.5) != "4.500" {
+		t.Fatalf("got %s", trimFloat(4.5))
+	}
+}
+
+func TestSparklines(t *testing.T) {
+	f := NewFigure("Fig", "x")
+	a := f.NewSeries("vanilla")
+	b := f.NewSeries("menos")
+	for i := 1; i <= 5; i++ {
+		a.Add(float64(i), float64(i*20))
+		b.Add(float64(i), 5)
+	}
+	out := f.Sparklines()
+	if !strings.Contains(out, "vanilla") || !strings.Contains(out, "menos") {
+		t.Fatalf("sparklines:\n%s", out)
+	}
+	// The max point renders as the tallest block.
+	if !strings.Contains(out, "█") {
+		t.Fatalf("no full block in:\n%s", out)
+	}
+	// The flat small series renders as low blocks.
+	if !strings.Contains(out, "▁") {
+		t.Fatalf("no low block in:\n%s", out)
+	}
+	// Render appends sparklines after the table.
+	full := f.Render()
+	if !strings.Contains(full, "█") {
+		t.Fatal("Render omitted sparklines")
+	}
+}
+
+func TestSparklinesEmptyFigure(t *testing.T) {
+	f := NewFigure("empty", "x")
+	f.NewSeries("zero").Add(1, 0)
+	if out := f.Sparklines(); out != "" {
+		t.Fatalf("all-zero figure produced sparkline %q", out)
+	}
+}
