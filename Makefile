@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: build test test-race bench verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the packages with real lock/atomic contention: the
+# metrics registry, the scheduler and the TCP serving loop.
+test-race:
+	$(GO) test -race ./internal/obs ./internal/sched ./internal/server
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+verify: build test test-race

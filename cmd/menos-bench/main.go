@@ -4,10 +4,16 @@
 // Usage:
 //
 //	menos-bench [-iterations N] [-steps N] [-seed N] [-only name]
+//	            [-trace-out spans.json]
 //
 // -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
 // fig8, fig9, fig10, table1, table2, table3, ablations, extensions.
 // By default all run.
+//
+// -trace-out runs one traced Menos simulation and writes its spans as
+// Chrome trace-event JSON (load in chrome://tracing or Perfetto); span
+// timestamps are virtual time. It also prints the parity check between
+// span category totals and the run's Breakdown.
 package main
 
 import (
@@ -17,7 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"menos/internal/costmodel"
 	"menos/internal/experiments"
+	"menos/internal/memmodel"
+	"menos/internal/obs"
+	"menos/internal/splitsim"
+	"menos/internal/trace"
 )
 
 func main() {
@@ -33,6 +44,7 @@ func run(args []string) error {
 	steps := fs.Int("steps", 60, "real fine-tuning steps for convergence runs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions)")
+	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -172,10 +184,57 @@ func run(args []string) error {
 		fmt.Println(het.Render())
 	}
 
+	if *traceOut != "" {
+		ran = true
+		if err := dumpTrace(*traceOut, opts); err != nil {
+			return err
+		}
+	}
+
 	if !ran {
 		return fmt.Errorf("unknown artifact %q", *only)
 	}
 	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// dumpTrace runs one traced Menos simulation (the paper's OPT setup at
+// 6 clients), writes the spans as Chrome trace JSON, and prints the
+// span-vs-breakdown parity so the dump is self-validating.
+func dumpTrace(path string, opts experiments.Options) error {
+	tracer := obs.NewTracer(nil) // sim records spans with explicit virtual times
+	res, err := splitsim.Run(splitsim.Config{
+		Mode:       splitsim.ModeMenos,
+		Clients:    splitsim.HomogeneousClients(6, memmodel.PaperOPTWorkload(), costmodel.ClientGPUPerf()),
+		Iterations: opts.Iterations,
+		Tracer:     tracer,
+	})
+	if err != nil {
+		return fmt.Errorf("traced run: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	comm, comp, sched := res.Aggregate.Totals()
+	totals := tracer.CatTotals()
+	fmt.Printf("Trace: %d spans over %v of virtual time -> %s (open in chrome://tracing)\n",
+		tracer.Len(), res.SimulatedTime.Round(time.Millisecond), path)
+	for _, c := range []struct {
+		cat  string
+		want time.Duration
+	}{{"comm", comm}, {"compute", comp}, {"sched", sched}} {
+		fmt.Printf("  %-8s spans %ss, breakdown %ss\n",
+			c.cat, trace.Seconds(totals[c.cat]), trace.Seconds(c.want))
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -7,12 +7,19 @@
 //
 //	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
 //	             [-gpu-gb 32] [-preserve] [-quiet]
+//	             [-metrics-addr :9090]
+//
+// With -metrics-addr set, a telemetry endpoint serves Prometheus text
+// on /metrics, JSON on /metrics.json and a Chrome trace of recent
+// request spans on /trace (see docs/OBSERVABILITY.md).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -21,6 +28,7 @@ import (
 	"menos/internal/core"
 	"menos/internal/gpu"
 	"menos/internal/model"
+	"menos/internal/obs"
 	"menos/internal/quant"
 	"menos/internal/tensor"
 )
@@ -42,6 +50,7 @@ func run(args []string) error {
 	quantFlag := fs.String("quant", "", "quantize the shared base: int8 or int4 (default fp32)")
 	weights := fs.String("weights", "", "load base weights from a checkpoint file instead of the seed")
 	exportWeights := fs.String("export-weights", "", "write the base weights to a file and exit (model distribution)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9090)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +86,12 @@ func run(args []string) error {
 	if !*quiet {
 		logger = log.New(os.Stderr, "menos-server ", log.LstdFlags|log.Lmsgprefix)
 	}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.NewWallClock())
+	}
 	dep, err := core.NewDeployment(core.DeploymentConfig{
 		Model:          cfg,
 		WeightSeed:     *seed,
@@ -85,9 +100,23 @@ func run(args []string) error {
 		WeightsFile:    *weights,
 		BaseQuant:      prec,
 		Logger:         logger,
+		Metrics:        reg,
+		Tracer:         tracer,
 	})
 	if err != nil {
 		return err
+	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		go func() {
+			if serr := http.Serve(ml, obs.Handler(reg, tracer)); serr != nil && logger != nil {
+				logger.Printf("metrics endpoint: %v", serr)
+			}
+		}()
+		fmt.Printf("menos-server: telemetry on http://%s/metrics\n", ml.Addr())
 	}
 	bound, err := dep.Listen(*addr)
 	if err != nil {

@@ -20,6 +20,7 @@ import (
 	"menos/internal/checkpoint"
 	"menos/internal/model"
 	"menos/internal/nn"
+	"menos/internal/obs"
 	"menos/internal/split"
 	"menos/internal/tensor"
 	"menos/internal/trace"
@@ -57,6 +58,12 @@ type Config struct {
 	Optimizer string
 	Batch     int
 	Seq       int
+	// Metrics, when set, records per-iteration counters and comm/comp
+	// histograms under the menos_client_* names. Nil disables them.
+	Metrics *obs.Registry
+	// Tracer, when set, records client-side spans (local compute and
+	// server round-trips) on the tracer's own clock. Nil disables them.
+	Tracer *obs.Tracer
 }
 
 func (c *Config) applyDefaults() {
@@ -94,6 +101,16 @@ type Client struct {
 	iter      int
 	breakdown trace.Breakdown
 	demands   split.HelloAck
+
+	m clientMetrics
+}
+
+// clientMetrics are the client plane's telemetry handles; the zero
+// value (nil handles) is valid and free.
+type clientMetrics struct {
+	iterations *obs.Counter
+	comm       *obs.Histogram
+	comp       *obs.Histogram
 }
 
 // New builds the client's model sections and performs the handshake
@@ -145,6 +162,13 @@ func New(conn net.Conn, cfg Config) (*Client, error) {
 		c.optimizer = nn.NewSGD(cfg.LR, 0)
 	default:
 		return nil, fmt.Errorf("client: unknown optimizer %q", cfg.Optimizer)
+	}
+	if cfg.Metrics != nil {
+		c.m = clientMetrics{
+			iterations: cfg.Metrics.Counter(obs.MetricClientIterations, "client fine-tuning iterations"),
+			comm:       cfg.Metrics.Histogram(obs.MetricClientCommSeconds, obs.DurationBuckets(), "server round-trip time per iteration"),
+			comp:       cfg.Metrics.Histogram(obs.MetricClientCompSeconds, obs.DurationBuckets(), "local compute time per iteration"),
+		}
 	}
 
 	if err := c.handshake(); err != nil {
@@ -233,14 +257,17 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	c.iter++
 
 	// Step 1 (client): input section forward.
+	sp := c.cfg.Tracer.Begin(c.cfg.ClientID, "input-forward", "compute")
 	t0 := time.Now()
 	xc, inCache, err := c.input.Forward(ids, c.cfg.Batch, c.cfg.Seq, true)
 	if err != nil {
 		return StepResult{}, fmt.Errorf("client: input forward: %w", err)
 	}
 	comp += time.Since(t0)
+	sp.End()
 
 	// Steps 1-2 (server): send x_c, receive x_s.
+	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "forward-rtt", "comm")
 	t0 = time.Now()
 	if err := split.WriteMessage(c.conn, &split.ForwardReq{
 		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
@@ -252,8 +279,10 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 		return StepResult{}, err
 	}
 	comm += time.Since(t0)
+	sp.End()
 
 	// Client: output section forward, loss, output backward.
+	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "output-loss", "compute")
 	t0 = time.Now()
 	logits, outCache, err := c.output.Forward(xs, true)
 	if err != nil {
@@ -268,8 +297,10 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 		return StepResult{}, fmt.Errorf("client: output backward: %w", err)
 	}
 	comp += time.Since(t0)
+	sp.End()
 
 	// Steps 3-4 (server): send g_c, receive g_s.
+	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "backward-rtt", "comm")
 	t0 = time.Now()
 	if err := split.WriteMessage(c.conn, &split.BackwardReq{Iter: iter, Apply: apply, Gradients: gc}); err != nil {
 		return StepResult{}, fmt.Errorf("client: send backward: %w", err)
@@ -279,8 +310,10 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 		return StepResult{}, err
 	}
 	comm += time.Since(t0)
+	sp.End()
 
 	// Client: input section backward and adapter optimization.
+	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "input-backward", "compute")
 	t0 = time.Now()
 	if err := c.input.Backward(inCache, gs); err != nil {
 		return StepResult{}, fmt.Errorf("client: input backward: %w", err)
@@ -292,8 +325,12 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 		nn.ZeroGrads(c.params)
 	}
 	comp += time.Since(t0)
+	sp.End()
 
 	c.breakdown.Add(comm, comp, 0)
+	c.m.iterations.Inc()
+	c.m.comm.Observe(comm.Seconds())
+	c.m.comp.Observe(comp.Seconds())
 	return StepResult{
 		Loss:       loss,
 		Perplexity: nn.Perplexity(loss),

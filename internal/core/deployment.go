@@ -15,6 +15,7 @@ import (
 	"menos/internal/client"
 	"menos/internal/gpu"
 	"menos/internal/model"
+	"menos/internal/obs"
 	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/server"
@@ -49,6 +50,12 @@ type DeploymentConfig struct {
 	BaseQuant quant.Precision
 	// Logger receives server events; nil silences them.
 	Logger *log.Logger
+	// Metrics, when set, instruments the server's scheduler, GPU and
+	// serving loop against the registry (serve it with obs.Handler).
+	Metrics *obs.Registry
+	// Tracer, when set, records per-request spans (admission, grant
+	// waits, compute segments) on the wall clock.
+	Tracer *obs.Tracer
 }
 
 // Deployment is a running Menos server bound to a listener.
@@ -94,6 +101,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		SchedPolicy: cfg.SchedPolicy,
 		OnDemand:    !cfg.PreserveMemory,
 		Logger:      cfg.Logger,
+		Metrics:     cfg.Metrics,
+		Tracer:      cfg.Tracer,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build server: %w", err)

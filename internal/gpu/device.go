@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"menos/internal/obs"
 )
 
 // ErrOOM is returned when an allocation does not fit.
@@ -36,6 +38,20 @@ type allocation struct {
 	bytes int64
 }
 
+// devMetrics are a device's telemetry handles. The zero value (all
+// nil) is valid and free: obs handles are nil-receiver safe. Devices
+// instrumented against the same registry share handles, so a
+// DeviceSet's members aggregate naturally.
+type devMetrics struct {
+	allocBytes *obs.Counter
+	freeBytes  *obs.Counter
+	allocOps   *obs.Counter
+	freeOps    *obs.Counter
+	oom        *obs.Counter
+	used       *obs.Gauge
+	peak       *obs.Gauge
+}
+
 // Device is one simulated GPU.
 type Device struct {
 	spec Spec
@@ -48,6 +64,8 @@ type Device struct {
 
 	allocOps int64
 	freeOps  int64
+
+	m devMetrics
 }
 
 // NewDevice creates a device with the given spec.
@@ -56,6 +74,31 @@ func NewDevice(spec Spec) *Device {
 		spec:   spec,
 		allocs: make(map[AllocID]allocation),
 	}
+}
+
+// Instrument wires the device's counters and watermarks to a
+// telemetry registry. Call it before the device is shared between
+// goroutines. Devices instrumented with the same registry share the
+// metric handles, so used/peak gauges report the aggregate across all
+// of them (the paper's "GPU memory is an abstraction of all available
+// GPUs").
+func (d *Device) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.m = devMetrics{
+		allocBytes: reg.Counter(obs.MetricGPUAllocBytes, "bytes allocated on the device plane"),
+		freeBytes:  reg.Counter(obs.MetricGPUFreeBytes, "bytes released on the device plane"),
+		allocOps:   reg.Counter(obs.MetricGPUAllocOps, "allocation operations"),
+		freeOps:    reg.Counter(obs.MetricGPUFreeOps, "free operations"),
+		oom:        reg.Counter(obs.MetricGPUOOM, "allocations refused for lack of memory"),
+		used:       reg.Gauge(obs.MetricGPUUsedBytes, "bytes currently allocated"),
+		peak:       reg.Gauge(obs.MetricGPUPeakBytes, "high-water mark of allocated bytes"),
+	}
+	d.mu.Lock()
+	d.m.used.Add(d.used)
+	d.m.peak.SetMax(d.m.used.Value())
+	d.mu.Unlock()
 }
 
 // Spec returns the device description.
@@ -107,6 +150,7 @@ func (d *Device) Alloc(owner string, bytes int64) (AllocID, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.used+bytes > d.spec.MemoryBytes {
+		d.m.oom.Inc()
 		return 0, fmt.Errorf("%w: %s has %d free, need %d (owner %q)",
 			ErrOOM, d.spec.Name, d.spec.MemoryBytes-d.used, bytes, owner)
 	}
@@ -118,6 +162,10 @@ func (d *Device) Alloc(owner string, bytes int64) (AllocID, error) {
 	if d.used > d.peak {
 		d.peak = d.used
 	}
+	d.m.allocOps.Inc()
+	d.m.allocBytes.Add(bytes)
+	d.m.used.Add(bytes)
+	d.m.peak.SetMax(d.m.used.Value())
 	return id, nil
 }
 
@@ -132,6 +180,9 @@ func (d *Device) Free(id AllocID) error {
 	delete(d.allocs, id)
 	d.used -= a.bytes
 	d.freeOps++
+	d.m.freeOps.Inc()
+	d.m.freeBytes.Add(a.bytes)
+	d.m.used.Add(-a.bytes)
 	return nil
 }
 
@@ -146,9 +197,12 @@ func (d *Device) FreeOwner(owner string) int64 {
 			delete(d.allocs, id)
 			d.used -= a.bytes
 			d.freeOps++
+			d.m.freeOps.Inc()
 			reclaimed += a.bytes
 		}
 	}
+	d.m.freeBytes.Add(reclaimed)
+	d.m.used.Add(-reclaimed)
 	return reclaimed
 }
 

@@ -3,6 +3,8 @@ package gpu
 import (
 	"fmt"
 	"sync"
+
+	"menos/internal/obs"
 )
 
 // DeviceSet aggregates multiple GPUs on one server. It mirrors the
@@ -37,6 +39,16 @@ func NewDeviceSet(spec Spec, n int) (*DeviceSet, error) {
 
 // Devices returns the member devices.
 func (s *DeviceSet) Devices() []*Device { return s.devices }
+
+// Instrument wires every member device to the registry. Because
+// devices instrumented against one registry share metric handles, the
+// exported used/peak gauges and alloc/free counters report the
+// set-wide aggregate.
+func (s *DeviceSet) Instrument(reg *obs.Registry) {
+	for _, d := range s.devices {
+		d.Instrument(reg)
+	}
+}
 
 // Capacity returns aggregate memory.
 func (s *DeviceSet) Capacity() int64 {

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4), sorted by metric name so the
+// output is deterministic. Safe on a nil registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var b strings.Builder
+
+	for _, name := range sortedKeys(r.counters) {
+		writeHeader(&b, name, "counter", r.help[name])
+		fmt.Fprintf(&b, "%s %d\n", name, r.counters[name].Value())
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		writeHeader(&b, name, "gauge", r.help[name])
+		fmt.Fprintf(&b, "%s %d\n", name, r.gauges[name].Value())
+	}
+	for _, name := range sortedKeys(r.hists) {
+		writeHeader(&b, name, "histogram", r.help[name])
+		s := r.hists[name].Snapshot()
+		var cum int64
+		for i, bound := range s.Bounds {
+			cum += s.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		}
+		cum += s.Counts[len(s.Bounds)]
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(s.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHeader(b *strings.Builder, name, typ, help string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// histJSON is the JSON projection of one histogram, with ready-made
+// quantile estimates so a curl of /metrics.json answers "what is the
+// p99 queue wait" without client-side math.
+type histJSON struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets map[string]int64 `json:"buckets"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
+}
+
+// WriteJSON renders the registry as a single expvar-style JSON object:
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}. Keys are
+// emitted in sorted order (encoding/json sorts map keys). Safe on nil.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	out := struct {
+		Counters   map[string]int64    `json:"counters"`
+		Gauges     map[string]int64    `json:"gauges"`
+		Histograms map[string]histJSON `json:"histograms"`
+	}{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]histJSON),
+	}
+	if r != nil {
+		r.mu.RLock()
+		for name, c := range r.counters {
+			out.Counters[name] = c.Value()
+		}
+		for name, g := range r.gauges {
+			out.Gauges[name] = g.Value()
+		}
+		for name, h := range r.hists {
+			s := h.Snapshot()
+			hj := histJSON{
+				Count:   s.Count,
+				Sum:     s.Sum,
+				Buckets: make(map[string]int64, len(s.Counts)),
+				P50:     s.Quantile(0.50),
+				P90:     s.Quantile(0.90),
+				P99:     s.Quantile(0.99),
+			}
+			var cum int64
+			for i, bound := range s.Bounds {
+				cum += s.Counts[i]
+				hj.Buckets[formatFloat(bound)] = cum
+			}
+			hj.Buckets["+Inf"] = cum + s.Counts[len(s.Bounds)]
+			out.Histograms[name] = hj
+		}
+		r.mu.RUnlock()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Handler serves the live introspection endpoints:
+//
+//	/metrics       Prometheus text exposition (scrape target)
+//	/metrics.json  expvar-style JSON with quantile estimates
+//	/trace         Chrome trace-event JSON of the span buffer
+//	/healthz       liveness probe
+//
+// Either argument may be nil; the corresponding endpoints serve empty
+// documents.
+func Handler(reg *Registry, tracer *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="menos-trace.json"`)
+		if err := tracer.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}

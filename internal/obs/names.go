@@ -1,0 +1,44 @@
+package obs
+
+// Canonical metric names. Every instrumented plane registers its
+// metrics under these constants so the catalog in
+// docs/OBSERVABILITY.md is enforced by the compiler rather than by
+// convention.
+const (
+	// Scheduler plane (internal/sched).
+	MetricSchedSubmitted         = "menos_sched_submitted_total"
+	MetricSchedGranted           = "menos_sched_granted_total"
+	MetricSchedBackfilled        = "menos_sched_backfilled_total"
+	MetricSchedCompleted         = "menos_sched_completed_total"
+	MetricSchedRejected          = "menos_sched_rejected_total"
+	MetricSchedQueueDepth        = "menos_sched_queue_depth"
+	MetricSchedQueueDepthMax     = "menos_sched_queue_depth_max"
+	MetricSchedWaitSeconds       = "menos_sched_wait_seconds"
+	MetricSchedHOLBlockedSeconds = "menos_sched_hol_blocked_seconds"
+
+	// GPU memory plane (internal/gpu).
+	MetricGPUAllocBytes = "menos_gpu_alloc_bytes_total"
+	MetricGPUFreeBytes  = "menos_gpu_free_bytes_total"
+	MetricGPUAllocOps   = "menos_gpu_alloc_ops_total"
+	MetricGPUFreeOps    = "menos_gpu_free_ops_total"
+	MetricGPUOOM        = "menos_gpu_oom_total"
+	MetricGPUUsedBytes  = "menos_gpu_used_bytes"
+	MetricGPUPeakBytes  = "menos_gpu_peak_bytes"
+
+	// Serving plane (internal/server).
+	MetricServerAdmitted       = "menos_server_clients_admitted_total"
+	MetricServerRejected       = "menos_server_clients_rejected_total"
+	MetricServerIterations     = "menos_server_iterations_total"
+	MetricServerComputeSeconds = "menos_server_compute_seconds"
+	MetricServerWaitSeconds    = "menos_server_sched_wait_seconds"
+	MetricServerActiveClients  = "menos_server_active_clients"
+
+	// Client plane (internal/client).
+	MetricClientIterations  = "menos_client_iterations_total"
+	MetricClientCommSeconds = "menos_client_comm_seconds"
+	MetricClientCompSeconds = "menos_client_comp_seconds"
+
+	// Swap path (vanilla baseline, internal/splitsim).
+	MetricSwapOps   = "menos_swap_ops_total"
+	MetricSwapBytes = "menos_swap_bytes_total"
+)

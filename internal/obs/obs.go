@@ -1,0 +1,51 @@
+// Package obs is the unified telemetry layer of the reproduction: a
+// stdlib-only registry of counters, gauges and histograms, lightweight
+// span tracing, and exporters (Prometheus text exposition, expvar-style
+// JSON, Chrome trace-event JSON).
+//
+// The package exists because the paper's whole evaluation is a story
+// about where time and memory go — queue wait vs. compute vs.
+// communication, peak vs. shared GPU memory — and those questions must
+// be answerable on a *live* run, not only from post-hoc experiment
+// tables.
+//
+// Two properties shape the design:
+//
+//   - Hot-path cheapness. Counters and gauges are single atomic
+//     operations; histograms are one binary search plus two atomics.
+//     Every metric and tracer method is nil-receiver safe, so
+//     instrumented code calls them unconditionally and an un-wired
+//     component pays only a predictable nil check.
+//
+//   - Time-source agnosticism. All timestamps flow through the Clock
+//     interface, so the discrete-event simulator records *virtual*
+//     time through exactly the same API the TCP runtime uses for wall
+//     time. No instrumented package may call time.Now directly on the
+//     simulation plane.
+package obs
+
+import "time"
+
+// Clock is the telemetry time source: a monotonic duration since an
+// arbitrary epoch. The real runtime uses WallClock; the simulator
+// plugs its kernel's virtual Now in via ClockFunc.
+type Clock interface {
+	Now() time.Duration
+}
+
+// ClockFunc adapts a plain function to a Clock (e.g.
+// obs.ClockFunc(kernel.Now) for the discrete-event simulator).
+type ClockFunc func() time.Duration
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Duration { return f() }
+
+// wallClock measures wall time since its creation epoch.
+type wallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock returns a Clock anchored at the current wall time.
+func NewWallClock() Clock { return wallClock{epoch: time.Now()} }
+
+func (c wallClock) Now() time.Duration { return time.Since(c.epoch) }

@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Lookup (get-or-create) takes the
+// registry lock; the returned handles are lock-free afterwards, so
+// instrumented code resolves its metrics once and updates them on the
+// hot path with single atomic operations.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	help     map[string]string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		help:     make(map[string]string),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use. An optional help string documents the metric in the
+// Prometheus exposition. Safe on a nil registry (returns nil, and all
+// Counter methods are nil-safe).
+func (r *Registry) Counter(name string, help ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+		r.setHelp(name, help)
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Safe on a nil registry.
+func (r *Registry) Gauge(name string, help ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+		r.setHelp(name, help)
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use. Later calls return
+// the existing histogram regardless of the bounds argument. Safe on a
+// nil registry.
+func (r *Registry) Histogram(name string, bounds []float64, help ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+		r.setHelp(name, help)
+	}
+	return h
+}
+
+// setHelp records a metric's help text. Caller holds r.mu.
+func (r *Registry) setHelp(name string, help []string) {
+	if len(help) > 0 && help[0] != "" {
+		r.help[name] = help[0]
+	}
+}
+
+// names returns the sorted metric names of one kind. Caller holds a
+// read lock.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n. Safe on nil.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count. Safe on nil (returns 0).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer metric (queue depth, bytes in
+// use). It supports both absolute sets and deltas, plus a monotonic
+// watermark update for peak tracking.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add applies a delta. Safe on nil.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// SetMax raises the gauge to v if v is larger (high-water mark). Safe
+// on nil.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value. Safe on nil (returns 0).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with a float sum, in the
+// Prometheus cumulative-bucket style. Bounds are upper bounds in
+// ascending order; one implicit +Inf bucket catches the overflow.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one sample. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds. Safe on nil.
+func (h *Histogram) ObserveDuration(d float64) { h.Observe(d) }
+
+// Count returns the number of observations. Safe on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations. Safe on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Snapshot returns a consistent-enough copy for export and quantile
+// estimation. (Bucket counts are read individually; under concurrent
+// writes the snapshot may be off by in-flight observations, which is
+// the standard scrape semantics.)
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0..1) by linear interpolation
+// inside the owning bucket. Safe on nil (returns 0).
+func (h *Histogram) Quantile(q float64) float64 { return h.Snapshot().Quantile(q) }
+
+// HistSnapshot is a point-in-time histogram copy.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64 // len(Bounds)+1; last is +Inf
+	Sum    float64
+	Count  int64
+}
+
+// Quantile estimates the q-quantile by linear interpolation within the
+// bucket containing the target rank. Samples in the +Inf bucket clamp
+// to the largest finite bound (the estimate cannot exceed it).
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate to.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// DurationBuckets are histogram bounds in seconds spanning 10µs to
+// ~17min, suitable for both microsecond-scale scheduler decisions and
+// the paper's 100-second iteration times.
+func DurationBuckets() []float64 {
+	return []float64{
+		10e-6, 100e-6, 1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 500e-3,
+		1, 2, 5, 10, 30, 60, 120, 300, 600, 1000,
+	}
+}
+
+// ByteBuckets are histogram bounds in bytes from 4KiB to 64GiB.
+func ByteBuckets() []float64 {
+	var b []float64
+	for v := int64(4 << 10); v <= 64<<30; v <<= 2 {
+		b = append(b, float64(v))
+	}
+	return b
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects (no exponent for typical values, %g otherwise).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one completed timed interval on a named track (a client, a
+// scheduler, a device). Categories group spans for analysis: the
+// serving path uses "admission", "sched", "compute", "comm" and
+// "release", matching the breakdown of the paper's Tables 1-3.
+type Span struct {
+	Track string        // rendering track: client ID or component name
+	Name  string        // e.g. "forward", "wait:backward"
+	Cat   string        // e.g. "compute", "sched", "comm"
+	Start time.Duration // clock time at span begin
+	Dur   time.Duration
+}
+
+// Tracer collects spans through a Clock, so the same call sites record
+// wall time on the TCP runtime and virtual time in the simulator. The
+// buffer is bounded: once cap is reached new spans are dropped and
+// counted, never blocking the hot path.
+type Tracer struct {
+	clock Clock
+
+	mu      sync.Mutex
+	spans   []Span
+	limit   int
+	dropped int64
+}
+
+// DefaultSpanLimit bounds a tracer's buffer unless SetLimit overrides
+// it: enough for ~100k spans (a few thousand iterations across tens of
+// clients) at ~64 bytes each.
+const DefaultSpanLimit = 1 << 17
+
+// NewTracer creates a tracer reading timestamps from clock (required).
+func NewTracer(clock Clock) *Tracer {
+	return &Tracer{clock: clock, limit: DefaultSpanLimit}
+}
+
+// SetLimit caps the span buffer (n <= 0 means DefaultSpanLimit). Safe
+// on nil.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultSpanLimit
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Now returns the tracer's clock reading. Safe on nil (returns 0).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.clock.Now()
+}
+
+// Begin opens a span at the current clock time. End completes and
+// records it. Safe on a nil tracer (returns a nil handle whose End is
+// a no-op).
+func (t *Tracer) Begin(track, name, cat string) *SpanHandle {
+	if t == nil {
+		return nil
+	}
+	return &SpanHandle{t: t, span: Span{Track: track, Name: name, Cat: cat, Start: t.clock.Now()}}
+}
+
+// Record appends a completed span with explicit times — the
+// simulator's path, where durations are known without sampling the
+// clock twice. Safe on nil.
+func (t *Tracer) Record(track, name, cat string, start, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) >= t.limit {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, Span{Track: track, Name: name, Cat: cat, Start: start, Dur: dur})
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans. Safe on nil.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len returns the number of buffered spans. Safe on nil.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans the buffer limit discarded. Safe on
+// nil.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset clears the buffer and drop counter. Safe on nil.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = t.spans[:0]
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// CatTotals sums span durations by category — the span-side view of
+// trace.Breakdown, used to cross-check that a dumped trace reconstructs
+// the same decomposition the experiment tables report. Safe on nil.
+func (t *Tracer) CatTotals() map[string]time.Duration {
+	totals := make(map[string]time.Duration)
+	for _, s := range t.Spans() {
+		totals[s.Cat] += s.Dur
+	}
+	return totals
+}
+
+// SpanHandle is an open span returned by Begin.
+type SpanHandle struct {
+	t    *Tracer
+	span Span
+}
+
+// End completes the span at the current clock time and records it.
+// Safe on a nil handle.
+func (h *SpanHandle) End() {
+	if h == nil {
+		return
+	}
+	h.span.Dur = h.t.clock.Now() - h.span.Start
+	h.t.Record(h.span.Track, h.span.Name, h.span.Cat, h.span.Start, h.span.Dur)
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events plus "M"
+// thread-name metadata), loadable by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace emits the span buffer as Chrome trace-event JSON.
+// Each distinct track becomes one numbered thread with a thread_name
+// metadata record, so chrome://tracing renders one row per client or
+// component. Safe on nil (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Stable track numbering: sorted track names.
+	trackSet := make(map[string]bool)
+	for _, s := range spans {
+		trackSet[s.Track] = true
+	}
+	tracks := make([]string, 0, len(trackSet))
+	for name := range trackSet {
+		tracks = append(tracks, name)
+	}
+	sort.Strings(tracks)
+	tid := make(map[string]int, len(tracks))
+	for i, name := range tracks {
+		tid[name] = i + 1
+	}
+
+	out := chromeTrace{TraceEvents: make([]chromeEvent, 0, len(spans)+len(tracks)), DisplayTimeUnit: "ms"}
+	for _, name := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid[name],
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, s := range spans {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			TS:   float64(s.Start) / float64(time.Microsecond),
+			Dur:  float64(s.Dur) / float64(time.Microsecond),
+			PID:  1,
+			TID:  tid[s.Track],
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("obs: write chrome trace: %w", err)
+	}
+	return nil
+}

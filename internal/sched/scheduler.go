@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"menos/internal/obs"
 )
 
 // Errors reported by the scheduler.
@@ -81,6 +83,23 @@ type request struct {
 	kind     RequestKind
 	bytes    int64
 	grant    func()
+	at       time.Duration // submit time on the telemetry clock
+}
+
+// schedMetrics holds the scheduler's resolved telemetry handles. All
+// fields are nil-safe obs handles, so update sites are unconditional;
+// the struct pointer itself gates the clock reads.
+type schedMetrics struct {
+	clock      obs.Clock
+	submitted  *obs.Counter
+	granted    *obs.Counter
+	backfilled *obs.Counter
+	completed  *obs.Counter
+	rejected   *obs.Counter
+	queueDepth *obs.Gauge
+	depthMax   *obs.Gauge
+	wait       *obs.Histogram
+	holBlocked *obs.Histogram
 }
 
 // Stats aggregates scheduler activity.
@@ -105,6 +124,12 @@ type Scheduler struct {
 	waiting []*request
 	closed  bool
 	stats   Stats
+
+	m *schedMetrics
+	// holSince marks when the queue head last became blocked (the
+	// head-of-line interval the backfill policy exists to fill).
+	holSince  time.Duration
+	holActive bool
 }
 
 // New creates a scheduler over totalMem bytes of schedulable GPU
@@ -118,6 +143,29 @@ func New(totalMem int64, policy Policy) *Scheduler {
 	}
 }
 
+// Instrument wires the scheduler to a telemetry registry and clock.
+// It must be called before the scheduler is shared between goroutines
+// (typically right after New). The clock decides whether wait and
+// head-of-line times are wall time (obs.NewWallClock) or virtual time
+// (obs.ClockFunc(kernel.Now)); both registry and clock are required.
+func (s *Scheduler) Instrument(reg *obs.Registry, clock obs.Clock) {
+	if reg == nil || clock == nil {
+		return
+	}
+	s.m = &schedMetrics{
+		clock:      clock,
+		submitted:  reg.Counter(obs.MetricSchedSubmitted, "scheduling requests submitted"),
+		granted:    reg.Counter(obs.MetricSchedGranted, "scheduling requests granted"),
+		backfilled: reg.Counter(obs.MetricSchedBackfilled, "grants made out of FCFS order"),
+		completed:  reg.Counter(obs.MetricSchedCompleted, "allocations reclaimed"),
+		rejected:   reg.Counter(obs.MetricSchedRejected, "submissions rejected (never-fits, duplicate, closed)"),
+		queueDepth: reg.Gauge(obs.MetricSchedQueueDepth, "requests currently waiting"),
+		depthMax:   reg.Gauge(obs.MetricSchedQueueDepthMax, "high-water mark of the wait queue"),
+		wait:       reg.Histogram(obs.MetricSchedWaitSeconds, obs.DurationBuckets(), "submit-to-grant wait time"),
+		holBlocked: reg.Histogram(obs.MetricSchedHOLBlockedSeconds, obs.DurationBuckets(), "contiguous intervals the queue head was too large to grant"),
+	}
+}
+
 // Submit registers a request for bytes of GPU memory on behalf of
 // clientID; grant is invoked (possibly synchronously, under no lock)
 // when the request is scheduled. A client may have at most one
@@ -126,27 +174,37 @@ func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		s.rejectedInc()
 		return ErrClosed
 	}
 	if bytes > s.total {
 		s.mu.Unlock()
+		s.rejectedInc()
 		return fmt.Errorf("%w: need %d, total %d (client %q)", ErrNeverFits, bytes, s.total, clientID)
 	}
 	if _, ok := s.alloc[clientID]; ok {
 		s.mu.Unlock()
+		s.rejectedInc()
 		return fmt.Errorf("%w: %q holds an allocation", ErrOutstanding, clientID)
 	}
 	for _, r := range s.waiting {
 		if r.clientID == clientID {
 			s.mu.Unlock()
+			s.rejectedInc()
 			return fmt.Errorf("%w: %q is queued", ErrOutstanding, clientID)
 		}
 	}
-	s.waiting = append(s.waiting, &request{clientID: clientID, kind: kind, bytes: bytes, grant: grant})
+	req := &request{clientID: clientID, kind: kind, bytes: bytes, grant: grant}
+	if s.m != nil {
+		req.at = s.m.clock.Now()
+		s.m.submitted.Inc()
+	}
+	s.waiting = append(s.waiting, req)
 	s.stats.Submitted++
 	if len(s.waiting) > s.stats.MaxQueueDepth {
 		s.stats.MaxQueueDepth = len(s.waiting)
 	}
+	s.observeQueueDepth()
 	grants := s.schedule()
 	s.mu.Unlock()
 	for _, g := range grants {
@@ -165,6 +223,9 @@ func (s *Scheduler) Complete(clientID string) int64 {
 		s.avail += reclaimed
 		delete(s.alloc, clientID)
 		s.stats.Completed++
+		if s.m != nil {
+			s.m.completed.Inc()
+		}
 	}
 	grants := s.schedule()
 	s.mu.Unlock()
@@ -219,7 +280,46 @@ func (s *Scheduler) schedule() []func() {
 			i++
 		}
 	}
+	s.observeHeadOfLine()
 	return grants
+}
+
+// observeHeadOfLine tracks contiguous intervals during which the queue
+// head does not fit in free memory — the blocked time backfilling
+// works around. Caller holds s.mu.
+func (s *Scheduler) observeHeadOfLine() {
+	if s.m == nil {
+		return
+	}
+	blocked := len(s.waiting) > 0 && s.waiting[0].bytes > s.avail
+	now := s.m.clock.Now()
+	switch {
+	case blocked && !s.holActive:
+		s.holActive = true
+		s.holSince = now
+	case !blocked && s.holActive:
+		s.holActive = false
+		s.m.holBlocked.Observe((now - s.holSince).Seconds())
+	}
+}
+
+// rejectedInc counts a rejected submission (atomic; callable with or
+// without s.mu).
+func (s *Scheduler) rejectedInc() {
+	if s.m != nil {
+		s.m.rejected.Inc()
+	}
+}
+
+// observeQueueDepth publishes the current and high-water queue depth.
+// Caller holds s.mu.
+func (s *Scheduler) observeQueueDepth() {
+	if s.m == nil {
+		return
+	}
+	depth := int64(len(s.waiting))
+	s.m.queueDepth.Set(depth)
+	s.m.depthMax.SetMax(depth)
 }
 
 // grantAt removes the request at index i, allocates its memory, and
@@ -233,6 +333,14 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 	if backfilled {
 		s.stats.Backfilled++
 	}
+	if s.m != nil {
+		s.m.granted.Inc()
+		if backfilled {
+			s.m.backfilled.Inc()
+		}
+		s.m.wait.Observe((s.m.clock.Now() - r.at).Seconds())
+		s.observeQueueDepth()
+	}
 	return r.grant
 }
 
@@ -244,12 +352,15 @@ func (s *Scheduler) Reserve(id string, bytes int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
+		s.rejectedInc()
 		return ErrClosed
 	}
 	if _, ok := s.alloc[id]; ok {
+		s.rejectedInc()
 		return fmt.Errorf("%w: %q holds an allocation", ErrOutstanding, id)
 	}
 	if bytes > s.avail {
+		s.rejectedInc()
 		return fmt.Errorf("%w: reserve %d, available %d", ErrNeverFits, bytes, s.avail)
 	}
 	s.avail -= bytes

@@ -13,11 +13,13 @@ import (
 	"log"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"menos/internal/gpu"
 	"menos/internal/model"
 	"menos/internal/nn"
+	"menos/internal/obs"
 	"menos/internal/profile"
 	"menos/internal/sched"
 	"menos/internal/share"
@@ -50,6 +52,14 @@ type Config struct {
 	MaxClients int
 	// Logger receives serving events; nil silences logging.
 	Logger *log.Logger
+	// Metrics, when set, instruments the server, its scheduler and its
+	// GPU device against the registry (see docs/OBSERVABILITY.md for
+	// the metric catalog). Nil disables metrics at zero cost.
+	Metrics *obs.Registry
+	// Tracer, when set, records per-iteration spans (admission, queue
+	// wait, forward/backward compute, release) on a wall clock. Nil
+	// disables tracing.
+	Tracer *obs.Tracer
 }
 
 // Server is a running Menos server.
@@ -65,13 +75,29 @@ type Server struct {
 	closed    bool
 	wg        sync.WaitGroup
 
+	// stats are atomics rather than a second mutex: serving goroutines
+	// update them while holding no locks, so there is no lock ordering
+	// to get wrong between stats, s.mu and the scheduler's internal
+	// lock (and `go test -race` keeps it that way).
 	stats struct {
-		sync.Mutex
-		clientsServed int64
-		iterations    int64
-		schedWait     time.Duration
-		compute       time.Duration
+		clientsServed atomic.Int64
+		iterations    atomic.Int64
+		schedWaitNs   atomic.Int64
+		computeNs     atomic.Int64
 	}
+
+	m serverMetrics
+}
+
+// serverMetrics are the serving plane's telemetry handles; the zero
+// value (nil handles) is valid and free.
+type serverMetrics struct {
+	admitted   *obs.Counter
+	rejected   *obs.Counter
+	iterations *obs.Counter
+	compute    *obs.Histogram
+	schedWait  *obs.Histogram
+	active     *obs.Gauge
 }
 
 // New creates a server over the shared store. The store's base
@@ -87,6 +113,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SchedPolicy == 0 {
 		cfg.SchedPolicy = sched.PolicyFCFSBackfill
 	}
+	// Instrument before the preload so the base-model charge shows up
+	// in the alloc counters, not just the seeded used gauge.
+	cfg.GPU.Instrument(cfg.Metrics)
 	if _, err := cfg.GPU.Alloc("base-model", cfg.Store.BaseParamBytes()); err != nil {
 		return nil, fmt.Errorf("server: loading base model: %w", err)
 	}
@@ -97,6 +126,17 @@ func New(cfg Config) (*Server, error) {
 		scheduler: sched.New(cfg.GPU.Available(), cfg.SchedPolicy),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+	}
+	if cfg.Metrics != nil {
+		s.scheduler.Instrument(cfg.Metrics, obs.NewWallClock())
+		s.m = serverMetrics{
+			admitted:   cfg.Metrics.Counter(obs.MetricServerAdmitted, "clients admitted at handshake"),
+			rejected:   cfg.Metrics.Counter(obs.MetricServerRejected, "clients rejected at handshake"),
+			iterations: cfg.Metrics.Counter(obs.MetricServerIterations, "fine-tuning iterations completed"),
+			compute:    cfg.Metrics.Histogram(obs.MetricServerComputeSeconds, obs.DurationBuckets(), "server-side compute per request"),
+			schedWait:  cfg.Metrics.Histogram(obs.MetricServerWaitSeconds, obs.DurationBuckets(), "scheduler grant wait per request"),
+			active:     cfg.Metrics.Gauge(obs.MetricServerActiveClients, "clients currently connected and admitted"),
+		}
 	}
 	return s, nil
 }
@@ -117,12 +157,13 @@ type Stats struct {
 
 // Stats returns a snapshot.
 func (s *Server) Stats() Stats {
-	s.stats.Lock()
-	defer s.stats.Unlock()
-	st := Stats{ClientsServed: s.stats.clientsServed, Iterations: s.stats.iterations}
-	if s.stats.iterations > 0 {
-		st.AvgSchedWait = s.stats.schedWait / time.Duration(s.stats.iterations)
-		st.AvgCompute = s.stats.compute / time.Duration(s.stats.iterations)
+	st := Stats{
+		ClientsServed: s.stats.clientsServed.Load(),
+		Iterations:    s.stats.iterations.Load(),
+	}
+	if st.Iterations > 0 {
+		st.AvgSchedWait = time.Duration(s.stats.schedWaitNs.Load()) / time.Duration(st.Iterations)
+		st.AvgCompute = time.Duration(s.stats.computeNs.Load()) / time.Duration(st.Iterations)
 	}
 	return st
 }
@@ -295,7 +336,10 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	if !ok {
 		return nil, fmt.Errorf("expected hello, got %v", msg.MsgType())
 	}
+	admitSpan := s.cfg.Tracer.Begin(hello.ClientID, "admit", "admission")
 	reject := func(reason string) (*session, error) {
+		s.m.rejected.Inc()
+		admitSpan.End()
 		_ = split.WriteMessage(conn, &split.HelloAck{OK: false, Reason: reason})
 		return nil, fmt.Errorf("rejected %q: %s", hello.ClientID, reason)
 	}
@@ -385,9 +429,10 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 		cleanup()
 		return nil, fmt.Errorf("write ack: %w", err)
 	}
-	s.stats.Lock()
-	s.stats.clientsServed++
-	s.stats.Unlock()
+	s.stats.clientsServed.Add(1)
+	s.m.admitted.Inc()
+	s.m.active.Add(1)
+	admitSpan.End()
 	return sess, nil
 }
 
@@ -396,6 +441,7 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 const contextOverheadBytes = 128 << 20
 
 func (s *Server) teardown(sess *session) {
+	s.m.active.Add(-1)
 	s.closeDecode(sess)
 	s.scheduler.Complete(sess.id)
 	s.scheduler.Complete("persist:" + sess.id)
@@ -406,13 +452,17 @@ func (s *Server) teardown(sess *session) {
 
 // acquire blocks until the scheduler grants bytes to the session.
 func (s *Server) acquire(sess *session, kind sched.RequestKind, bytes int64) (time.Duration, error) {
+	sp := s.cfg.Tracer.Begin(sess.id, "wait:"+kind.String(), "sched")
 	start := time.Now()
 	granted := make(chan struct{}, 1) // may fire synchronously inside Submit
 	if err := s.scheduler.Submit(sess.id, kind, bytes, func() { granted <- struct{}{} }); err != nil {
 		return 0, err
 	}
 	<-granted
-	return time.Since(start), nil
+	sp.End()
+	wait := time.Since(start)
+	s.m.schedWait.Observe(wait.Seconds())
+	return wait, nil
 }
 
 // serveForward is Algorithm 1, lines 4-8.
@@ -431,6 +481,7 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 	if err != nil {
 		return err
 	}
+	compSpan := s.cfg.Tracer.Begin(sess.id, "forward", "compute")
 	compStart := time.Now()
 
 	var resp *tensor.Tensor
@@ -461,9 +512,12 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 	}
 
 	comp := time.Since(compStart)
+	compSpan.End()
 	if s.cfg.OnDemand {
 		// Release GPU memory before waiting for gradients.
+		rel := s.cfg.Tracer.Begin(sess.id, "release", "release")
 		s.scheduler.Complete(sess.id)
+		rel.End()
 	}
 	s.recordIterationHalf(wait, comp)
 	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp})
@@ -481,6 +535,7 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 	var wait time.Duration
 	var cache *model.BodyCache
 	var err error
+	var compSpan *obs.SpanHandle
 	compStart := time.Now()
 	if s.cfg.OnDemand {
 		if sess.cachedInput == nil {
@@ -490,6 +545,7 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 		if err != nil {
 			return err
 		}
+		compSpan = s.cfg.Tracer.Begin(sess.id, "backward", "compute")
 		compStart = time.Now()
 		// Re-forward with gradient preparation.
 		_, cache, err = sess.body.Forward(sess.cachedInput, sess.cachedBatch, sess.cachedSeq, true)
@@ -499,6 +555,7 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 		}
 		sess.cachedInput = nil
 	} else {
+		compSpan = s.cfg.Tracer.Begin(sess.id, "backward", "compute")
 		if sess.preserved == nil {
 			return errors.New("backward before forward")
 		}
@@ -522,22 +579,23 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 		nn.ZeroGrads(sess.params)
 	}
 	comp := time.Since(compStart)
+	compSpan.End()
 
 	// Release GPU memory (both policies release after backward).
+	rel := s.cfg.Tracer.Begin(sess.id, "release", "release")
 	s.scheduler.Complete(sess.id)
+	rel.End()
 	s.recordIterationHalf(wait, comp)
 
-	s.stats.Lock()
-	s.stats.iterations++
-	s.stats.Unlock()
+	s.stats.iterations.Add(1)
+	s.m.iterations.Inc()
 	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs})
 }
 
 func (s *Server) recordIterationHalf(wait, comp time.Duration) {
-	s.stats.Lock()
-	s.stats.schedWait += wait
-	s.stats.compute += comp
-	s.stats.Unlock()
+	s.stats.schedWaitNs.Add(int64(wait))
+	s.stats.computeNs.Add(int64(comp))
+	s.m.compute.Observe(comp.Seconds())
 }
 
 func (s *Server) sendError(conn net.Conn, err error) {

@@ -7,6 +7,7 @@ import (
 	"menos/internal/costmodel"
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
+	"menos/internal/obs"
 	"menos/internal/sched"
 	"menos/internal/sim"
 	"menos/internal/trace"
@@ -43,6 +44,7 @@ func runMenos(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		devices.Instrument(cfg.Metrics)
 		if _, err := devices.AllocSharded("base-model", w0.ServerBaseBytes()); err != nil {
 			return nil, fmt.Errorf("server %d: loading shared base model: %w", s, err)
 		}
@@ -83,8 +85,12 @@ func runMenos(cfg Config) (*Result, error) {
 		demands[cl.ID] = d
 	}
 
+	// The virtual clock: scheduler wait times and spans are measured in
+	// kernel time, so the telemetry of a simulated run reads exactly
+	// like a real one (only ~10^6× faster to produce).
 	for _, srv := range servers {
 		srv.scheduler = sched.New(srv.devices.Available(), cfg.SchedPol)
+		srv.scheduler.Instrument(cfg.Metrics, obs.ClockFunc(kernel.Now))
 	}
 
 	results := make([]ClientResult, len(cfg.Clients))
@@ -131,11 +137,33 @@ func runMenos(cfg Config) (*Result, error) {
 		releaseCost := cost.ReleaseOverhead(density)
 
 		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
-			grant := func(kind sched.RequestKind, bytes int64) time.Duration {
+			// Every accumulator update below also records a span with
+			// identical virtual-time bounds, so summing spans by
+			// category reconstructs the Breakdown exactly (the bench's
+			// -trace-out parity check relies on this).
+			var comm, comp, schedT time.Duration
+			sleepComp := func(name string, d time.Duration) {
+				start := p.Now()
+				p.Sleep(d)
+				comp += d
+				cfg.Tracer.Record(cl.ID, name, "compute", start, d)
+			}
+			xfer := func(name string) {
+				start := p.Now()
+				d := link.Transfer(p, transfer)
+				comm += d
+				cfg.Tracer.Record(cl.ID, name, "comm", start, d)
+			}
+			grant := func(kind sched.RequestKind, bytes int64) {
+				start := p.Now()
 				d := waitGrant(p, scheduler, cl.ID, kind, bytes)
 				recordWait(kind, d)
 				sampleMem(p.Now())
-				return d
+				schedT += d
+				// d includes the fixed scheduler decision cost, which
+				// does not advance virtual time; keep the span equal to
+				// what the Breakdown records.
+				cfg.Tracer.Record(cl.ID, "wait:"+kind.String(), "sched", start, d)
 			}
 			release := func() {
 				scheduler.Complete(cl.ID)
@@ -146,93 +174,72 @@ func runMenos(cfg Config) (*Result, error) {
 			}
 			persisted := false
 			for iter := 0; iter < cfg.Iterations; iter++ {
-				var comm, comp, schedT time.Duration
+				comm, comp, schedT = 0, 0, 0
 
 				// Client computes the input section and uploads x_c.
-				p.Sleep(pre)
-				comp += pre
-				comm += link.Transfer(p, transfer)
+				sleepComp("client-pre", pre)
+				xfer("upload:x_c")
 
 				// ---- Server: forward request ----
 				switch cfg.Policy {
 				case PolicyPersistAll:
 					// Reserve once, on the first iteration, forever.
 					if !persisted {
-						schedT += grant(sched.KindForward, demand.fwd)
+						grant(sched.KindForward, demand.fwd)
 						persisted = true
 					}
-					fwd := cost.ForwardTime(cl.Workload)
-					p.Sleep(fwd)
-					comp += fwd
+					sleepComp("forward", cost.ForwardTime(cl.Workload))
 				case PolicyPreserve, PolicyReleaseOnWait:
-					schedT += grant(sched.KindForward, demand.fwd)
-					fwd := cost.ForwardTime(cl.Workload)
-					p.Sleep(fwd)
-					comp += fwd
+					grant(sched.KindForward, demand.fwd)
+					sleepComp("forward", cost.ForwardTime(cl.Workload))
 					if cfg.Policy == PolicyReleaseOnWait {
 						release()
-						p.Sleep(releaseCost / 2)
-						comp += releaseCost / 2
+						sleepComp("release", releaseCost/2)
 					}
 					// PolicyPreserve: memory stays allocated through
 					// the gradient wait.
 				default: // PolicyOnDemand, Fig. 3(d)
-					schedT += grant(sched.KindForward, demand.fwd)
-					fwd := cost.NoGradForwardTime(cl.Workload)
-					p.Sleep(fwd)
-					comp += fwd
+					grant(sched.KindForward, demand.fwd)
+					sleepComp("forward", cost.NoGradForwardTime(cl.Workload))
 					release()
 				}
 
 				// Server returns x_s; client runs the output section,
 				// computes the loss, and uploads g_c.
-				comm += link.Transfer(p, transfer)
-				p.Sleep(mid)
-				comp += mid
-				comm += link.Transfer(p, transfer)
+				xfer("download:x_s")
+				sleepComp("client-mid", mid)
+				xfer("upload:g_c")
 
 				// ---- Server: backward request ----
 				switch cfg.Policy {
 				case PolicyPersistAll:
-					bwd := cost.BackwardTime(cl.Workload)
-					p.Sleep(bwd)
-					comp += bwd
+					sleepComp("backward", cost.BackwardTime(cl.Workload))
 				case PolicyPreserve:
-					bwd := cost.BackwardTime(cl.Workload)
-					p.Sleep(bwd)
-					comp += bwd
+					sleepComp("backward", cost.BackwardTime(cl.Workload))
 					release()
-					p.Sleep(releaseCost)
-					comp += releaseCost
+					sleepComp("release", releaseCost)
 				case PolicyReleaseOnWait:
-					schedT += grant(sched.KindBackward, demand.bwd)
-					bwd := cost.ForwardTime(cl.Workload) + cost.BackwardTime(cl.Workload)
-					p.Sleep(bwd)
-					comp += bwd
+					grant(sched.KindBackward, demand.bwd)
+					sleepComp("backward", cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload))
 					release()
-					p.Sleep(releaseCost / 2)
-					comp += releaseCost / 2
+					sleepComp("release", releaseCost/2)
 				default: // PolicyOnDemand
-					schedT += grant(sched.KindBackward, demand.bwd)
-					bwd := cost.ForwardTime(cl.Workload) + // re-forward
-						cost.BackwardTime(cl.Workload)
-					p.Sleep(bwd)
-					comp += bwd
+					grant(sched.KindBackward, demand.bwd)
+					// Re-forward + backward.
+					sleepComp("re-forward+backward",
+						cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload))
 					release()
 					// Releasing and re-collecting fragmented memory
 					// happens after the grant is returned (Table 2's
 					// growing overhead).
-					p.Sleep(releaseCost)
-					comp += releaseCost
+					sleepComp("release", releaseCost)
 				}
-				p.Sleep(costmodel.OptimizerStepTime)
-				comp += costmodel.OptimizerStepTime
+				sleepComp("optimizer", costmodel.OptimizerStepTime)
 
 				// Server returns g_s; client finishes its backward and
 				// optimizer step.
-				comm += link.Transfer(p, transfer)
-				p.Sleep(post)
-				comp += post
+				xfer("download:g_s")
+				sleepComp("client-post", post)
 
 				bd.Add(comm, comp, schedT)
 			}

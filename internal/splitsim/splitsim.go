@@ -14,6 +14,7 @@ import (
 	"menos/internal/costmodel"
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
+	"menos/internal/obs"
 	"menos/internal/sched"
 	"menos/internal/sim"
 	"menos/internal/simnet"
@@ -110,6 +111,17 @@ type Config struct {
 	// LinkPreset builds the client-server link; nil means the paper's
 	// WAN.
 	LinkPreset func(*sim.Kernel) *simnet.Link
+	// Tracer, when set, records every client's per-iteration spans
+	// (comm transfers, compute segments, grant waits) in *virtual*
+	// time: span timestamps are kernel time, never the wall clock, so
+	// a dumped Chrome trace shows the simulated timeline. The span
+	// category totals reconstruct the run's trace.Breakdown exactly.
+	Tracer *obs.Tracer
+	// Metrics, when set, instruments the simulated scheduler and GPUs
+	// against the registry, with wait times measured on the virtual
+	// clock. The vanilla baseline additionally counts swap traffic
+	// under menos_swap_*.
+	Metrics *obs.Registry
 }
 
 func (c *Config) applyDefaults() {

@@ -6,6 +6,7 @@ import (
 
 	"menos/internal/costmodel"
 	"menos/internal/gpu"
+	"menos/internal/obs"
 	"menos/internal/sim"
 	"menos/internal/trace"
 )
@@ -39,6 +40,11 @@ type residency struct {
 
 	resident map[string]gpu.AllocID
 	queue    []*vanillaWaiter
+
+	// swapOps/swapTraffic count swap-in transfers (nil-safe handles;
+	// zero value means un-instrumented).
+	swapOps     *obs.Counter
+	swapTraffic *obs.Counter
 }
 
 // ensure makes the client resident, returning the scheduling delay
@@ -66,6 +72,8 @@ func (r *residency) ensure(p *sim.Proc, id string, cost *costmodel.Model) time.D
 	// own replica now. The victim's write-back overlaps with queueing
 	// (asynchronous DMA), so it does not appear on the critical path.
 	p.Sleep(cost.SwapTime(r.swapBytes[id]))
+	r.swapOps.Inc()
+	r.swapTraffic.Add(r.swapBytes[id])
 	r.resident[id] = w.allocID
 	return p.Now() - start
 }
@@ -114,12 +122,15 @@ func runVanilla(cfg Config) (*Result, error) {
 	}
 	link := cfg.LinkPreset(kernel)
 
+	devices.Instrument(cfg.Metrics)
 	res := &residency{
 		kernel:        kernel,
 		devices:       devices,
 		residentBytes: make(map[string]int64),
 		swapBytes:     make(map[string]int64),
 		resident:      make(map[string]gpu.AllocID),
+		swapOps:       cfg.Metrics.Counter(obs.MetricSwapOps, "Task swap-in transfers (vanilla baseline)."),
+		swapTraffic:   cfg.Metrics.Counter(obs.MetricSwapBytes, "Bytes moved over PCIe by task swap-ins (vanilla baseline)."),
 	}
 	var persistent int64
 	for _, cl := range cfg.Clients {
@@ -152,37 +163,47 @@ func runVanilla(cfg Config) (*Result, error) {
 		transfer := cl.Workload.TransferBytes()
 
 		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
+			// Spans mirror the Breakdown accumulators exactly, as in
+			// the Menos loop.
+			var comm, comp, schedT time.Duration
+			sleepComp := func(name string, d time.Duration) {
+				start := p.Now()
+				p.Sleep(d)
+				comp += d
+				cfg.Tracer.Record(cl.ID, name, "compute", start, d)
+			}
+			xfer := func(name string) {
+				start := p.Now()
+				d := link.Transfer(p, transfer)
+				comm += d
+				cfg.Tracer.Record(cl.ID, name, "comm", start, d)
+			}
 			if cl.StartDelay > 0 {
 				p.Sleep(cl.StartDelay)
 			}
 			for iter := 0; iter < cfg.Iterations; iter++ {
-				var comm, comp, schedT time.Duration
+				comm, comp, schedT = 0, 0, 0
 
-				p.Sleep(pre)
-				comp += pre
-				comm += link.Transfer(p, transfer)
+				sleepComp("client-pre", pre)
+				xfer("upload:x_c")
 
 				// The task must be on the GPU for the whole iteration.
-				schedT += res.ensure(p, cl.ID, cost)
+				resStart := p.Now()
+				d := res.ensure(p, cl.ID, cost)
+				schedT += d
+				cfg.Tracer.Record(cl.ID, "residency-wait", "sched", resStart, d)
 
-				fwd := cost.ForwardTime(cl.Workload)
-				p.Sleep(fwd)
-				comp += fwd
+				sleepComp("forward", cost.ForwardTime(cl.Workload))
 
-				comm += link.Transfer(p, transfer)
-				p.Sleep(mid)
-				comp += mid
-				comm += link.Transfer(p, transfer)
+				xfer("download:x_s")
+				sleepComp("client-mid", mid)
+				xfer("upload:g_c")
 
-				bwd := cost.BackwardTime(cl.Workload)
-				p.Sleep(bwd)
-				comp += bwd
-				p.Sleep(costmodel.OptimizerStepTime)
-				comp += costmodel.OptimizerStepTime
+				sleepComp("backward", cost.BackwardTime(cl.Workload))
+				sleepComp("optimizer", costmodel.OptimizerStepTime)
 
-				comm += link.Transfer(p, transfer)
-				p.Sleep(post)
-				comp += post
+				xfer("download:g_s")
+				sleepComp("client-post", post)
 
 				bd.Add(comm, comp, schedT)
 				res.iterDone(cl.ID)

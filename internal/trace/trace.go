@@ -39,6 +39,14 @@ func (b *Breakdown) Iterations() int {
 	return b.iterations
 }
 
+// Totals returns the accumulated component sums (not averages). Span
+// traces recorded alongside a run reconstruct exactly these totals.
+func (b *Breakdown) Totals() (comm, comp, sched time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.comm, b.comp, b.sched
+}
+
 // AvgComm returns mean communication time per iteration.
 func (b *Breakdown) AvgComm() time.Duration { return b.avg(&b.comm) }
 
@@ -121,6 +129,7 @@ type Table struct {
 	Title   string
 	Headers []string
 	rows    [][]string
+	err     error
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -128,12 +137,22 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; short rows are padded.
+// AddRow appends a row; short rows are padded. A row with more cells
+// than the table has columns is truncated, and the first such mismatch
+// is recorded: check Err after building, and WriteCSV refuses to emit a
+// table that silently lost data.
 func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.Headers) && t.err == nil {
+		t.err = fmt.Errorf("trace: row %d of table %q has %d cells but only %d columns",
+			len(t.rows), t.Title, len(cells), len(t.Headers))
+	}
 	row := make([]string, len(t.Headers))
 	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
+
+// Err returns the first row-arity mistake recorded by AddRow, or nil.
+func (t *Table) Err() error { return t.err }
 
 // Rows returns the row data.
 func (t *Table) Rows() [][]string { return t.rows }
@@ -179,8 +198,12 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
-// WriteCSV emits the table as CSV.
+// WriteCSV emits the table as CSV. It fails if AddRow recorded a
+// truncated row, rather than exporting silently incomplete data.
 func (t *Table) WriteCSV(w io.Writer) error {
+	if t.err != nil {
+		return t.err
+	}
 	writeLine := func(cells []string) error {
 		escaped := make([]string, len(cells))
 		for i, c := range cells {

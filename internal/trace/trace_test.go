@@ -201,3 +201,108 @@ func TestSparklinesEmptyFigure(t *testing.T) {
 		t.Fatalf("all-zero figure produced sparkline %q", out)
 	}
 }
+
+func TestTableLongRowRecordsError(t *testing.T) {
+	tb := NewTable("narrow", "A", "B")
+	tb.AddRow("1", "2")
+	if tb.Err() != nil {
+		t.Fatalf("exact-arity row flagged: %v", tb.Err())
+	}
+	tb.AddRow("1", "2", "3", "4")
+	err := tb.Err()
+	if err == nil {
+		t.Fatal("overlong row not recorded")
+	}
+	if !strings.Contains(err.Error(), "narrow") || !strings.Contains(err.Error(), "4 cells") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+	// The row is still present (truncated) for Render.
+	if len(tb.Rows()) != 2 || tb.Rows()[1][1] != "2" {
+		t.Fatalf("rows = %v", tb.Rows())
+	}
+	// The first mistake wins; a later one does not overwrite it.
+	tb.AddRow("x", "y", "z")
+	if tb.Err() != err {
+		t.Fatal("recorded error overwritten")
+	}
+	// CSV export refuses to emit truncated data.
+	var sb strings.Builder
+	if csvErr := tb.WriteCSV(&sb); csvErr != err {
+		t.Fatalf("WriteCSV error = %v, want %v", csvErr, err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("partial csv written: %q", sb.String())
+	}
+}
+
+func TestTableShortRowNoError(t *testing.T) {
+	tb := NewTable("", "A", "B", "C")
+	tb.AddRow("just-one")
+	if tb.Err() != nil {
+		t.Fatalf("padded short row flagged: %v", tb.Err())
+	}
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "just-one,,\n") {
+		t.Fatalf("short row csv:\n%s", sb.String())
+	}
+}
+
+func TestFigureCSVExport(t *testing.T) {
+	f := NewFigure("Fig 6", "clients")
+	menos := f.NewSeries("menos")
+	menos.Add(1, 154.1)
+	menos.Add(4, 160)
+	vanilla := f.NewSeries("vanilla")
+	vanilla.Add(1, 155)
+	// vanilla has no x=4 point: the join emits n/a.
+	var sb strings.Builder
+	if err := f.Table().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "clients,menos,vanilla\n1,154.100,155\n4,160,n/a\n"
+	if got != want {
+		t.Fatalf("figure csv:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestSparklinesAllZeroSeries(t *testing.T) {
+	f := NewFigure("flat", "x")
+	s := f.NewSeries("zeros")
+	s.Add(1, 0)
+	s.Add(2, 0)
+	// Global max is zero: no scale exists, so no sparklines — but
+	// Render must still produce the table without panicking.
+	if got := f.Sparklines(); got != "" {
+		t.Fatalf("all-zero sparkline = %q", got)
+	}
+	if out := f.Render(); !strings.Contains(out, "zeros") {
+		t.Fatalf("table missing from render:\n%s", out)
+	}
+}
+
+func TestSparklinesSinglePoint(t *testing.T) {
+	f := NewFigure("point", "x")
+	f.NewSeries("solo").Add(1, 42)
+	got := f.Sparklines()
+	want := "solo  █\n"
+	if got != want {
+		t.Fatalf("single-point sparkline = %q, want %q", got, want)
+	}
+}
+
+func TestSparklinesMixedWithEmptySeries(t *testing.T) {
+	f := NewFigure("mixed", "x")
+	full := f.NewSeries("full")
+	full.Add(1, 1)
+	full.Add(2, 8)
+	f.NewSeries("empty") // no points: skipped, no blank line
+	got := f.Sparklines()
+	want := "full   ▁█\n"
+	if got != want {
+		t.Fatalf("sparklines = %q, want %q", got, want)
+	}
+}
