@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench verify
+.PHONY: build test test-race bench bench-diff ci verify
 
 build:
 	$(GO) build ./...
@@ -9,11 +9,34 @@ test:
 	$(GO) test ./...
 
 # Race-checks the packages with real lock/atomic contention: the
-# metrics registry, the scheduler and the TCP serving loop.
+# metrics registry, the scheduler (including admission-control state
+# flips), the TCP serving loop and the simulator that drives them.
 test-race:
-	$(GO) test -race ./internal/obs ./internal/sched ./internal/server
+	$(GO) test -race ./internal/obs ./internal/sched ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-diff runs the paper-workload benchmark and compares it against
+# the committed baseline (bench/baseline.json); exits non-zero when the
+# server compute-time p50 regresses past the threshold. Refresh the
+# baseline with: go run ./cmd/menos-benchdiff -write-baseline
+bench-diff:
+	$(GO) run ./cmd/menos-benchdiff
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# ci mirrors .github/workflows/ci.yml: the verify job's commands in the
+# same order, then the race job. Keep the two in sync.
+ci: build vet fmt-check test test-race
+
+.PHONY: fmt-check vet
 
 verify: build test test-race

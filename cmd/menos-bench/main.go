@@ -7,8 +7,10 @@
 //	            [-trace-out spans.json]
 //
 // -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
-// fig8, fig9, fig10, table1, table2, table3, ablations, extensions.
-// By default all run.
+// fig8, fig9, fig10, table1, table2, table3, ablations, extensions,
+// overload. By default all run except overload, which deliberately
+// saturates the scheduler (docs/ADMISSION.md) and must be requested
+// explicitly.
 //
 // -trace-out runs one traced Menos simulation and writes its spans as
 // Chrome trace-event JSON (load in chrome://tracing or Perfetto); span
@@ -20,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,7 +46,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 12, "simulated fine-tuning iterations per configuration")
 	steps := fs.Int("steps", 60, "real fine-tuning steps for convergence runs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
-	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions)")
+	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,9 +76,17 @@ func run(args []string) error {
 		for _, fig := range experiments.Fig5() {
 			fmt.Println(fig.Render())
 		}
-		for name, saving := range experiments.Fig5Reduction() {
+		// Sorted so the output is byte-stable run to run (benchdiff
+		// and the regression harness diff this text).
+		reductions := experiments.Fig5Reduction()
+		names := make([]string, 0, len(reductions))
+		for name := range reductions {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			fmt.Printf("Fig. 5 headline: %s saving at 4 clients = %.1f%% (paper: OPT 64.1%%, Llama 72.2%%)\n",
-				name, saving*100)
+				name, reductions[name]*100)
 		}
 		fmt.Println()
 	}
@@ -182,6 +193,18 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(het.Render())
+	}
+
+	// The overload sweep is opt-in (-only overload): it deliberately
+	// saturates the scheduler and enables admission control, so it is
+	// not part of the paper-default artifact set.
+	if *only == "overload" {
+		ran = true
+		ov, err := experiments.OverloadSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ov.Render())
 	}
 
 	if *traceOut != "" {

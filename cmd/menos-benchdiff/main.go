@@ -1,0 +1,279 @@
+// Command menos-benchdiff is the regression gate from ROADMAP's
+// "regression gating" item: it runs the paper workload against a real
+// loopback-TCP deployment, snapshots the benchmark metrics as
+// BENCH_<sha>.json, diffs them against the committed baseline, and
+// exits non-zero when the server-side compute p50
+// (menos_server_compute_seconds) regresses beyond the threshold.
+//
+// Usage:
+//
+//	menos-benchdiff [-baseline bench/baseline.json] [-out BENCH_<sha>.json]
+//	                [-sha id] [-threshold 0.5] [-steps N] [-clients N]
+//	                [-write-baseline]
+//
+// Only the wall-clock compute p50 gates the exit status, with a wide
+// default threshold (50%) because absolute timings vary by machine;
+// CI runs this as an advisory job. The virtual-time metrics from the
+// discrete-event simulator are byte-deterministic and reported for
+// information: any drift there means scheduler behaviour changed, not
+// that the machine was slow.
+//
+// -write-baseline refreshes the committed baseline in place instead of
+// diffing (run it on the machine class the baseline should represent).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"menos/internal/adapter"
+	"menos/internal/client"
+	"menos/internal/core"
+	"menos/internal/costmodel"
+	"menos/internal/memmodel"
+	"menos/internal/model"
+	"menos/internal/obs"
+	"menos/internal/splitsim"
+	"menos/internal/tensor"
+)
+
+// gateMetric is the one measurement that decides the exit status.
+const gateMetric = "server_compute_seconds_p50"
+
+// Report is the benchmark snapshot written as BENCH_<sha>.json. The
+// Metrics map mixes the wall-clock gate metric with informational
+// virtual-time measurements; Gate names the key that decides pass/fail
+// so a future reader of the JSON does not have to guess.
+type Report struct {
+	SHA     string             `json:"sha"`
+	Gate    string             `json:"gate"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "menos-benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("menos-benchdiff", flag.ContinueOnError)
+	baseline := fs.String("baseline", "bench/baseline.json", "committed baseline to diff against")
+	out := fs.String("out", "", "where to write the snapshot (default BENCH_<sha>.json)")
+	sha := fs.String("sha", defaultSHA(), "commit id recorded in the snapshot")
+	threshold := fs.Float64("threshold", 0.5, "fail when the gate metric regresses by more than this fraction")
+	steps := fs.Int("steps", 6, "fine-tuning steps per client on the loopback deployment")
+	clients := fs.Int("clients", 2, "concurrent clients on the loopback deployment")
+	writeBaseline := fs.Bool("write-baseline", false, "refresh the baseline in place instead of diffing")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := runBench(*sha, *clients, *steps)
+	if err != nil {
+		return err
+	}
+
+	if *writeBaseline {
+		if err := writeReport(*baseline, rep); err != nil {
+			return err
+		}
+		fmt.Printf("baseline refreshed: %s (%s = %.6fs)\n", *baseline, gateMetric, rep.Metrics[gateMetric])
+		return nil
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *sha)
+	}
+	if err := writeReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("snapshot: %s\n", path)
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		return fmt.Errorf("read baseline (run with -write-baseline to create it): %w", err)
+	}
+	d := diff(base, rep, *threshold)
+	for _, line := range d.Notes {
+		fmt.Println("  " + line)
+	}
+	if len(d.Regressions) > 0 {
+		for _, line := range d.Regressions {
+			fmt.Println("  REGRESSION: " + line)
+		}
+		return fmt.Errorf("%d metric(s) regressed beyond %.0f%%", len(d.Regressions), *threshold*100)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+// defaultSHA prefers the commit id CI exports, falling back to "local".
+func defaultSHA() string {
+	if sha := os.Getenv("GITHUB_SHA"); sha != "" {
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		return sha
+	}
+	return "local"
+}
+
+// runBench produces one benchmark snapshot: a wall-clock loopback-TCP
+// run (the gate) plus a deterministic virtual-time simulation of the
+// paper's OPT workload (informational).
+func runBench(sha string, clients, steps int) (Report, error) {
+	rep := Report{SHA: sha, Gate: gateMetric, Metrics: map[string]float64{}}
+
+	reg := obs.NewRegistry()
+	if err := loopbackRun(reg, clients, steps); err != nil {
+		return Report{}, fmt.Errorf("loopback benchmark: %w", err)
+	}
+	h := reg.Histogram(obs.MetricServerComputeSeconds, obs.DurationBuckets())
+	rep.Metrics[gateMetric] = h.Quantile(0.50)
+	rep.Metrics["server_compute_seconds_p99"] = h.Quantile(0.99)
+	rep.Metrics["server_compute_samples"] = float64(h.Count())
+
+	simReg := obs.NewRegistry()
+	sim, err := splitsim.Run(splitsim.Config{
+		Mode:       splitsim.ModeMenos,
+		Clients:    splitsim.HomogeneousClients(4, memmodel.PaperOPTWorkload(), costmodel.ClientGPUPerf()),
+		Iterations: 8,
+		Metrics:    simReg,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("virtual-time benchmark: %w", err)
+	}
+	wait := simReg.Histogram(obs.MetricSchedWaitSeconds, obs.DurationBuckets())
+	rep.Metrics["sim_sched_wait_seconds_p50"] = wait.Quantile(0.50)
+	rep.Metrics["sim_time_seconds"] = sim.SimulatedTime.Seconds()
+	rep.Metrics["sim_avg_iteration_seconds"] = sim.AvgIterationTime().Seconds()
+	return rep, nil
+}
+
+// loopbackRun drives the paper workload end to end on this machine: an
+// opt-tiny deployment on a loopback listener, instrumented against
+// reg, with clients stepping real LoRA fine-tuning through the wire
+// protocol.
+func loopbackRun(reg *obs.Registry, clients, steps int) error {
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Model:      model.OPTTiny(),
+		WeightSeed: 7,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := dep.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	for ci := 0; ci < clients; ci++ {
+		c, err := dep.DialClient(client.Config{
+			ClientID:    fmt.Sprintf("bench-%d", ci),
+			Model:       model.OPTTiny(),
+			WeightSeed:  7,
+			Adapter:     adapter.LoRASpec(adapter.DefaultLoRA()),
+			AdapterSeed: uint64(ci + 1),
+			Batch:       1,
+			Seq:         16,
+		})
+		if err != nil {
+			return err
+		}
+		rng := tensor.NewRNG(uint64(100 + ci))
+		ids := make([]int, 16)
+		targets := make([]int, 16)
+		for s := 0; s < steps; s++ {
+			for i := range ids {
+				ids[i] = rng.Intn(model.OPTTiny().Vocab)
+				targets[i] = rng.Intn(model.OPTTiny().Vocab)
+			}
+			if _, err := c.Step(ids, targets); err != nil {
+				c.Close()
+				return fmt.Errorf("client %d step %d: %w", ci, s, err)
+			}
+		}
+		if err := c.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Diff is the outcome of comparing a snapshot against the baseline.
+type Diff struct {
+	// Regressions fail the run: the gate metric got slower than
+	// baseline × (1 + threshold).
+	Regressions []string
+	// Notes are informational lines for every compared metric.
+	Notes []string
+}
+
+// diff compares cur against base. Only the gate metric can produce a
+// regression; everything else is reported. Metrics missing from either
+// side are noted, never fatal, so adding a metric does not break the
+// gate against an older baseline.
+func diff(base, cur Report, threshold float64) Diff {
+	var d Diff
+	for _, name := range sortedKeys(cur.Metrics) {
+		curV := cur.Metrics[name]
+		baseV, ok := base.Metrics[name]
+		if !ok {
+			d.Notes = append(d.Notes, fmt.Sprintf("%s: %.6f (not in baseline)", name, curV))
+			continue
+		}
+		delta := relDelta(baseV, curV)
+		d.Notes = append(d.Notes, fmt.Sprintf("%s: %.6f vs baseline %.6f (%+.1f%%)", name, curV, baseV, delta*100))
+		if name == cur.Gate && delta > threshold {
+			d.Regressions = append(d.Regressions,
+				fmt.Sprintf("%s: %.6fs vs baseline %.6fs (+%.1f%%, threshold %.0f%%)",
+					name, curV, baseV, delta*100, threshold*100))
+		}
+	}
+	return d
+}
+
+// relDelta is (cur-base)/base; a zero or negative baseline (empty
+// histogram) gates nothing and reports a flat delta.
+func relDelta(base, cur float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cur - base) / base
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeReport(path string, rep Report) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}

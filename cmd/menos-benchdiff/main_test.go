@@ -1,0 +1,103 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func report(gate float64, extra map[string]float64) Report {
+	m := map[string]float64{gateMetric: gate}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return Report{SHA: "test", Gate: gateMetric, Metrics: m}
+}
+
+func TestDiffGatesOnlyTheGateMetric(t *testing.T) {
+	base := report(0.010, map[string]float64{"sim_time_seconds": 60})
+
+	tests := []struct {
+		name      string
+		cur       Report
+		threshold float64
+		wantFail  bool
+	}{
+		{"unchanged", report(0.010, nil), 0.5, false},
+		{"faster", report(0.004, nil), 0.5, false},
+		{"within threshold", report(0.014, nil), 0.5, false},
+		{"beyond threshold", report(0.016, nil), 0.5, true},
+		{"tight threshold", report(0.012, nil), 0.1, true},
+		{"non-gate metric regresses", report(0.010, map[string]float64{"sim_time_seconds": 600}), 0.5, false},
+		{"new metric absent from baseline", report(0.010, map[string]float64{"fresh": 1}), 0.5, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d := diff(base, tc.cur, tc.threshold)
+			if got := len(d.Regressions) > 0; got != tc.wantFail {
+				t.Fatalf("regressions = %v, want fail=%v", d.Regressions, tc.wantFail)
+			}
+			if len(d.Notes) == 0 {
+				t.Fatal("no notes emitted")
+			}
+		})
+	}
+}
+
+func TestRelDelta(t *testing.T) {
+	if d := relDelta(10, 15); d != 0.5 {
+		t.Fatalf("relDelta(10,15) = %v", d)
+	}
+	if d := relDelta(10, 5); d != -0.5 {
+		t.Fatalf("relDelta(10,5) = %v", d)
+	}
+	// An empty-histogram baseline (p50 = 0) must not divide by zero or
+	// spuriously gate.
+	if d := relDelta(0, 5); d != 0 {
+		t.Fatalf("relDelta(0,5) = %v", d)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	in := report(0.0123, map[string]float64{"sim_time_seconds": 61.5})
+	if err := writeReport(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.SHA != in.SHA || out.Gate != in.Gate {
+		t.Fatalf("round trip lost identity: %+v", out)
+	}
+	for k, v := range in.Metrics {
+		if out.Metrics[k] != v {
+			t.Fatalf("metric %s: %v != %v", k, out.Metrics[k], v)
+		}
+	}
+	if _, err := readReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing baseline must error")
+	}
+}
+
+// TestLoopbackBenchSmoke runs the real benchmark at minimum size: one
+// client, one step. It exercises the full wire path and checks the
+// gate metric is populated.
+func TestLoopbackBenchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loopback deployment in -short mode")
+	}
+	rep, err := runBench("test", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["server_compute_samples"] <= 0 {
+		t.Fatal("no compute samples recorded")
+	}
+	if rep.Metrics[gateMetric] <= 0 {
+		t.Fatalf("gate metric %v, want > 0", rep.Metrics[gateMetric])
+	}
+	if rep.Metrics["sim_time_seconds"] <= 0 {
+		t.Fatal("virtual-time benchmark missing")
+	}
+}

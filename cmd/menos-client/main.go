@@ -7,12 +7,19 @@
 //	menos-client [-addr localhost:7600] [-id alice] [-model opt-tiny]
 //	             [-seed 42] [-adapter lora] [-dataset shakespeare]
 //	             [-steps 100] [-batch 4] [-seq 32] [-lr 0.008]
+//	             [-max-retries 8]
+//
+// When the server sheds load (admission control, docs/ADMISSION.md)
+// the client backs off for the server's retry-after hint and resubmits
+// the same step, up to -max-retries times per step.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"menos/internal/adapter"
 	"menos/internal/client"
@@ -40,6 +47,7 @@ func run(args []string) error {
 	seq := fs.Int("seq", 32, "sequence length")
 	lr := fs.Float64("lr", 8e-3, "learning rate")
 	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
+	maxRetries := fs.Int("max-retries", 8, "retries per step when the server sheds load (0 fails fast)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,7 +96,7 @@ func run(args []string) error {
 
 	for step := 0; step < *steps; step++ {
 		ids, targets := loader.Next()
-		res, err := c.Step(ids, targets)
+		res, err := stepWithRetry(c, ids, targets, *maxRetries)
 		if err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
@@ -99,6 +107,25 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// stepWithRetry runs one step, backing off and resubmitting when the
+// server sheds it with a retryable overload rejection. A full step is
+// safe to resubmit: the server mutates nothing before the shed.
+func stepWithRetry(c *client.Client, ids, targets []int, maxRetries int) (client.StepResult, error) {
+	for attempt := 0; ; attempt++ {
+		res, err := c.Step(ids, targets)
+		if err == nil || !errors.Is(err, client.ErrOverloaded) || attempt >= maxRetries {
+			return res, err
+		}
+		backoff, _ := client.RetryAfter(err)
+		if backoff <= 0 {
+			backoff = 100 * time.Millisecond
+		}
+		fmt.Printf("server overloaded, retrying in %v (attempt %d/%d)\n",
+			backoff, attempt+1, maxRetries)
+		time.Sleep(backoff)
+	}
 }
 
 func loadTokens(dataset string, vocab int, seed uint64) ([]int, error) {

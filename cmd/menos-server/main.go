@@ -30,6 +30,7 @@ import (
 	"menos/internal/model"
 	"menos/internal/obs"
 	"menos/internal/quant"
+	"menos/internal/sched"
 	"menos/internal/tensor"
 )
 
@@ -51,6 +52,8 @@ func run(args []string) error {
 	weights := fs.String("weights", "", "load base weights from a checkpoint file instead of the seed")
 	exportWeights := fs.String("export-weights", "", "write the base weights to a file and exit (model distribution)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9090)")
+	sloP99 := fs.Duration("slo-p99", 0, "grant-wait p99 target enabling adaptive admission control (0 disables; see docs/ADMISSION.md)")
+	sloWindow := fs.Duration("slo-window", 0, "admission-control sliding window (default 8x the p99 target)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +102,7 @@ func run(args []string) error {
 		PreserveMemory: *preserve,
 		WeightsFile:    *weights,
 		BaseQuant:      prec,
+		SLO:            sched.SLO{TargetP99: *sloP99, Window: *sloWindow},
 		Logger:         logger,
 		Metrics:        reg,
 		Tracer:         tracer,

@@ -30,7 +30,42 @@ import (
 var (
 	ErrRejected = errors.New("client: server rejected handshake")
 	ErrRemote   = errors.New("client: server reported an error")
+	// ErrOverloaded marks a transient, retryable rejection: the server's
+	// admission controller is shedding load (docs/ADMISSION.md). The
+	// concrete error is a *RetryableError carrying the backoff hint.
+	ErrOverloaded = errors.New("client: server overloaded")
 )
+
+// RetryableError is a transient server-side rejection. The session (or
+// dial attempt) may be retried after RetryAfter. It unwraps to
+// ErrOverloaded so callers can branch with errors.Is.
+type RetryableError struct {
+	// RetryAfter is the server's backoff hint (0 when the server did
+	// not provide one).
+	RetryAfter time.Duration
+	// Reason is the server's human-readable explanation.
+	Reason string
+}
+
+func (e *RetryableError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("client: server overloaded (retry after %v): %s", e.RetryAfter, e.Reason)
+	}
+	return "client: server overloaded: " + e.Reason
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *RetryableError) Unwrap() error { return ErrOverloaded }
+
+// RetryAfter extracts the backoff hint from a retryable error chain.
+// It reports false for non-retryable errors.
+func RetryAfter(err error) (time.Duration, bool) {
+	var re *RetryableError
+	if errors.As(err, &re) {
+		return re.RetryAfter, true
+	}
+	return 0, false
+}
 
 // Config describes one client's fine-tuning session.
 type Config struct {
@@ -218,6 +253,12 @@ func (c *Client) handshake() error {
 		return fmt.Errorf("client: expected hello ack, got %v", msg.MsgType())
 	}
 	if !ack.OK {
+		if ack.Retryable {
+			return &RetryableError{
+				RetryAfter: time.Duration(ack.RetryAfterMs) * time.Millisecond,
+				Reason:     ack.Reason,
+			}
+		}
 		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
 	c.demands = *ack
@@ -380,6 +421,12 @@ func (c *Client) expectForwardResp(iter int) (*tensor.Tensor, error) {
 		}
 		return m.Activations, nil
 	case *split.ErrorMsg:
+		if m.Retryable {
+			return nil, &RetryableError{
+				RetryAfter: time.Duration(m.RetryAfterMs) * time.Millisecond,
+				Reason:     m.Reason,
+			}
+		}
 		return nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
 	default:
 		return nil, fmt.Errorf("client: unexpected %v", msg.MsgType())
@@ -398,6 +445,12 @@ func (c *Client) expectBackwardResp(iter int) (*tensor.Tensor, error) {
 		}
 		return m.Gradients, nil
 	case *split.ErrorMsg:
+		if m.Retryable {
+			return nil, &RetryableError{
+				RetryAfter: time.Duration(m.RetryAfterMs) * time.Millisecond,
+				Reason:     m.Reason,
+			}
+		}
 		return nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
 	default:
 		return nil, fmt.Errorf("client: unexpected %v", msg.MsgType())

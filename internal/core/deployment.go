@@ -48,6 +48,10 @@ type DeploymentConfig struct {
 	// (QLoRA-style); the zero value keeps fp32. Clients keep their
 	// own sections in fp32 either way.
 	BaseQuant quant.Precision
+	// SLO, when enabled, activates adaptive admission control on the
+	// server's scheduler (docs/ADMISSION.md); the zero value keeps the
+	// plain Algorithm-2 behaviour.
+	SLO sched.SLO
 	// Logger receives server events; nil silences them.
 	Logger *log.Logger
 	// Metrics, when set, instruments the server's scheduler, GPU and
@@ -100,6 +104,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		GPU:         gpu.NewDevice(cfg.GPU),
 		SchedPolicy: cfg.SchedPolicy,
 		OnDemand:    !cfg.PreserveMemory,
+		SLO:         cfg.SLO,
 		Logger:      cfg.Logger,
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,

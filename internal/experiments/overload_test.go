@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"menos/internal/memmodel"
+	"menos/internal/sched"
+)
+
+// TestOverloadSweepSmoke runs the sweep at reduced iteration count and
+// checks its shape: one row per client count, both p99 columns
+// populated, and the SLO run actually reporting controller activity at
+// the saturated end of the sweep.
+func TestOverloadSweepSmoke(t *testing.T) {
+	tbl, err := OverloadSweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"clients", "p99 off (s)", "p99 on (s)", "sheds", "final state"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing column %q in:\n%s", want, out)
+		}
+	}
+	for _, clients := range []string{"4", "8", "12", "16"} {
+		if !strings.Contains(out, "\n"+clients+" ") && !strings.Contains(out, "\n "+clients+" ") {
+			t.Fatalf("missing row for %s clients in:\n%s", clients, out)
+		}
+	}
+}
+
+// TestRunOverloadBoundsP99 checks the controller's effect directly at
+// one saturated point: with the SLO the grant-wait p99 of admitted
+// requests must come in below the unprotected run's.
+func TestRunOverloadBoundsP99(t *testing.T) {
+	w := memmodel.PaperLlamaWorkload()
+	slo := sched.SLO{TargetP99: OverloadSLO, Window: OverloadWindow}
+	off, err := runOverload(w, 12, 8, sched.SLO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := runOverload(w, 12, 8, slo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.p99 < OverloadSLO.Seconds() {
+		t.Skipf("12 clients did not saturate (off p99 %.2fs); cost model changed?", off.p99)
+	}
+	if on.p99 >= off.p99 {
+		t.Fatalf("admission control did not help: p99 on %.2fs >= off %.2fs", on.p99, off.p99)
+	}
+	if on.p99 > 2*OverloadSLO.Seconds() {
+		t.Fatalf("admitted p99 %.2fs not bounded near the %v SLO", on.p99, OverloadSLO)
+	}
+	if on.result.Rejected == 0 {
+		t.Fatal("SLO run shed nothing while saturated")
+	}
+	if on.result.Admission.Transitions == 0 {
+		t.Fatal("controller never left Open while saturated")
+	}
+	// Cost of protection: the run may take longer (rejected work is
+	// retried), but not pathologically so.
+	if lim := 2 * off.result.SimulatedTime; on.result.SimulatedTime > lim {
+		t.Fatalf("SLO run took %v, more than twice the unprotected %v",
+			on.result.SimulatedTime, off.result.SimulatedTime)
+	}
+}

@@ -16,6 +16,13 @@ const (
 	MetricSchedWaitSeconds       = "menos_sched_wait_seconds"
 	MetricSchedHOLBlockedSeconds = "menos_sched_hol_blocked_seconds"
 
+	// Admission control (internal/sched, docs/ADMISSION.md).
+	MetricSchedAdmissionState       = "menos_sched_admission_state"
+	MetricSchedAdmissionP99Micros   = "menos_sched_admission_p99_wait_micros"
+	MetricSchedAdmissionTransitions = "menos_sched_admission_transitions_total"
+	MetricSchedAdmissionShed        = "menos_sched_admission_shed_total"
+	MetricSchedAdmissionDeferred    = "menos_sched_admission_deferred_total"
+
 	// GPU memory plane (internal/gpu).
 	MetricGPUAllocBytes = "menos_gpu_alloc_bytes_total"
 	MetricGPUFreeBytes  = "menos_gpu_free_bytes_total"

@@ -19,9 +19,10 @@ import (
 	"menos/internal/obs"
 )
 
-// Errors reported by the scheduler.
+// Errors reported by the scheduler. ErrOverloaded (admission.go) joins
+// them when an SLO is configured.
 var (
-	ErrNeverFits   = errors.New("sched: request exceeds total GPU memory")
+	ErrNeverFits   = errors.New("sched: request exceeds schedulable GPU memory")
 	ErrOutstanding = errors.New("sched: client already has an outstanding request or allocation")
 	ErrClosed      = errors.New("sched: scheduler closed")
 )
@@ -90,6 +91,7 @@ type request struct {
 // fields are nil-safe obs handles, so update sites are unconditional;
 // the struct pointer itself gates the clock reads.
 type schedMetrics struct {
+	reg        *obs.Registry
 	clock      obs.Clock
 	submitted  *obs.Counter
 	granted    *obs.Counter
@@ -130,16 +132,30 @@ type Scheduler struct {
 	// head-of-line interval the backfill policy exists to fill).
 	holSince  time.Duration
 	holActive bool
+
+	// adm, when non-nil, closes the telemetry→scheduling feedback
+	// loop (docs/ADMISSION.md). With adm == nil every code path below
+	// is bit-identical to the plain Algorithm-2 scheduler.
+	adm *AdmissionController
+	// resident marks clients that have been granted memory at least
+	// once; admission control protects them over newcomers.
+	resident map[string]struct{}
+	// reserved sums the bytes held by Reserve (long-lived holdings):
+	// the floor below total that queued requests can never use.
+	reserved    int64
+	reservedIDs map[string]struct{}
 }
 
 // New creates a scheduler over totalMem bytes of schedulable GPU
 // memory.
 func New(totalMem int64, policy Policy) *Scheduler {
 	return &Scheduler{
-		policy: policy,
-		avail:  totalMem,
-		total:  totalMem,
-		alloc:  make(map[string]int64),
+		policy:      policy,
+		avail:       totalMem,
+		total:       totalMem,
+		alloc:       make(map[string]int64),
+		resident:    make(map[string]struct{}),
+		reservedIDs: make(map[string]struct{}),
 	}
 }
 
@@ -164,6 +180,65 @@ func (s *Scheduler) Instrument(reg *obs.Registry, clock obs.Clock) {
 		wait:       reg.Histogram(obs.MetricSchedWaitSeconds, obs.DurationBuckets(), "submit-to-grant wait time"),
 		holBlocked: reg.Histogram(obs.MetricSchedHOLBlockedSeconds, obs.DurationBuckets(), "contiguous intervals the queue head was too large to grant"),
 	}
+	s.m.reg = reg
+	if s.adm != nil {
+		s.adm.instrument(reg)
+	}
+}
+
+// EnableAdmission activates SLO-aware admission control (see
+// docs/ADMISSION.md). Like Instrument it must be called during setup,
+// before the scheduler is shared between goroutines. The clock should
+// match the plane the scheduler runs on: obs.NewWallClock() for the
+// real server, obs.ClockFunc(kernel.Now) for the simulator. A
+// disabled SLO (zero TargetP99) is a no-op; a nil clock is an error.
+func (s *Scheduler) EnableAdmission(slo SLO, clock obs.Clock) error {
+	if !slo.Enabled() {
+		return nil
+	}
+	if clock == nil {
+		return errors.New("sched: admission control needs a clock")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// One time source for everything: if the scheduler is already
+	// instrumented, request timestamps come from the instrument clock,
+	// so the controller must read the same epoch.
+	if s.m != nil {
+		clock = s.m.clock
+	}
+	s.adm = newAdmissionController(slo, clock)
+	if s.m != nil {
+		s.adm.instrument(s.m.reg)
+	}
+	return nil
+}
+
+// clockNow returns the telemetry clock reading, preferring the
+// instrumented clock, falling back to the admission clock; ok is false
+// when neither is wired (then request timestamps stay zero, exactly as
+// before instrumentation existed).
+func (s *Scheduler) clockNow() (time.Duration, bool) {
+	switch {
+	case s.m != nil:
+		return s.m.clock.Now(), true
+	case s.adm != nil:
+		return s.adm.clock.Now(), true
+	default:
+		return 0, false
+	}
+}
+
+// headAgeLocked returns the age of the oldest waiting request at now.
+// Caller holds s.mu.
+func (s *Scheduler) headAgeLocked(now time.Duration) time.Duration {
+	if len(s.waiting) == 0 {
+		return 0
+	}
+	if age := now - s.waiting[0].at; age > 0 {
+		return age
+	}
+	return 0
 }
 
 // Submit registers a request for bytes of GPU memory on behalf of
@@ -177,10 +252,16 @@ func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant
 		s.rejectedInc()
 		return ErrClosed
 	}
-	if bytes > s.total {
+	// Fail fast on requests that could never be granted: larger than
+	// the total budget, or larger than what Reserve's long-lived
+	// holdings (persistent client state, KV caches) leave schedulable.
+	// Without this check such a request would sit at the queue head
+	// forever, head-of-line-blocking every client behind it.
+	if bytes > s.total-s.reserved {
 		s.mu.Unlock()
 		s.rejectedInc()
-		return fmt.Errorf("%w: need %d, total %d (client %q)", ErrNeverFits, bytes, s.total, clientID)
+		return fmt.Errorf("%w: need %d, schedulable %d (total %d, %d reserved) (client %q)",
+			ErrNeverFits, bytes, s.total-s.reserved, s.total, s.reserved, clientID)
 	}
 	if _, ok := s.alloc[clientID]; ok {
 		s.mu.Unlock()
@@ -194,9 +275,20 @@ func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant
 			return fmt.Errorf("%w: %q is queued", ErrOutstanding, clientID)
 		}
 	}
+	if s.adm != nil {
+		now, _ := s.clockNow()
+		s.adm.evaluate(now, s.headAgeLocked(now))
+		if err := s.adm.admit(); err != nil {
+			s.mu.Unlock()
+			s.rejectedInc()
+			return err
+		}
+	}
 	req := &request{clientID: clientID, kind: kind, bytes: bytes, grant: grant}
+	if now, ok := s.clockNow(); ok {
+		req.at = now
+	}
 	if s.m != nil {
-		req.at = s.m.clock.Now()
 		s.m.submitted.Inc()
 	}
 	s.waiting = append(s.waiting, req)
@@ -222,6 +314,10 @@ func (s *Scheduler) Complete(clientID string) int64 {
 	if reclaimed > 0 {
 		s.avail += reclaimed
 		delete(s.alloc, clientID)
+		if _, ok := s.reservedIDs[clientID]; ok {
+			s.reserved -= reclaimed
+			delete(s.reservedIDs, clientID)
+		}
 		s.stats.Completed++
 		if s.m != nil {
 			s.m.completed.Inc()
@@ -272,16 +368,34 @@ func (s *Scheduler) schedule() []func() {
 			grants = append(grants, s.grantAt(0, false))
 		}
 		// Lines 23-24: backfill later requests into leftover memory.
+		// Under admission pressure the backfill turns conservative:
+		// only small forward-class requests from resident clients may
+		// jump the head (admission.go).
 		for i := 1; i < len(s.waiting); {
-			if s.waiting[i].bytes <= s.avail {
+			if r := s.waiting[i]; r.bytes <= s.avail {
+				if s.adm != nil && !s.adm.backfillAllowed(r, s.isResident(r.clientID)) {
+					i++
+					continue
+				}
 				grants = append(grants, s.grantAt(i, true))
 				continue // slice shifted; same index is the next item
 			}
 			i++
 		}
 	}
+	if s.adm != nil {
+		now, _ := s.clockNow()
+		s.adm.evaluate(now, s.headAgeLocked(now))
+	}
 	s.observeHeadOfLine()
 	return grants
+}
+
+// isResident reports whether clientID has ever been granted memory.
+// Caller holds s.mu.
+func (s *Scheduler) isResident(clientID string) bool {
+	_, ok := s.resident[clientID]
+	return ok
 }
 
 // observeHeadOfLine tracks contiguous intervals during which the queue
@@ -333,13 +447,20 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 	if backfilled {
 		s.stats.Backfilled++
 	}
-	if s.m != nil {
-		s.m.granted.Inc()
-		if backfilled {
-			s.m.backfilled.Inc()
+	s.resident[r.clientID] = struct{}{}
+	if now, ok := s.clockNow(); ok {
+		wait := now - r.at
+		if s.m != nil {
+			s.m.granted.Inc()
+			if backfilled {
+				s.m.backfilled.Inc()
+			}
+			s.m.wait.Observe(wait.Seconds())
+			s.observeQueueDepth()
 		}
-		s.m.wait.Observe((s.m.clock.Now() - r.at).Seconds())
-		s.observeQueueDepth()
+		if s.adm != nil {
+			s.adm.observe(now, wait)
+		}
 	}
 	return r.grant
 }
@@ -365,7 +486,47 @@ func (s *Scheduler) Reserve(id string, bytes int64) error {
 	}
 	s.avail -= bytes
 	s.alloc[id] = bytes
+	s.reserved += bytes
+	s.reservedIDs[id] = struct{}{}
+	s.resident[id] = struct{}{}
 	return nil
+}
+
+// Schedulable returns the memory a queued request can ever hope to be
+// granted: the total budget minus long-lived reservations. Submissions
+// above it fail fast with ErrNeverFits.
+func (s *Scheduler) Schedulable() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total - s.reserved
+}
+
+// AdmissionState returns the current admission-control state
+// (StateOpen when admission control is disabled).
+func (s *Scheduler) AdmissionState() AdmissionState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adm == nil {
+		return StateOpen
+	}
+	return s.adm.state
+}
+
+// AdmissionStats snapshots admission-controller activity (zero when
+// admission control is disabled).
+func (s *Scheduler) AdmissionStats() AdmissionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adm == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		State:       s.adm.state,
+		P99:         s.adm.lastP99,
+		Transitions: s.adm.transitions,
+		Shed:        s.adm.shed,
+		Deferred:    s.adm.deferred,
+	}
 }
 
 // Total returns the scheduler's full memory budget.

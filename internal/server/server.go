@@ -50,6 +50,13 @@ type Config struct {
 	// Admission beyond the cap is rejected at handshake with a clear
 	// reason rather than degrading everyone.
 	MaxClients int
+	// SLO, when enabled, activates adaptive admission control on the
+	// scheduler (docs/ADMISSION.md): the sliding-window p99 grant wait
+	// is held near SLO.TargetP99 by throttling backfill and, under
+	// sustained overload, shedding requests with a retryable
+	// protocol-level rejection. The zero value keeps the scheduler's
+	// plain Algorithm-2 behaviour.
+	SLO sched.SLO
 	// Logger receives serving events; nil silences logging.
 	Logger *log.Logger
 	// Metrics, when set, instruments the server, its scheduler and its
@@ -129,6 +136,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Metrics != nil {
 		s.scheduler.Instrument(cfg.Metrics, obs.NewWallClock())
+	}
+	if cfg.SLO.Enabled() {
+		if err := s.scheduler.EnableAdmission(cfg.SLO, obs.NewWallClock()); err != nil {
+			return nil, fmt.Errorf("server: admission control: %w", err)
+		}
+	}
+	if cfg.Metrics != nil {
 		s.m = serverMetrics{
 			admitted:   cfg.Metrics.Counter(obs.MetricServerAdmitted, "clients admitted at handshake"),
 			rejected:   cfg.Metrics.Counter(obs.MetricServerRejected, "clients rejected at handshake"),
@@ -291,12 +305,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		switch m := msg.(type) {
 		case *split.ForwardReq:
 			if err := s.serveForward(conn, sess, m); err != nil {
+				var ov *sched.OverloadError
+				if errors.As(err, &ov) {
+					// Admission shed: transient, the session stays up and
+					// the client retries after the hinted backoff.
+					s.logf("client %q: forward shed (%v)", sess.id, ov.RetryAfter)
+					s.sendRetryable(conn, ov)
+					continue
+				}
 				s.logf("client %q: forward: %v", sess.id, err)
 				s.sendError(conn, err)
 				return
 			}
 		case *split.BackwardReq:
 			if err := s.serveBackward(conn, sess, m); err != nil {
+				var ov *sched.OverloadError
+				if errors.As(err, &ov) {
+					s.logf("client %q: backward shed (%v)", sess.id, ov.RetryAfter)
+					s.sendRetryable(conn, ov)
+					continue
+				}
 				s.logf("client %q: backward: %v", sess.id, err)
 				s.sendError(conn, err)
 				return
@@ -358,6 +386,21 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 
 	if s.cfg.MaxClients > 0 && s.store.ActiveInstances() >= s.cfg.MaxClients {
 		return reject(fmt.Sprintf("server at capacity (%d clients)", s.cfg.MaxClients))
+	}
+	// Under sustained overload the controller sheds new clients before
+	// they are profiled or charged — a retryable rejection, unlike the
+	// hard configuration rejections above.
+	if s.scheduler.AdmissionState() == sched.StateShedding {
+		s.m.rejected.Inc()
+		admitSpan.End()
+		retry := s.retryAfter()
+		_ = split.WriteMessage(conn, &split.HelloAck{
+			OK:           false,
+			Reason:       "server overloaded",
+			Retryable:    true,
+			RetryAfterMs: retry.Milliseconds(),
+		})
+		return nil, fmt.Errorf("shed %q: overloaded (retry after %v)", hello.ClientID, retry)
 	}
 	inst, err := s.store.NewInstance(hello.ClientID, hello.Cut)
 	if err != nil {
@@ -600,6 +643,25 @@ func (s *Server) recordIterationHalf(wait, comp time.Duration) {
 
 func (s *Server) sendError(conn net.Conn, err error) {
 	_ = split.WriteMessage(conn, &split.ErrorMsg{Reason: err.Error()})
+}
+
+// sendRetryable reports an overload shed without tearing the session
+// down: the client keeps its connection and resubmits after the hint.
+func (s *Server) sendRetryable(conn net.Conn, ov *sched.OverloadError) {
+	_ = split.WriteMessage(conn, &split.ErrorMsg{
+		Reason:       ov.Error(),
+		Retryable:    true,
+		RetryAfterMs: ov.RetryAfter.Milliseconds(),
+	})
+}
+
+// retryAfter is the handshake-level backoff hint, from the configured
+// SLO (falling back to the p99 target itself).
+func (s *Server) retryAfter() time.Duration {
+	if s.cfg.SLO.RetryAfter > 0 {
+		return s.cfg.SLO.RetryAfter
+	}
+	return s.cfg.SLO.TargetP99
 }
 
 // Breakdown satisfies experiment harnesses that want a trace view of

@@ -85,7 +85,9 @@ func decodeSpec(d *decoder) adapter.Spec {
 }
 
 // HelloAck reports profiling results (or rejection) back to the
-// client.
+// client. A rejection with Retryable set is transient — the server is
+// shedding load, not refusing the configuration — and the client
+// should redial after RetryAfterMs.
 type HelloAck struct {
 	OK bool
 	// ForwardBytes / BackwardBytes are the profiled memory demands the
@@ -93,6 +95,10 @@ type HelloAck struct {
 	ForwardBytes  int64
 	BackwardBytes int64
 	Reason        string // set when !OK
+	// Retryable marks an overload rejection; RetryAfterMs is the
+	// server's backoff hint in milliseconds.
+	Retryable    bool
+	RetryAfterMs int64
 }
 
 // MsgType implements Message.
@@ -103,6 +109,8 @@ func (m *HelloAck) encode(e *encoder) {
 	e.i64(m.ForwardBytes)
 	e.i64(m.BackwardBytes)
 	e.str(m.Reason)
+	e.bool(m.Retryable)
+	e.i64(m.RetryAfterMs)
 }
 
 func (m *HelloAck) decode(d *decoder) {
@@ -110,6 +118,8 @@ func (m *HelloAck) decode(d *decoder) {
 	m.ForwardBytes = d.i64()
 	m.BackwardBytes = d.i64()
 	m.Reason = d.str()
+	m.Retryable = d.bool()
+	m.RetryAfterMs = d.i64()
 }
 
 // ForwardReq carries the client's intermediate activations x_c
@@ -212,15 +222,31 @@ func (m *Bye) encode(*encoder) {}
 func (m *Bye) decode(*decoder) {}
 
 // ErrorMsg reports a server-side failure for the current request.
+// Retryable errors (admission-control overload) leave the session
+// intact: the server keeps the connection open and the client may
+// resubmit the same request after RetryAfterMs.
 type ErrorMsg struct {
 	Reason string
+	// Retryable marks a transient overload rejection rather than a
+	// hard failure; RetryAfterMs carries the backoff hint.
+	Retryable    bool
+	RetryAfterMs int64
 }
 
 // MsgType implements Message.
 func (*ErrorMsg) MsgType() MsgType { return TypeError }
 
-func (m *ErrorMsg) encode(e *encoder) { e.str(m.Reason) }
-func (m *ErrorMsg) decode(d *decoder) { m.Reason = d.str() }
+func (m *ErrorMsg) encode(e *encoder) {
+	e.str(m.Reason)
+	e.bool(m.Retryable)
+	e.i64(m.RetryAfterMs)
+}
+
+func (m *ErrorMsg) decode(d *decoder) {
+	m.Reason = d.str()
+	m.Retryable = d.bool()
+	m.RetryAfterMs = d.i64()
+}
 
 // Interface conformance.
 var (

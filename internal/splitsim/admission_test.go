@@ -1,0 +1,41 @@
+package splitsim
+
+import (
+	"testing"
+	"time"
+
+	"menos/internal/memmodel"
+	"menos/internal/sched"
+)
+
+// TestIdleSLOIsIdentical pins the byte-identical guarantee from a
+// different angle than the disabled case: an SLO whose target is far
+// above any wait the workload can produce keeps the controller Open
+// for the whole run, and an Open controller must not perturb grant
+// order, timings, or results in any way.
+func TestIdleSLOIsIdentical(t *testing.T) {
+	cfg := menosCfg(4, memmodel.PaperOPTWorkload())
+	base := run(t, cfg)
+
+	idle := cfg
+	idle.SLO = sched.SLO{TargetP99: 24 * time.Hour}
+	guarded := run(t, idle)
+
+	if base.SimulatedTime != guarded.SimulatedTime {
+		t.Fatalf("idle SLO changed end time: %v vs %v", base.SimulatedTime, guarded.SimulatedTime)
+	}
+	if base.AvgIterationTime() != guarded.AvgIterationTime() {
+		t.Fatalf("idle SLO changed iteration time: %v vs %v",
+			base.AvgIterationTime(), guarded.AvgIterationTime())
+	}
+	if guarded.Rejected != 0 {
+		t.Fatalf("idle SLO rejected %d submissions", guarded.Rejected)
+	}
+	adm := guarded.Admission
+	if adm.State != sched.StateOpen || adm.Shed != 0 || adm.Transitions != 0 {
+		t.Fatalf("idle SLO controller was not inert: %+v", adm)
+	}
+	if base.Admission != (sched.AdmissionStats{}) {
+		t.Fatalf("SLO-less run reported admission stats: %+v", base.Admission)
+	}
+}

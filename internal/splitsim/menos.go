@@ -1,6 +1,7 @@
 package splitsim
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -91,6 +92,11 @@ func runMenos(cfg Config) (*Result, error) {
 	for _, srv := range servers {
 		srv.scheduler = sched.New(srv.devices.Available(), cfg.SchedPol)
 		srv.scheduler.Instrument(cfg.Metrics, obs.ClockFunc(kernel.Now))
+		if cfg.SLO.Enabled() {
+			if err := srv.scheduler.EnableAdmission(cfg.SLO, obs.ClockFunc(kernel.Now)); err != nil {
+				return nil, fmt.Errorf("admission control: %w", err)
+			}
+		}
 	}
 
 	results := make([]ClientResult, len(cfg.Clients))
@@ -98,6 +104,7 @@ func runMenos(cfg Config) (*Result, error) {
 		results[i] = ClientResult{ID: cfg.Clients[i].ID, Breakdown: &trace.Breakdown{}}
 	}
 	var waits WaitStats
+	var rejected int64 // admission sheds; kernel is single-threaded
 	var samples []MemSample
 	sampleMem := func(at time.Duration) {
 		var used int64
@@ -156,7 +163,22 @@ func runMenos(cfg Config) (*Result, error) {
 			}
 			grant := func(kind sched.RequestKind, bytes int64) {
 				start := p.Now()
-				d := waitGrant(p, scheduler, cl.ID, kind, bytes)
+				d, err := waitGrant(p, scheduler, cl.ID, kind, bytes)
+				for err != nil {
+					// Admission shed: back off for the server's hint
+					// and resubmit, exactly like a real client. The
+					// recorded wait spans all attempts and backoffs.
+					// The backoff is jittered per client (deterministic,
+					// keyed by client index) so shed clients do not
+					// resubmit in a synchronized herd.
+					rejected++
+					var ov *sched.OverloadError
+					errors.As(err, &ov)
+					p.Sleep(ov.RetryAfter + ov.RetryAfter*time.Duration(i%8)/8)
+					if d, err = waitGrant(p, scheduler, cl.ID, kind, bytes); err == nil {
+						d = p.Now() - start + costmodel.SchedulerDecisionTime
+					}
+				}
 				recordWait(kind, d)
 				sampleMem(p.Now())
 				schedT += d
@@ -255,6 +277,7 @@ func runMenos(cfg Config) (*Result, error) {
 		agg.Merge(r.Breakdown)
 	}
 	var schedStats sched.Stats
+	var admission sched.AdmissionStats
 	for _, srv := range servers {
 		st := srv.scheduler.Stats()
 		schedStats.Submitted += st.Submitted
@@ -266,6 +289,16 @@ func runMenos(cfg Config) (*Result, error) {
 		if st.MaxQueueDepth > schedStats.MaxQueueDepth {
 			schedStats.MaxQueueDepth = st.MaxQueueDepth
 		}
+		ast := srv.scheduler.AdmissionStats()
+		admission.Transitions += ast.Transitions
+		admission.Shed += ast.Shed
+		admission.Deferred += ast.Deferred
+		if ast.State > admission.State {
+			admission.State = ast.State
+		}
+		if ast.P99 > admission.P99 {
+			admission.P99 = ast.P99
+		}
 	}
 	return &Result{
 		Mode:            ModeMenos,
@@ -274,6 +307,8 @@ func runMenos(cfg Config) (*Result, error) {
 		PersistentBytes: persistent,
 		PeakBytes:       persistent + peakTransient(cfg, demands),
 		SchedStats:      schedStats,
+		Rejected:        rejected,
+		Admission:       admission,
 		Waits:           waits,
 		MemSamples:      samples,
 		SimulatedTime:   kernel.Now(),
@@ -282,8 +317,9 @@ func runMenos(cfg Config) (*Result, error) {
 
 // waitGrant submits a request to the Menos scheduler and parks the
 // process until granted, returning the wait (plus the fixed scheduler
-// decision cost).
-func waitGrant(p *sim.Proc, s *sched.Scheduler, id string, kind sched.RequestKind, bytes int64) time.Duration {
+// decision cost). An admission shed is returned as a *sched.
+// OverloadError for the caller to back off and resubmit.
+func waitGrant(p *sim.Proc, s *sched.Scheduler, id string, kind sched.RequestKind, bytes int64) (time.Duration, error) {
 	start := p.Now()
 	granted := false
 	sig := p.Kernel().NewSignal()
@@ -292,6 +328,9 @@ func waitGrant(p *sim.Proc, s *sched.Scheduler, id string, kind sched.RequestKin
 		sig.Fire()
 	})
 	if err != nil {
+		if errors.Is(err, sched.ErrOverloaded) {
+			return costmodel.SchedulerDecisionTime, err
+		}
 		// Requests that can never fit stall the client forever; the
 		// deadlock detector will surface it with this reason.
 		sig.Wait(p, fmt.Sprintf("unschedulable: %v", err))
@@ -299,7 +338,7 @@ func waitGrant(p *sim.Proc, s *sched.Scheduler, id string, kind sched.RequestKin
 	for !granted {
 		sig.Wait(p, "memory grant "+id)
 	}
-	return p.Now() - start + costmodel.SchedulerDecisionTime
+	return p.Now() - start + costmodel.SchedulerDecisionTime, nil
 }
 
 // peakTransient estimates the transient memory above the persistent

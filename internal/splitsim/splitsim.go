@@ -98,8 +98,14 @@ type Config struct {
 	Mode     Mode
 	Policy   MemPolicy    // Menos only; zero value means PolicyOnDemand
 	SchedPol sched.Policy // Menos only; zero value means FCFS+backfill
-	GPUSpec  gpu.Spec
-	GPUs     int // per server
+	// SLO, when enabled, activates adaptive admission control on every
+	// simulated scheduler (docs/ADMISSION.md), evaluated in virtual
+	// time. Shed requests back off for the controller's retry-after
+	// hint and resubmit; Result.Rejected counts the sheds. The zero
+	// value leaves the grant sequence identical to a plain run.
+	SLO     sched.SLO
+	GPUSpec gpu.Spec
+	GPUs    int // per server
 	// Servers scales out horizontally (Menos mode): each server hosts
 	// its own shared base copy on its own GPUs with its own scheduler
 	// (the paper's "GPUs distributed across multiple servers", managed
@@ -195,6 +201,12 @@ type Result struct {
 	PeakBytes int64
 	// SchedStats reports Menos scheduler activity (zero for vanilla).
 	SchedStats sched.Stats
+	// Rejected counts admission-control sheds (requests that backed
+	// off and resubmitted); zero unless Config.SLO is enabled.
+	Rejected int64
+	// Admission aggregates admission-controller activity across the
+	// simulated servers (zero value unless Config.SLO is enabled).
+	Admission sched.AdmissionStats
 	// Waits breaks scheduling time down by request kind; the paper
 	// observes forwards essentially never wait while backwards queue.
 	Waits WaitStats
