@@ -10,19 +10,22 @@ test:
 
 # Race-checks the packages with real lock/atomic contention: the
 # metrics registry, the scheduler (including admission-control state
-# flips), the TCP serving loop and the simulator that drives them.
+# flips), the fleet manager, the TCP serving loop and the simulator
+# that drives them.
 test-race:
-	$(GO) test -race ./internal/obs ./internal/sched ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/obs ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # bench-diff runs the paper-workload benchmark and compares it against
-# the committed baseline (bench/baseline.json); exits non-zero when the
-# server compute-time p50 regresses past the threshold. Refresh the
-# baseline with: go run ./cmd/menos-benchdiff -write-baseline
+# the committed baseline; exits non-zero when the server compute-time
+# p50 regresses past the threshold. RUNNER_CLASS keys the baseline per
+# machine class (bench/baseline-<class>.json) so CI can diff against
+# numbers recorded on its own runner type. Refresh a baseline with:
+# go run ./cmd/menos-benchdiff -write-baseline [-runner-class <class>]
 bench-diff:
-	$(GO) run ./cmd/menos-benchdiff
+	$(GO) run ./cmd/menos-benchdiff $(if $(RUNNER_CLASS),-runner-class $(RUNNER_CLASS))
 
 fmt-check:
 	@unformatted=$$(gofmt -l .); \

@@ -8,9 +8,9 @@
 //
 // -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
 // fig8, fig9, fig10, table1, table2, table3, ablations, extensions,
-// overload. By default all run except overload, which deliberately
-// saturates the scheduler (docs/ADMISSION.md) and must be requested
-// explicitly.
+// overload, fleet. By default all run except overload and fleet, which
+// deliberately saturate the scheduler (docs/ADMISSION.md,
+// docs/FLEET.md) and must be requested explicitly.
 //
 // -trace-out runs one traced Menos simulation and writes its spans as
 // Chrome trace-event JSON (load in chrome://tracing or Perfetto); span
@@ -46,7 +46,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 12, "simulated fine-tuning iterations per configuration")
 	steps := fs.Int("steps", 60, "real fine-tuning steps for convergence runs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
-	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload)")
+	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload, fleet)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -205,6 +205,18 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(ov.Render())
+	}
+
+	// The fleet sweep is opt-in (-only fleet) for the same reason: it
+	// runs multi-server fleets past saturation to compare placement
+	// policies and the autoscaler (docs/FLEET.md).
+	if *only == "fleet" {
+		ran = true
+		fl, err := experiments.FleetSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(fl.Render())
 	}
 
 	if *traceOut != "" {

@@ -9,17 +9,25 @@
 //
 //	menos-benchdiff [-baseline bench/baseline.json] [-out BENCH_<sha>.json]
 //	                [-sha id] [-threshold 0.5] [-steps N] [-clients N]
-//	                [-write-baseline]
+//	                [-runner-class name] [-write-baseline]
 //
 // Only the wall-clock compute p50 gates the exit status, with a wide
-// default threshold (50%) because absolute timings vary by machine;
-// CI runs this as an advisory job. The virtual-time metrics from the
-// discrete-event simulator are byte-deterministic and reported for
-// information: any drift there means scheduler behaviour changed, not
-// that the machine was slow.
+// default threshold (50%) because absolute timings vary by machine.
+// The virtual-time metrics from the discrete-event simulator are
+// byte-deterministic and reported for information: any drift there
+// means scheduler behaviour changed, not that the machine was slow.
+//
+// -runner-class keys the baseline by machine class: with the default
+// -baseline, class "ci-linux-amd64" diffs against
+// bench/baseline-ci-linux-amd64.json. A baseline recorded on the same
+// class of machine that replays it is trustworthy enough to make the
+// CI diff blocking instead of advisory — CI passes its runner class
+// and fails the job only when a baseline for that exact class is
+// committed and regresses.
 //
 // -write-baseline refreshes the committed baseline in place instead of
-// diffing (run it on the machine class the baseline should represent).
+// diffing (run it on the machine class the baseline should represent,
+// with the matching -runner-class).
 package main
 
 import (
@@ -62,16 +70,22 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("menos-benchdiff", flag.ContinueOnError)
-	baseline := fs.String("baseline", "bench/baseline.json", "committed baseline to diff against")
+	baseline := fs.String("baseline", defaultBaseline, "committed baseline to diff against")
 	out := fs.String("out", "", "where to write the snapshot (default BENCH_<sha>.json)")
 	sha := fs.String("sha", defaultSHA(), "commit id recorded in the snapshot")
 	threshold := fs.Float64("threshold", 0.5, "fail when the gate metric regresses by more than this fraction")
 	steps := fs.Int("steps", 6, "fine-tuning steps per client on the loopback deployment")
 	clients := fs.Int("clients", 2, "concurrent clients on the loopback deployment")
+	runnerClass := fs.String("runner-class", "", "machine class keying the baseline (bench/baseline-<class>.json when -baseline is left at its default)")
 	writeBaseline := fs.Bool("write-baseline", false, "refresh the baseline in place instead of diffing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	basePath, err := baselinePath(*baseline, *runnerClass)
+	if err != nil {
+		return err
+	}
+	*baseline = basePath
 
 	rep, err := runBench(*sha, *clients, *steps)
 	if err != nil {
@@ -111,6 +125,27 @@ func run(args []string) error {
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// defaultBaseline is the class-less baseline path; -runner-class only
+// rewrites it when the operator left -baseline alone.
+const defaultBaseline = "bench/baseline.json"
+
+// baselinePath resolves the baseline file for a runner class. An
+// explicit -baseline always wins; otherwise the class keys its own
+// file so machines of different speeds never diff against each other's
+// numbers.
+func baselinePath(baseline, class string) (string, error) {
+	if class == "" || baseline != defaultBaseline {
+		return baseline, nil
+	}
+	for _, r := range class {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-' || r == '_' || r == '.' {
+			continue
+		}
+		return "", fmt.Errorf("runner class %q: only letters, digits, '-', '_' and '.' allowed", class)
+	}
+	return fmt.Sprintf("bench/baseline-%s.json", class), nil
 }
 
 // defaultSHA prefers the commit id CI exports, falling back to "local".

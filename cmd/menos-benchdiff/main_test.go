@@ -43,6 +43,36 @@ func TestDiffGatesOnlyTheGateMetric(t *testing.T) {
 	}
 }
 
+// TestBaselinePath pins the runner-class keying: the class rewrites
+// only the default baseline path, an explicit -baseline always wins,
+// and path-hostile class names are rejected.
+func TestBaselinePath(t *testing.T) {
+	tests := []struct {
+		baseline, class string
+		want            string
+		wantErr         bool
+	}{
+		{defaultBaseline, "", defaultBaseline, false},
+		{defaultBaseline, "ci-linux-amd64", "bench/baseline-ci-linux-amd64.json", false},
+		{defaultBaseline, "mac_m2.local", "bench/baseline-mac_m2.local.json", false},
+		{"custom/path.json", "ci-linux-amd64", "custom/path.json", false},
+		{defaultBaseline, "../escape", "", true},
+		{defaultBaseline, "has space", "", true},
+	}
+	for _, tc := range tests {
+		got, err := baselinePath(tc.baseline, tc.class)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("baselinePath(%q, %q): accepted, want error", tc.baseline, tc.class)
+			}
+			continue
+		}
+		if err != nil || got != tc.want {
+			t.Errorf("baselinePath(%q, %q) = %q, %v; want %q", tc.baseline, tc.class, got, err, tc.want)
+		}
+	}
+}
+
 func TestRelDelta(t *testing.T) {
 	if d := relDelta(10, 15); d != 0.5 {
 		t.Fatalf("relDelta(10,15) = %v", d)

@@ -7,17 +7,25 @@
 //	menos-client [-addr localhost:7600] [-id alice] [-model opt-tiny]
 //	             [-seed 42] [-adapter lora] [-dataset shakespeare]
 //	             [-steps 100] [-batch 4] [-seq 32] [-lr 0.008]
-//	             [-max-retries 8]
+//	             [-max-retries 8] [-metrics-addr :9091]
 //
 // When the server sheds load (admission control, docs/ADMISSION.md)
 // the client backs off for the server's retry-after hint and resubmits
 // the same step, up to -max-retries times per step.
+//
+// With -metrics-addr set, the client serves its own telemetry — the
+// menos_client_* iteration counters and comm/comp histograms, plus a
+// Chrome trace of recent step spans — on /metrics, /metrics.json and
+// /trace, the same endpoint surface as the server
+// (docs/OBSERVABILITY.md).
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -25,6 +33,7 @@ import (
 	"menos/internal/client"
 	"menos/internal/data"
 	"menos/internal/model"
+	"menos/internal/obs"
 )
 
 func main() {
@@ -48,6 +57,7 @@ func run(args []string) error {
 	lr := fs.Float64("lr", 8e-3, "learning rate")
 	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
 	maxRetries := fs.Int("max-retries", 8, "retries per step when the server sheds load (0 fails fast)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9091)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,6 +87,20 @@ func run(args []string) error {
 		return err
 	}
 
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+		tracer = obs.NewTracer(obs.NewWallClock())
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ml.Close()
+		go func() { _ = http.Serve(ml, obs.Handler(reg, tracer)) }()
+		fmt.Printf("menos-client %s: telemetry on http://%s/metrics\n", *id, ml.Addr())
+	}
+
 	c, err := client.Dial(*addr, client.Config{
 		ClientID:    *id,
 		Model:       cfg,
@@ -86,6 +110,8 @@ func run(args []string) error {
 		LR:          *lr,
 		Batch:       *batch,
 		Seq:         *seq,
+		Metrics:     reg,
+		Tracer:      tracer,
 	})
 	if err != nil {
 		return err

@@ -23,6 +23,9 @@ func TestRunFlagValidation(t *testing.T) {
 	if err := run([]string{"-model", "opt-tiny", "-addr", "127.0.0.1:1"}); err == nil {
 		t.Fatal("unreachable server accepted")
 	}
+	if err := run([]string{"-model", "opt-tiny", "-metrics-addr", "256.256.256.256:0"}); err == nil {
+		t.Fatal("unusable metrics address accepted")
+	}
 }
 
 func TestLoadTokens(t *testing.T) {
@@ -61,6 +64,7 @@ func TestClientAgainstLiveServer(t *testing.T) {
 		"-steps", "3",
 		"-batch", "2",
 		"-seq", "16",
+		"-metrics-addr", "127.0.0.1:0", // exercise the telemetry endpoint wiring
 	})
 	if err != nil {
 		t.Fatal(err)

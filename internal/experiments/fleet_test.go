@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"menos/internal/fleet"
+)
+
+// TestFleetSweepSmoke runs the sweep at reduced iteration count and
+// checks its shape: one row per roster size and policy, with both the
+// static and the autoscaled columns populated.
+func TestFleetSweepSmoke(t *testing.T) {
+	tbl, err := FleetSweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{
+		"clients", "policy", "static p99 (s)", "auto p99 (s)",
+		"auto servers", "migrations", "scale events",
+		"round-robin", "least-loaded", "memory-best-fit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if rows := strings.Count(out, "\n"); rows < 9 {
+		t.Fatalf("expected 9 data rows, got table:\n%s", out)
+	}
+}
+
+// TestFleetSweepDeterministic is the sweep-level reproducibility
+// guarantee: two full sweeps — every placement decision, scale event,
+// migration, and histogram read — must render byte-identically. This
+// covers the acceptance point that an autoscaled run reaches the same
+// steady-state server count on every repeat.
+func TestFleetSweepDeterministic(t *testing.T) {
+	a, err := FleetSweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetSweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Render() != b.Render() {
+		t.Fatalf("fleet sweep not reproducible:\n--- first ---\n%s\n--- second ---\n%s", a.Render(), b.Render())
+	}
+}
+
+// TestFleetBestFitBeatsRoundRobin pins the sweep's headline at one
+// saturated static point: with the period-3 heavy/std/light mix on 3
+// servers, round-robin stacks every heavy client on server 0 while
+// memory-best-fit packs predicted peaks, so best-fit must strictly
+// reduce the grant-wait p99 or the shed count at 24 clients.
+func TestFleetBestFitBeatsRoundRobin(t *testing.T) {
+	rr, err := runFleet(24, 6, fleet.NewRoundRobin(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := runFleet(24, 6, fleet.NewMemoryBestFit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bf.p99 < rr.p99 || bf.result.Rejected < rr.result.Rejected) {
+		t.Fatalf("memory-best-fit (p99 %.2fs, sheds %d) no better than round-robin (p99 %.2fs, sheds %d)",
+			bf.p99, bf.result.Rejected, rr.p99, rr.result.Rejected)
+	}
+	if bf.result.Fleet.Policy != "memory-best-fit" || rr.result.Fleet.Policy != "round-robin" {
+		t.Fatalf("policy names: %q vs %q", bf.result.Fleet.Policy, rr.result.Fleet.Policy)
+	}
+}
+
+// TestFleetAutoscaledGrows checks the autoscaled cell actually scales:
+// starting from one server under the 24-client mix, the fleet must
+// grow past its starting size and migrate clients onto the new
+// capacity.
+func TestFleetAutoscaledGrows(t *testing.T) {
+	auto, err := runFleet(24, 4, fleet.NewLeastLoaded(), &fleet.AutoscaleConfig{Min: 1, Max: FleetMaxServers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := auto.result.Fleet
+	if fs.StartServers != 1 || fs.PeakServers <= 1 || fs.ScaleEvents == 0 {
+		t.Fatalf("fleet never grew: %+v", fs)
+	}
+	if fs.Migrations == 0 {
+		t.Fatalf("no client migrated onto the new capacity: %+v", fs)
+	}
+}

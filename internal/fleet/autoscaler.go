@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// AutoscaleConfig tunes the fleet autoscaler. The zero value of every
+// field gets a sensible default from withDefaults; the zero value of
+// the whole struct is a valid "scale between 1 and 4 servers" policy.
+type AutoscaleConfig struct {
+	// Min and Max bound the active server count (defaults 1 and
+	// max(Min, 4)).
+	Min int
+	Max int
+	// Interval is how often the autoscaler evaluates the fleet
+	// (default 5s on the decision clock, virtual or wall).
+	Interval time.Duration
+	// UpQueueDepth scales up when the mean scheduler queue depth per
+	// active server reaches this (default 2). Any server at admission
+	// state Throttled or worse, or any client waiting to be placed,
+	// also counts as pressure.
+	UpQueueDepth float64
+	// DownQueueDepth arms scale-down when the mean queue depth stays at
+	// or below this (default 0.25) with every admission ladder Open.
+	DownQueueDepth float64
+	// Cooldown and DownDwell give the loop hysteresis: scale-ups are
+	// gated only by Cooldown, the minimum time between consecutive
+	// scale events (default 3×Interval); scale-downs additionally
+	// require the calm signal to hold for DownDwell (default
+	// 4×Interval) first, exactly the dwell-gated de-escalation style of
+	// the admission ladder.
+	Cooldown  time.Duration
+	DownDwell time.Duration
+}
+
+// withDefaults fills unset knobs.
+func (c AutoscaleConfig) withDefaults() AutoscaleConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 4
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 5 * time.Second
+	}
+	if c.UpQueueDepth <= 0 {
+		c.UpQueueDepth = 2
+	}
+	if c.DownQueueDepth <= 0 {
+		c.DownQueueDepth = 0.25
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 3 * c.Interval
+	}
+	if c.DownDwell <= 0 {
+		c.DownDwell = 4 * c.Interval
+	}
+	return c
+}
+
+// Validate rejects configs that resolve to nonsense.
+func (c AutoscaleConfig) Validate() error {
+	r := c.withDefaults()
+	if c.Max > 0 && c.Min > 0 && c.Max < c.Min {
+		return fmt.Errorf("fleet: autoscale max %d < min %d", c.Max, c.Min)
+	}
+	if c.DownQueueDepth > 0 && c.UpQueueDepth > 0 && c.DownQueueDepth >= c.UpQueueDepth {
+		return fmt.Errorf("fleet: autoscale down threshold %.2f >= up threshold %.2f",
+			c.DownQueueDepth, c.UpQueueDepth)
+	}
+	_ = r
+	return nil
+}
+
+// Decision is one autoscaler verdict.
+type Decision int
+
+// Decisions.
+const (
+	Hold Decision = iota
+	ScaleUp
+	ScaleDown
+)
+
+// String returns the decision name.
+func (d Decision) String() string {
+	switch d {
+	case Hold:
+		return "hold"
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	default:
+		return fmt.Sprintf("decision(%d)", int(d))
+	}
+}
+
+// Autoscaler turns fleet telemetry into grow/shrink decisions. It is a
+// pure state machine: Decide is fed explicit clock readings and server
+// loads, holds no goroutine and reads no real time, so the same code
+// is deterministic under the simulator's virtual clock. The caller
+// owns the actuation (adding a server, picking a drain candidate) and
+// the metrics (Manager.RecordScaleEvent).
+type Autoscaler struct {
+	cfg AutoscaleConfig
+
+	haveEvent bool
+	lastEvent time.Duration
+	calm      bool
+	calmSince time.Duration
+	events    int64
+}
+
+// NewAutoscaler builds an autoscaler; cfg is normalized through
+// withDefaults.
+func NewAutoscaler(cfg AutoscaleConfig) *Autoscaler {
+	return &Autoscaler{cfg: cfg.withDefaults()}
+}
+
+// Config returns the normalized (defaults-applied) configuration.
+func (a *Autoscaler) Config() AutoscaleConfig { return a.cfg }
+
+// Events returns how many scale decisions (up or down) were issued.
+func (a *Autoscaler) Events() int64 { return a.events }
+
+// Decide evaluates the fleet at now. pending is the number of clients
+// waiting to be placed (no server could physically admit them — the
+// strongest possible grow signal); loads is the Manager's snapshot,
+// draining servers included (they are ignored here).
+//
+// Pressure — mean queue depth at or above UpQueueDepth, any admission
+// controller at Throttled or worse, or pending placements — scales up
+// immediately, gated only by Cooldown and Max. Calm — mean queue depth
+// at or below DownQueueDepth with every admission ladder Open and
+// nothing pending — must hold for DownDwell before a cooldown-gated
+// scale-down, mirroring the admission ladder's asymmetric hysteresis.
+func (a *Autoscaler) Decide(now time.Duration, pending int, loads []ServerLoad) Decision {
+	active := 0
+	queued := 0
+	worst := AdmissionOpen
+	for _, l := range loads {
+		if l.Draining {
+			continue
+		}
+		active++
+		queued += l.QueueDepth
+		if l.Admission > worst {
+			worst = l.Admission
+		}
+	}
+	if active == 0 {
+		return Hold
+	}
+	meanQ := float64(queued) / float64(active)
+
+	pressured := pending > 0 || meanQ >= a.cfg.UpQueueDepth || worst >= AdmissionThrottled
+	if pressured {
+		a.calm = false
+		if active < a.cfg.Max && a.cooldownOver(now) {
+			a.record(now)
+			return ScaleUp
+		}
+		return Hold
+	}
+
+	calm := meanQ <= a.cfg.DownQueueDepth && worst == AdmissionOpen
+	if !calm || active <= a.cfg.Min {
+		a.calm = false
+		return Hold
+	}
+	if !a.calm {
+		a.calm = true
+		a.calmSince = now
+		return Hold
+	}
+	if now-a.calmSince >= a.cfg.DownDwell && a.cooldownOver(now) {
+		a.calm = false
+		a.record(now)
+		return ScaleDown
+	}
+	return Hold
+}
+
+// cooldownOver reports whether enough time has passed since the last
+// scale event.
+func (a *Autoscaler) cooldownOver(now time.Duration) bool {
+	return !a.haveEvent || now-a.lastEvent >= a.cfg.Cooldown
+}
+
+// record stamps a scale event.
+func (a *Autoscaler) record(now time.Duration) {
+	a.haveEvent = true
+	a.lastEvent = now
+	a.events++
+}

@@ -1,0 +1,251 @@
+// Package fleet is the control plane for multi-server Menos: it
+// decides which server a split fine-tuning client lives on (placement)
+// and how many servers exist at all (autoscaling), driven by the same
+// telemetry the servers already publish — scheduler queue depth,
+// admission state and GPU used/capacity gauges (docs/FLEET.md).
+//
+// The package is deliberately free of time sources and goroutines: a
+// Placer is a pure decision function over observed ServerLoads, the
+// Autoscaler is a pure state machine fed explicit clock readings, and
+// the Manager's bookkeeping iterates servers in sorted-ID order. The
+// same code therefore runs under the deterministic discrete-event
+// simulator (internal/splitsim) and a wall-clock deployment, and two
+// identical simulated runs make bit-identical fleet decisions.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoServers is returned by a Placer asked to place onto an empty
+// (or fully draining) fleet.
+var ErrNoServers = errors.New("fleet: no servers available for placement")
+
+// ClientInfo is what the control plane knows about a client before
+// placing it: identity, the base model it needs resident, and the
+// memory-model prediction of its footprint (internal/memmodel §3.3
+// profiling — persistent adapter/optimizer state plus the largest
+// transient forward/backward peak).
+type ClientInfo struct {
+	ID        string
+	BaseModel string
+	// PersistentBytes is held for the whole session (adapter, gradient
+	// and optimizer state plus the serving-process context).
+	PersistentBytes int64
+	// TransientPeakBytes is the largest single grant the client will
+	// request (normally the re-forward+backward peak).
+	TransientPeakBytes int64
+}
+
+// demandBytes is the footprint a placement must account for.
+func (c ClientInfo) demandBytes() int64 {
+	return c.PersistentBytes + c.TransientPeakBytes
+}
+
+// Signals is one live telemetry probe of a server: the gauges the
+// placement policies react to, read at decision time.
+type Signals struct {
+	// QueueDepth is the scheduler's menos_sched_queue_depth gauge.
+	QueueDepth int
+	// UsedBytes is the device-set menos_gpu_used_bytes gauge.
+	UsedBytes int64
+	// Admission is the server's admission-ladder position.
+	Admission AdmissionState
+}
+
+// AdmissionState mirrors sched.AdmissionState ordering (0 open,
+// 1 throttled, 2 shedding) without importing the scheduler package, so
+// fleet stays a leaf the scheduler could itself depend on later.
+type AdmissionState int
+
+// Admission states, ordered by pressure (kept numerically identical to
+// internal/sched's ladder).
+const (
+	AdmissionOpen AdmissionState = iota
+	AdmissionThrottled
+	AdmissionShedding
+)
+
+// Probe reads a server's live Signals. In the simulator it closes over
+// the simulated scheduler and device set; in a real deployment it
+// would scrape the server's /metrics.json.
+type Probe func() Signals
+
+// ServerLoad is one server's state as seen by a placement decision:
+// live signals plus the Manager's own bookkeeping (resident clients,
+// committed transient demand, resident models, drain flag).
+type ServerLoad struct {
+	ID int
+	// Clients is the number of resident clients (persistent state on
+	// this server).
+	Clients int
+	// QueueDepth, UsedBytes and Admission are the live Signals.
+	QueueDepth int
+	UsedBytes  int64
+	Admission  AdmissionState
+	// CommittedBytes sums the predicted transient peaks of the resident
+	// clients — demand that is not visible in UsedBytes between grants
+	// but will contend for the scheduler's budget.
+	CommittedBytes int64
+	// CapacityBytes is the server's total GPU memory.
+	CapacityBytes int64
+	// Models lists the base models resident on the server.
+	Models []string
+	// Draining marks a server being scaled down: it accepts no new
+	// placements and its clients migrate away.
+	Draining bool
+}
+
+// HasModel reports whether the server already hosts base model name.
+func (l ServerLoad) HasModel(name string) bool {
+	for _, m := range l.Models {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeBytes is the headroom a MemoryBestFit placement packs against:
+// capacity minus what is allocated minus what resident clients are
+// predicted to demand transiently. It can go negative once the fleet
+// is overcommitted (clients then queue on the scheduler).
+func (l ServerLoad) FreeBytes() int64 {
+	return l.CapacityBytes - l.UsedBytes - l.CommittedBytes
+}
+
+// Placer chooses a server for a client. Implementations must be
+// deterministic: same inputs (including internal cursor state), same
+// answer. Place returns the chosen ServerLoad.ID.
+type Placer interface {
+	Name() string
+	Place(c ClientInfo, servers []ServerLoad) (int, error)
+}
+
+// RoundRobin cycles through servers in the order given, ignoring all
+// telemetry. With a static fleet listed in ID order it reproduces the
+// historical i mod N assignment bit-exactly, which is why it is the
+// default: enabling the fleet layer with RoundRobin changes nothing.
+type RoundRobin struct {
+	next int
+}
+
+// NewRoundRobin returns a RoundRobin placer with its cursor at the
+// first server.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Placer.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Placer.
+func (r *RoundRobin) Place(_ ClientInfo, servers []ServerLoad) (int, error) {
+	if len(servers) == 0 {
+		return 0, ErrNoServers
+	}
+	id := servers[r.next%len(servers)].ID
+	r.next++
+	return id, nil
+}
+
+// LeastLoaded picks the server with the fewest waiting-plus-resident
+// clients (menos_sched_queue_depth plus the active-client count),
+// breaking ties toward the lowest server ID. It balances headcount but
+// is blind to memory, so heterogeneous footprints can still pile onto
+// one scheduler.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the load-based placer.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Placer.
+func (l *LeastLoaded) Name() string { return "least-loaded" }
+
+// Place implements Placer.
+func (l *LeastLoaded) Place(_ ClientInfo, servers []ServerLoad) (int, error) {
+	best := -1
+	bestLoad := 0
+	for _, s := range servers {
+		load := s.QueueDepth + s.Clients
+		if best < 0 || load < bestLoad || (load == bestLoad && s.ID < best) {
+			best = s.ID
+			bestLoad = load
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoServers
+	}
+	return best, nil
+}
+
+// MemoryBestFit packs the client's predicted footprint (persistent +
+// transient peak) against each server's free memory — capacity minus
+// menos_gpu_used_bytes minus already-committed transient demand. Among
+// servers where the client fits it prefers those that already host the
+// client's base model (sharing-aware residency: co-placed clients
+// share one base copy), then the tightest remaining fit, then the
+// lowest ID. When no server fits, it falls back to the most headroom,
+// overcommitting the scheduler rather than refusing (requests then
+// queue, which is the scheduler's job to absorb).
+type MemoryBestFit struct{}
+
+// NewMemoryBestFit returns the memory-packing placer.
+func NewMemoryBestFit() *MemoryBestFit { return &MemoryBestFit{} }
+
+// Name implements Placer.
+func (m *MemoryBestFit) Name() string { return "memory-best-fit" }
+
+// Place implements Placer.
+func (m *MemoryBestFit) Place(c ClientInfo, servers []ServerLoad) (int, error) {
+	if len(servers) == 0 {
+		return 0, ErrNoServers
+	}
+	need := c.demandBytes()
+	best := -1
+	bestShared := false
+	var bestLeft int64
+	for _, s := range servers {
+		left := s.FreeBytes() - need
+		if left < 0 {
+			continue
+		}
+		shared := c.BaseModel != "" && s.HasModel(c.BaseModel)
+		switch {
+		case best < 0,
+			shared && !bestShared,
+			shared == bestShared && left < bestLeft,
+			shared == bestShared && left == bestLeft && s.ID < best:
+			best = s.ID
+			bestShared = shared
+			bestLeft = left
+		}
+	}
+	if best >= 0 {
+		return best, nil
+	}
+	// Nothing fits: overcommit the server with the most headroom (the
+	// least-bad choice, and the one that equalizes committed demand).
+	var bestFree int64
+	for _, s := range servers {
+		if free := s.FreeBytes(); best < 0 || free > bestFree || (free == bestFree && s.ID < best) {
+			best = s.ID
+			bestFree = free
+		}
+	}
+	return best, nil
+}
+
+// PlacerByName builds a fresh placer from its Name() string — the
+// inverse used by CLI flags and experiment tables.
+func PlacerByName(name string) (Placer, error) {
+	switch name {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "least-loaded":
+		return NewLeastLoaded(), nil
+	case "memory-best-fit":
+		return NewMemoryBestFit(), nil
+	default:
+		return nil, fmt.Errorf("fleet: unknown placer %q", name)
+	}
+}

@@ -1,0 +1,139 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+)
+
+const gib = int64(1) << 30
+
+// loads builds a fleet of n empty 32-GiB servers hosting model "m".
+func loads(n int) []ServerLoad {
+	ls := make([]ServerLoad, n)
+	for i := range ls {
+		ls[i] = ServerLoad{ID: i, CapacityBytes: 32 * gib, Models: []string{"m"}}
+	}
+	return ls
+}
+
+func TestRoundRobinMatchesModulo(t *testing.T) {
+	rr := NewRoundRobin()
+	ls := loads(3)
+	for i := 0; i < 12; i++ {
+		id, err := rr.Place(ClientInfo{ID: "c"}, ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i%3 {
+			t.Fatalf("placement %d: got server %d, want %d", i, id, i%3)
+		}
+	}
+}
+
+func TestPlacersRejectEmptyFleet(t *testing.T) {
+	for _, p := range []Placer{NewRoundRobin(), NewLeastLoaded(), NewMemoryBestFit()} {
+		if _, err := p.Place(ClientInfo{ID: "c"}, nil); !errors.Is(err, ErrNoServers) {
+			t.Errorf("%s: want ErrNoServers, got %v", p.Name(), err)
+		}
+	}
+}
+
+func TestLeastLoadedPicksLightestServer(t *testing.T) {
+	ls := loads(3)
+	ls[0].QueueDepth = 4
+	ls[1].Clients = 1
+	ls[2].QueueDepth = 1
+	ls[2].Clients = 1
+	id, err := NewLeastLoaded().Place(ClientInfo{ID: "c"}, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("got server %d, want 1 (lightest queue+clients)", id)
+	}
+}
+
+func TestLeastLoadedTieBreaksLowID(t *testing.T) {
+	id, err := NewLeastLoaded().Place(ClientInfo{ID: "c"}, loads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 0 {
+		t.Fatalf("got server %d, want 0 on ties", id)
+	}
+}
+
+func TestMemoryBestFitPicksTightestFeasible(t *testing.T) {
+	ls := loads(3)
+	ls[0].UsedBytes = 31 * gib // 1 GiB free: infeasible for a 2 GiB client
+	ls[1].UsedBytes = 29 * gib // 3 GiB free: tightest feasible
+	ls[2].UsedBytes = 20 * gib // 12 GiB free
+	c := ClientInfo{ID: "c", PersistentBytes: gib / 2, TransientPeakBytes: gib + gib/2}
+	id, err := NewMemoryBestFit().Place(c, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("got server %d, want 1 (tightest fit)", id)
+	}
+}
+
+func TestMemoryBestFitCountsCommittedDemand(t *testing.T) {
+	ls := loads(2)
+	// Server 0 looks empty on the device gauge but has 10 GiB of
+	// committed transient demand; server 1 is genuinely free.
+	ls[0].CommittedBytes = 31 * gib
+	c := ClientInfo{ID: "c", TransientPeakBytes: 4 * gib}
+	id, err := NewMemoryBestFit().Place(c, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("got server %d, want 1 (server 0 is committed full)", id)
+	}
+}
+
+func TestMemoryBestFitPrefersSharedBaseModel(t *testing.T) {
+	ls := loads(2)
+	ls[0].Models = []string{"other"}
+	ls[0].UsedBytes = 10 * gib // tighter fit, but wrong base model
+	c := ClientInfo{ID: "c", BaseModel: "m", TransientPeakBytes: 2 * gib}
+	id, err := NewMemoryBestFit().Place(c, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("got server %d, want 1 (hosts the client's base model)", id)
+	}
+}
+
+func TestMemoryBestFitFallsBackToMostHeadroom(t *testing.T) {
+	ls := loads(2)
+	ls[0].UsedBytes = 32 * gib
+	ls[1].UsedBytes = 30 * gib
+	// 40 GiB can never fit; the placer must still answer (overcommit),
+	// choosing the server with the most headroom.
+	c := ClientInfo{ID: "c", TransientPeakBytes: 40 * gib}
+	id, err := NewMemoryBestFit().Place(c, ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 {
+		t.Fatalf("got server %d, want 1 (most headroom)", id)
+	}
+}
+
+func TestPlacerByName(t *testing.T) {
+	for _, name := range []string{"round-robin", "least-loaded", "memory-best-fit"} {
+		p, err := PlacerByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Errorf("PlacerByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if _, err := PlacerByName("nope"); err == nil {
+		t.Error("unknown placer name: want error")
+	}
+}

@@ -48,4 +48,13 @@ const (
 	// Swap path (vanilla baseline, internal/splitsim).
 	MetricSwapOps   = "menos_swap_ops_total"
 	MetricSwapBytes = "menos_swap_bytes_total"
+
+	// Fleet control plane (internal/fleet, docs/FLEET.md). Gauges are
+	// integers, so the imbalance ratio is published in thousandths
+	// (1000 = perfectly balanced).
+	MetricFleetPlacements  = "menos_fleet_placements_total"
+	MetricFleetMigrations  = "menos_fleet_migrations_total"
+	MetricFleetServers     = "menos_fleet_servers"
+	MetricFleetScaleEvents = "menos_fleet_scale_events_total"
+	MetricFleetImbalance   = "menos_fleet_imbalance_ratio"
 )

@@ -5,11 +5,12 @@
 //
 //   - Open: admit everything, aggressive backfill (the plain
 //     Algorithm-2 behaviour).
-//   - Throttled: shed every second submission (deterministic
-//     rate-halving with a short retry hint), defer non-resident
-//     clients (no backfill for clients that have never been granted)
-//     and backfill conservatively (small forward-class requests only),
-//     protecting the queue head.
+//   - Throttled: shed every second submission per client
+//     (deterministic rate-halving with a short retry hint — per-client
+//     so one chatty client cannot shift the parity and starve others),
+//     defer non-resident clients (no backfill for clients that have
+//     never been granted) and backfill conservatively (small
+//     forward-class requests only), protecting the queue head.
 //   - Shedding: reject new Submits with ErrOverloaded and a
 //     retry-after hint. Rejection is deadlock-safe because a client
 //     can never Submit while holding memory (ErrOutstanding).
@@ -170,15 +171,19 @@ type AdmissionController struct {
 	sliceDur time.Duration
 	curIdx   int64 // absolute slice index of slices[curIdx%N]
 
-	state        AdmissionState
-	since        time.Duration // when the current state was entered
-	calmSince    time.Duration // start of the current below-reopen streak
-	calm         bool
-	transitions  int64
-	shed         int64
-	deferred     int64
-	throttleTick int64 // submission parity while Throttled
-	lastP99      time.Duration
+	state       AdmissionState
+	since       time.Duration // when the current state was entered
+	calmSince   time.Duration // start of the current below-reopen streak
+	calm        bool
+	transitions int64
+	shed        int64
+	deferred    int64
+	// throttleTicks is the per-client submission parity while
+	// Throttled: each client is shed on its own every-second
+	// submission, so rate-halving is fair regardless of how the
+	// clients' submissions interleave.
+	throttleTicks map[string]int64
+	lastP99       time.Duration
 
 	// Telemetry handles (nil-safe; wired by instrument).
 	mState       *obs.Gauge
@@ -191,9 +196,10 @@ type AdmissionController struct {
 // newAdmissionController builds a controller for an enabled SLO.
 func newAdmissionController(slo SLO, clock obs.Clock) *AdmissionController {
 	a := &AdmissionController{
-		slo:    slo.withDefaults(),
-		clock:  clock,
-		bounds: obs.DurationBuckets(),
+		slo:           slo.withDefaults(),
+		clock:         clock,
+		bounds:        obs.DurationBuckets(),
+		throttleTicks: make(map[string]int64),
 	}
 	a.sliceDur = a.slo.Window / admissionWindowSlices
 	if a.sliceDur <= 0 {
@@ -217,7 +223,7 @@ func (a *AdmissionController) instrument(reg *obs.Registry) {
 	a.mState = reg.Gauge(obs.MetricSchedAdmissionState, "admission state (0 open, 1 throttled, 2 shedding)")
 	a.mP99Micros = reg.Gauge(obs.MetricSchedAdmissionP99Micros, "sliding-window p99 grant wait, microseconds")
 	a.mTransitions = reg.Counter(obs.MetricSchedAdmissionTransitions, "admission state transitions")
-	a.mShed = reg.Counter(obs.MetricSchedAdmissionShed, "submissions shed (every 2nd while throttled, all while shedding)")
+	a.mShed = reg.Counter(obs.MetricSchedAdmissionShed, "submissions shed (each client's every 2nd while throttled, all while shedding)")
 	a.mDeferred = reg.Counter(obs.MetricSchedAdmissionDeferred, "backfill grants suppressed while throttled/shedding")
 	a.mState.Set(int64(a.state))
 }
@@ -339,23 +345,26 @@ func (a *AdmissionController) transition(state AdmissionState, now time.Duration
 	a.mState.Set(int64(state))
 }
 
-// admit decides one submission. Returns nil (admit) or an
-// *OverloadError (reject). Caller holds the scheduler mutex and has
+// admit decides one submission from clientID. Returns nil (admit) or
+// an *OverloadError (reject). Caller holds the scheduler mutex and has
 // already called evaluate for this instant.
 //
-// Open admits everything. Throttled sheds every second submission —
-// deterministic rate-halving, with half the usual retry hint, that
-// relieves queue pressure gradually instead of the admit-everything /
-// shed-everything oscillation a two-state controller produces (shed
-// clients back off together and return as a thundering herd). Shedding
+// Open admits everything. Throttled sheds each client's every second
+// submission — deterministic rate-halving, with half the usual retry
+// hint, that relieves queue pressure gradually instead of the
+// admit-everything / shed-everything oscillation a two-state
+// controller produces (shed clients back off together and return as a
+// thundering herd). The parity is tracked per client: a global tick
+// would let one chatty client absorb all the odd slots and starve a
+// client whose submissions happen to land on the even ones. Shedding
 // rejects everything.
-func (a *AdmissionController) admit() error {
+func (a *AdmissionController) admit(clientID string) error {
 	retry := a.slo.RetryAfter
 	switch a.state {
 	case StateShedding:
 	case StateThrottled:
-		a.throttleTick++
-		if a.throttleTick%2 != 0 {
+		a.throttleTicks[clientID]++
+		if a.throttleTicks[clientID]%2 != 0 {
 			return nil
 		}
 		retry /= 2

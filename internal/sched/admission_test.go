@@ -117,20 +117,20 @@ func TestAdmissionHysteresis(t *testing.T) {
 }
 
 // TestAdmitPerState checks the per-state admit decision: Open admits
-// all, Throttled sheds every second submission with a halved hint,
-// Shedding rejects everything with the full hint.
+// all, Throttled sheds each client's every second submission with a
+// halved hint, Shedding rejects everything with the full hint.
 func TestAdmitPerState(t *testing.T) {
 	clk := &testClock{}
 	a := newAdmissionController(SLO{TargetP99: time.Second}, clk.clock())
 
-	if err := a.admit(); err != nil {
+	if err := a.admit("c"); err != nil {
 		t.Fatalf("open: %v", err)
 	}
 
 	a.transition(StateThrottled, 0)
 	admitted, shed := 0, 0
 	for i := 0; i < 10; i++ {
-		if err := a.admit(); err != nil {
+		if err := a.admit("c"); err != nil {
 			var ov *OverloadError
 			if !errors.As(err, &ov) || !errors.Is(err, ErrOverloaded) {
 				t.Fatalf("throttled: wrong error type: %v", err)
@@ -149,13 +149,44 @@ func TestAdmitPerState(t *testing.T) {
 
 	a.transition(StateShedding, 0)
 	for i := 0; i < 3; i++ {
-		err := a.admit()
+		err := a.admit("c")
 		var ov *OverloadError
 		if !errors.As(err, &ov) {
 			t.Fatalf("shedding: admit returned %v", err)
 		}
 		if ov.RetryAfter != a.slo.RetryAfter {
 			t.Fatalf("shedding retry hint = %v, want %v", ov.RetryAfter, a.slo.RetryAfter)
+		}
+	}
+}
+
+// TestThrottledShedIsPerClientFair is the regression test for the
+// client-blind parity shed: with a global tick and a strict A,B,A,B…
+// interleave, B's submissions always landed on the even (shed) slots —
+// B was starved outright while A was never shed. The per-client parity
+// must shed both clients at the same rate regardless of interleaving.
+func TestThrottledShedIsPerClientFair(t *testing.T) {
+	clk := &testClock{}
+	a := newAdmissionController(SLO{TargetP99: time.Second}, clk.clock())
+	a.transition(StateThrottled, 0)
+
+	shedBy := map[string]int{}
+	admittedBy := map[string]int{}
+	for i := 0; i < 20; i++ { // strict alternation: a,b,a,b,…
+		id := "a"
+		if i%2 == 1 {
+			id = "b"
+		}
+		if err := a.admit(id); err != nil {
+			shedBy[id]++
+		} else {
+			admittedBy[id]++
+		}
+	}
+	for _, id := range []string{"a", "b"} {
+		if admittedBy[id] != 5 || shedBy[id] != 5 {
+			t.Fatalf("client %s: admitted %d / shed %d, want 5/5 (per-client rate-halving)",
+				id, admittedBy[id], shedBy[id])
 		}
 	}
 }

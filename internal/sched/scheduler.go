@@ -278,7 +278,7 @@ func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant
 	if s.adm != nil {
 		now, _ := s.clockNow()
 		s.adm.evaluate(now, s.headAgeLocked(now))
-		if err := s.adm.admit(); err != nil {
+		if err := s.adm.admit(clientID); err != nil {
 			s.mu.Unlock()
 			s.rejectedInc()
 			return err

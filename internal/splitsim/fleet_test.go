@@ -1,0 +1,165 @@
+package splitsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"menos/internal/fleet"
+	"menos/internal/memmodel"
+	"menos/internal/simnet"
+)
+
+// fleetCfg is a multi-server Menos run: n Llama clients over servers
+// servers, slightly staggered so arrival order is visible in the trace.
+func fleetCfg(n, servers int) Config {
+	cfg := menosCfg(n, memmodel.PaperLlamaWorkload())
+	cfg.Servers = servers
+	for i := range cfg.Clients {
+		cfg.Clients[i].StartDelay = time.Duration(i) * 500 * time.Millisecond
+	}
+	return cfg
+}
+
+// TestFleetRoundRobinByteIdentical is the compatibility guarantee of
+// the fleet layer: a static multi-server run with an explicit
+// RoundRobin placer must be byte-identical to the default (nil Placer)
+// path, which itself reproduces the historical hardcoded i mod Servers
+// assignment. Every observable — virtual end time, per-client
+// breakdowns, the full memory timeline — must match exactly.
+func TestFleetRoundRobinByteIdentical(t *testing.T) {
+	base := run(t, fleetCfg(6, 3))
+
+	cfg := fleetCfg(6, 3)
+	cfg.Placer = fleet.NewRoundRobin()
+	explicit := run(t, cfg)
+
+	if base.SimulatedTime != explicit.SimulatedTime {
+		t.Fatalf("SimulatedTime: nil placer %v, round-robin %v", base.SimulatedTime, explicit.SimulatedTime)
+	}
+	if base.AvgIterationTime() != explicit.AvgIterationTime() {
+		t.Fatalf("AvgIterationTime: nil placer %v, round-robin %v",
+			base.AvgIterationTime(), explicit.AvgIterationTime())
+	}
+	if len(base.MemSamples) != len(explicit.MemSamples) {
+		t.Fatalf("MemSamples length: %d vs %d", len(base.MemSamples), len(explicit.MemSamples))
+	}
+	for i := range base.MemSamples {
+		if base.MemSamples[i] != explicit.MemSamples[i] {
+			t.Fatalf("MemSamples[%d]: %+v vs %+v", i, base.MemSamples[i], explicit.MemSamples[i])
+		}
+	}
+	// DecisionTime is measured in wall time (the one deliberately
+	// non-virtual stat); everything else must match exactly.
+	bs, es := base.SchedStats, explicit.SchedStats
+	bs.DecisionTime, es.DecisionTime = 0, 0
+	if bs != es {
+		t.Fatalf("SchedStats: %+v vs %+v", bs, es)
+	}
+	if base.Fleet != explicit.Fleet {
+		t.Fatalf("FleetStats: %+v vs %+v", base.Fleet, explicit.Fleet)
+	}
+	if base.Fleet.Policy != "round-robin" || base.Fleet.Placements != 6 || base.Fleet.Migrations != 0 {
+		t.Fatalf("static FleetStats = %+v", base.Fleet)
+	}
+}
+
+// TestFleetStaticPlacementBalances: LeastLoaded and MemoryBestFit on a
+// homogeneous roster both end perfectly balanced (imbalance 1.0), and
+// the run completes with the policy name reported.
+func TestFleetStaticPlacementBalances(t *testing.T) {
+	for _, placer := range []fleet.Placer{fleet.NewLeastLoaded(), fleet.NewMemoryBestFit()} {
+		cfg := fleetCfg(6, 3)
+		cfg.Placer = placer
+		r := run(t, cfg)
+		if r.Fleet.Policy != placer.Name() {
+			t.Errorf("policy name %q, want %q", r.Fleet.Policy, placer.Name())
+		}
+		if r.Fleet.ImbalanceRatio != 1.0 {
+			t.Errorf("%s: imbalance %v, want 1.0 on a homogeneous roster", placer.Name(), r.Fleet.ImbalanceRatio)
+		}
+		if r.Fleet.FinalServers != 3 || r.Fleet.PeakServers != 3 {
+			t.Errorf("%s: servers final=%d peak=%d, want 3/3", placer.Name(), r.Fleet.FinalServers, r.Fleet.PeakServers)
+		}
+	}
+}
+
+// TestFleetConfigValidation pins the fleet-plane config rules: vanilla
+// has no fleet, autoscale bounds include the starting size.
+func TestFleetConfigValidation(t *testing.T) {
+	v := vanillaCfg(2, memmodel.PaperOPTWorkload())
+	v.Placer = fleet.NewLeastLoaded()
+	if _, err := Run(v); !errors.Is(err, ErrConfig) {
+		t.Fatalf("vanilla+placer: err = %v, want ErrConfig", err)
+	}
+	v = vanillaCfg(2, memmodel.PaperOPTWorkload())
+	v.Autoscale = &fleet.AutoscaleConfig{}
+	if _, err := Run(v); !errors.Is(err, ErrConfig) {
+		t.Fatalf("vanilla+autoscale: err = %v, want ErrConfig", err)
+	}
+	m := fleetCfg(2, 5)
+	m.Autoscale = &fleet.AutoscaleConfig{Min: 1, Max: 3}
+	if _, err := Run(m); !errors.Is(err, ErrConfig) {
+		t.Fatalf("servers above Max: err = %v, want ErrConfig", err)
+	}
+}
+
+// autoscaleCfg is an autoscaled run growing from one server: on a LAN
+// (comm negligible) the iteration is dominated by server compute, so
+// backward grants queue behind the single schedulable Llama backward
+// and the mean queue depth crosses the scale-up threshold.
+func autoscaleCfg(n int) Config {
+	cfg := fleetCfg(n, 1)
+	cfg.LinkPreset = simnet.LANPreset
+	cfg.Placer = fleet.NewLeastLoaded()
+	cfg.Autoscale = &fleet.AutoscaleConfig{Min: 1, Max: 3}
+	return cfg
+}
+
+// TestFleetAutoscaleGrowsUnderLoad: eight Llama clients on one V100
+// fit only one backward at a time, so the queue builds and the
+// autoscaler must add servers; clients rebalance onto them.
+func TestFleetAutoscaleGrowsUnderLoad(t *testing.T) {
+	r := run(t, autoscaleCfg(8))
+	if r.Fleet.PeakServers <= 1 {
+		t.Fatalf("fleet never grew: %+v", r.Fleet)
+	}
+	if r.Fleet.ScaleEvents == 0 {
+		t.Fatalf("no scale events recorded: %+v", r.Fleet)
+	}
+	if r.Fleet.Migrations == 0 {
+		t.Fatalf("no client migrated to the new capacity: %+v", r.Fleet)
+	}
+	if r.Fleet.StartServers != 1 {
+		t.Fatalf("StartServers = %d, want 1", r.Fleet.StartServers)
+	}
+	// Growth must pay off: the run with autoscaling beats the pinned
+	// single server.
+	pinnedCfg := fleetCfg(8, 1)
+	pinnedCfg.LinkPreset = simnet.LANPreset
+	pinned := run(t, pinnedCfg)
+	if r.AvgIterationTime() >= pinned.AvgIterationTime() {
+		t.Fatalf("autoscaled iteration %v not better than single-server %v",
+			r.AvgIterationTime(), pinned.AvgIterationTime())
+	}
+}
+
+// TestFleetAutoscaleDeterministic: the entire fleet dynamic — scale
+// events, migrations, final server count, the virtual end time — must
+// be identical across repeated runs of the same config.
+func TestFleetAutoscaleDeterministic(t *testing.T) {
+	a := run(t, autoscaleCfg(6))
+	b := run(t, autoscaleCfg(6))
+	if a.SimulatedTime != b.SimulatedTime {
+		t.Fatalf("SimulatedTime: %v vs %v", a.SimulatedTime, b.SimulatedTime)
+	}
+	if a.Fleet != b.Fleet {
+		t.Fatalf("FleetStats: %+v vs %+v", a.Fleet, b.Fleet)
+	}
+	if a.AvgIterationTime() != b.AvgIterationTime() {
+		t.Fatalf("AvgIterationTime: %v vs %v", a.AvgIterationTime(), b.AvgIterationTime())
+	}
+	if len(a.MemSamples) != len(b.MemSamples) {
+		t.Fatalf("MemSamples length: %d vs %d", len(a.MemSamples), len(b.MemSamples))
+	}
+}

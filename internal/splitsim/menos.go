@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"menos/internal/costmodel"
+	"menos/internal/fleet"
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
@@ -13,6 +14,32 @@ import (
 	"menos/internal/sim"
 	"menos/internal/trace"
 )
+
+// Fleet-dynamics cost model: moving a client between servers ships its
+// persistent state (adapter, gradients, optimizer) over the
+// inter-server network, and an unplaceable client retries after a
+// backoff. Both are virtual-time costs, so fleet decisions show up in
+// the same iteration-time figures as everything else.
+const (
+	// interServerBandwidth models a 10 GbE cluster fabric.
+	interServerBandwidth = 10e9 / 8 // bytes/s
+	// migrationLatency is the fixed setup cost of a migration
+	// (handshake, context creation on the target).
+	migrationLatency = 5 * time.Millisecond
+	// placementRetry is the base backoff of a client no server can
+	// admit yet (jittered per client, like the shed-retry backoff).
+	placementRetry = 2 * time.Second
+	// placementAttempts bounds the placement retry loop so an
+	// impossible workload surfaces as an error instead of a livelock
+	// against the autoscaler's tick chain.
+	placementAttempts = 64
+)
+
+// migrationTime is the virtual-time cost of moving bytes of client
+// state to another server.
+func migrationTime(bytes int64) time.Duration {
+	return migrationLatency + time.Duration(float64(bytes)/interServerBandwidth*float64(time.Second))
+}
 
 // runMenos simulates the Menos server: one shared base-model copy,
 // per-client serving processes, on-demand memory allocation under the
@@ -22,54 +49,102 @@ import (
 // scarce, scheduled resource is memory, exactly as in the paper. The
 // growing cost of concurrency appears as the release/re-collection
 // overhead of Table 2, which scales with the per-GPU client density.
+//
+// Multi-server runs go through the fleet control plane
+// (internal/fleet): Config.Placer assigns clients to servers (default
+// RoundRobin, bit-identical to the historical i mod Servers
+// assignment) and Config.Autoscale lets servers join and drain mid-run
+// with clients migrating at iteration boundaries.
+//
 // serverSim is one Menos server in the simulation: its own GPUs, base
-// copy and scheduler.
+// copy and scheduler. The scheduler's budget is the memory left after
+// the base copy and manager context; per-client persistent state is
+// carved out of that budget with Reserve, so Schedulable() always
+// reflects what a transient request can actually win.
 type serverSim struct {
+	id        int
 	devices   *gpu.DeviceSet
 	scheduler *sched.Scheduler
-	clients   int
+	// maxDemand is the largest transient peak among clients ever
+	// admitted here; arrivals that would squeeze Schedulable below it
+	// are refused (they would deadlock a resident client).
+	maxDemand int64
+	draining  bool
+	removed   bool
 }
 
 func runMenos(cfg Config) (*Result, error) {
 	kernel := sim.New()
 	link := cfg.LinkPreset(kernel)
 
-	// One server instance per cfg.Servers, each with its own shared
-	// base copy (sharded over its GPUs), manager context and
-	// scheduler. Clients are assigned round-robin.
+	// The fleet control plane. A nil Placer means RoundRobin, which
+	// reproduces the historical hardcoded assignment bit-exactly.
+	placer := cfg.Placer
+	if placer == nil {
+		placer = fleet.NewRoundRobin()
+	}
+	mgr := fleet.NewManager(placer)
+	mgr.Instrument(cfg.Metrics)
+
+	// One server instance per cfg.Servers (plus any the autoscaler
+	// adds), each with its own shared base copy (sharded over its
+	// GPUs), manager context and scheduler.
 	w0 := cfg.Clients[0].Workload
-	servers := make([]*serverSim, cfg.Servers)
-	serverOf := func(i int) *serverSim { return servers[i%cfg.Servers] }
-	for s := range servers {
+	var servers []*serverSim
+	peakServers := 0
+	newServer := func() (*serverSim, error) {
+		id := len(servers)
 		devices, err := gpu.NewDeviceSet(cfg.GPUSpec, cfg.GPUs)
 		if err != nil {
 			return nil, err
 		}
 		devices.Instrument(cfg.Metrics)
 		if _, err := devices.AllocSharded("base-model", w0.ServerBaseBytes()); err != nil {
-			return nil, fmt.Errorf("server %d: loading shared base model: %w", s, err)
+			return nil, fmt.Errorf("server %d: loading shared base model: %w", id, err)
 		}
 		if _, err := devices.Alloc("manager", memmodel.ManagerOverheadBytes); err != nil {
-			return nil, fmt.Errorf("server %d: manager context: %w", s, err)
+			return nil, fmt.Errorf("server %d: manager context: %w", id, err)
 		}
-		servers[s] = &serverSim{devices: devices}
-	}
-	for i, cl := range cfg.Clients {
-		srv := serverOf(i)
-		srv.clients++
-		if _, err := srv.devices.Alloc("persist:"+cl.ID, cl.Workload.PersistentClientBytes()); err != nil {
-			return nil, fmt.Errorf("client %q persistent state: %w", cl.ID, err)
+		srv := &serverSim{id: id, devices: devices}
+		// The virtual clock: scheduler wait times and spans are
+		// measured in kernel time, so the telemetry of a simulated run
+		// reads exactly like a real one (only ~10^6× faster to
+		// produce).
+		srv.scheduler = sched.New(devices.Available(), cfg.SchedPol)
+		srv.scheduler.Instrument(cfg.Metrics, obs.ClockFunc(kernel.Now))
+		if cfg.SLO.Enabled() {
+			if err := srv.scheduler.EnableAdmission(cfg.SLO, obs.ClockFunc(kernel.Now)); err != nil {
+				return nil, fmt.Errorf("admission control: %w", err)
+			}
 		}
+		servers = append(servers, srv)
+		err = mgr.AddServer(id, devices.Capacity(), []string{w0.Model.Name}, func() fleet.Signals {
+			return fleet.Signals{
+				QueueDepth: srv.scheduler.QueueDepth(),
+				UsedBytes:  srv.devices.Used(),
+				Admission:  fleet.AdmissionState(srv.scheduler.AdmissionState()),
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		if n := mgr.ActiveServers(); n > peakServers {
+			peakServers = n
+		}
+		return srv, nil
 	}
-	var persistent int64
-	for _, srv := range servers {
-		persistent += srv.devices.Used()
+	for s := 0; s < cfg.Servers; s++ {
+		if _, err := newServer(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Profiling phase (§3.3): the server measures each client's
 	// forward and backward memory demands before serving. In the
 	// simulation the profiler is the analytic model; the real runtime
-	// measures instantiated caches.
+	// measures instantiated caches. The fleet placer packs against the
+	// same prediction (persistent state plus the largest transient
+	// peak).
 	demands := make(map[string]struct{ fwd, bwd int64 }, len(cfg.Clients))
 	for _, cl := range cfg.Clients {
 		d := struct{ fwd, bwd int64 }{
@@ -85,17 +160,73 @@ func runMenos(cfg Config) (*Result, error) {
 		}
 		demands[cl.ID] = d
 	}
+	infoOf := func(cl ClientSpec) fleet.ClientInfo {
+		d := demands[cl.ID]
+		peak := d.fwd
+		if d.bwd > peak {
+			peak = d.bwd
+		}
+		return fleet.ClientInfo{
+			ID:                 cl.ID,
+			BaseModel:          cl.Workload.Model.Name,
+			PersistentBytes:    cl.Workload.PersistentClientBytes(),
+			TransientPeakBytes: peak,
+		}
+	}
 
-	// The virtual clock: scheduler wait times and spans are measured in
-	// kernel time, so the telemetry of a simulated run reads exactly
-	// like a real one (only ~10^6× faster to produce).
-	for _, srv := range servers {
-		srv.scheduler = sched.New(srv.devices.Available(), cfg.SchedPol)
-		srv.scheduler.Instrument(cfg.Metrics, obs.ClockFunc(kernel.Now))
-		if cfg.SLO.Enabled() {
-			if err := srv.scheduler.EnableAdmission(cfg.SLO, obs.ClockFunc(kernel.Now)); err != nil {
-				return nil, fmt.Errorf("admission control: %w", err)
+	// admitClient physically lands a client's persistent state on srv:
+	// device memory plus a scheduler reservation, so the schedulable
+	// budget shrinks exactly as the historical post-persist budget did.
+	admitClient := func(srv *serverSim, ci fleet.ClientInfo) error {
+		if _, err := srv.devices.Alloc("persist:"+ci.ID, ci.PersistentBytes); err != nil {
+			return fmt.Errorf("client %q persistent state: %w", ci.ID, err)
+		}
+		if err := srv.scheduler.Reserve("persist:"+ci.ID, ci.PersistentBytes); err != nil {
+			srv.devices.FreeOwner("persist:" + ci.ID)
+			return fmt.Errorf("client %q persistent state: %w", ci.ID, err)
+		}
+		if ci.TransientPeakBytes > srv.maxDemand {
+			srv.maxDemand = ci.TransientPeakBytes
+		}
+		return nil
+	}
+	// canAdmit is the dynamic-arrival feasibility gate: after reserving
+	// the persistent state, the schedulable budget must still fit both
+	// the newcomer's and every resident's transient peak, or someone's
+	// Submit would fail ErrNeverFits and stall forever.
+	canAdmit := func(srv *serverSim, ci fleet.ClientInfo) bool {
+		if srv.draining || srv.removed {
+			return false
+		}
+		budget := srv.scheduler.Schedulable() - ci.PersistentBytes
+		need := ci.TransientPeakBytes
+		if srv.maxDemand > need {
+			need = srv.maxDemand
+		}
+		return budget >= need
+	}
+
+	// Static fleets place every client up front in arrival order — the
+	// admission-time decision of a deployment where the roster is known
+	// — which with RoundRobin reproduces the historical assignment
+	// exactly. Autoscaled fleets place each client when it arrives (see
+	// the client process below).
+	if cfg.Autoscale == nil {
+		for _, cl := range cfg.Clients {
+			ci := infoOf(cl)
+			id, err := mgr.Place(ci)
+			if err != nil {
+				return nil, err
 			}
+			if err := admitClient(servers[id], ci); err != nil {
+				return nil, err
+			}
+		}
+	}
+	var persistent int64
+	if cfg.Autoscale == nil {
+		for _, srv := range servers {
+			persistent += srv.devices.Used()
 		}
 	}
 
@@ -109,7 +240,9 @@ func runMenos(cfg Config) (*Result, error) {
 	sampleMem := func(at time.Duration) {
 		var used int64
 		for _, srv := range servers {
-			used += srv.scheduler.Total() - srv.scheduler.Available()
+			// Transient scheduled memory: the schedulable budget minus
+			// what is still free (persistent reservations cancel out).
+			used += srv.scheduler.Schedulable() - srv.scheduler.Available()
 		}
 		// Coalesce same-instant transitions: keep the last value.
 		if n := len(samples); n > 0 && samples[n-1].At == at {
@@ -128,10 +261,68 @@ func runMenos(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Fleet dynamics state (autoscaled runs only). The kernel is
+	// single-threaded, so plain variables suffice.
+	remaining := len(cfg.Clients)
+	pendingPlace := 0
+	var fleetErr error
+	failFleet := func(err error) {
+		if fleetErr == nil {
+			fleetErr = err
+		}
+	}
+	// decommission retires a drained server once its last client left:
+	// base copy and manager context are freed, the scheduler closed,
+	// and the server leaves the fleet bookkeeping.
+	decommission := func(srv *serverSim) {
+		if !srv.draining || srv.removed || mgr.ClientCount(srv.id) > 0 {
+			return
+		}
+		if err := mgr.Remove(srv.id); err != nil {
+			failFleet(err)
+			return
+		}
+		srv.removed = true
+		srv.scheduler.Close()
+		srv.devices.FreeOwner("base-model")
+		srv.devices.FreeOwner("manager")
+	}
+
+	if cfg.Autoscale != nil {
+		as := fleet.NewAutoscaler(*cfg.Autoscale)
+		interval := as.Config().Interval
+		var tick func()
+		tick = func() {
+			if remaining == 0 || fleetErr != nil {
+				return // last client done: let the kernel run dry
+			}
+			switch as.Decide(kernel.Now(), pendingPlace, mgr.Loads()) {
+			case fleet.ScaleUp:
+				if _, err := newServer(); err != nil {
+					failFleet(fmt.Errorf("fleet scale-up: %w", err))
+					return
+				}
+				mgr.RecordScaleEvent()
+			case fleet.ScaleDown:
+				if id, ok := mgr.DrainCandidate(); ok {
+					if err := mgr.Drain(id); err != nil {
+						failFleet(err)
+						return
+					}
+					servers[id].draining = true
+					mgr.RecordScaleEvent()
+					decommission(servers[id])
+				}
+			}
+			kernel.After(interval, tick)
+		}
+		kernel.After(interval, tick)
+	}
+
 	for i, cl := range cfg.Clients {
 		cl := cl
-		srv := serverOf(i)
-		scheduler := srv.scheduler
+		i := i
+		ci := infoOf(cl)
 		bd := results[i].Breakdown
 		cost := costmodel.New(cfg.ServerPerf, cl.Workload)
 		clientTotal := costmodel.ClientComputeTime(cl.Platform, cl.Workload)
@@ -139,11 +330,24 @@ func runMenos(cfg Config) (*Result, error) {
 		demand := demands[cl.ID]
 		transfer := cl.Workload.TransferBytes()
 		// Release-overhead concurrency: clients per GPU on this
-		// client's server (allocator fragmentation is per-device).
-		density := (srv.clients + cfg.GPUs - 1) / cfg.GPUs
-		releaseCost := cost.ReleaseOverhead(density)
+		// client's server (allocator fragmentation is per-device). For
+		// a static fleet the roster is fixed, so the density is too;
+		// autoscaled runs recompute it per iteration.
+		var srv *serverSim
+		var staticRelease time.Duration
+		if cfg.Autoscale == nil {
+			id, _ := mgr.ServerOf(cl.ID)
+			srv = servers[id]
+			density := (mgr.ClientCount(id) + cfg.GPUs - 1) / cfg.GPUs
+			staticRelease = cost.ReleaseOverhead(density)
+		}
 
 		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
+			defer func() { remaining-- }()
+			var scheduler *sched.Scheduler
+			if srv != nil {
+				scheduler = srv.scheduler
+			}
 			// Every accumulator update below also records a span with
 			// identical virtual-time bounds, so summing spans by
 			// category reconstructs the Breakdown exactly (the bench's
@@ -194,9 +398,100 @@ func runMenos(cfg Config) (*Result, error) {
 			if cl.StartDelay > 0 {
 				p.Sleep(cl.StartDelay)
 			}
+
+			// Autoscaled fleets place the client at arrival. When no
+			// server can physically admit it yet, the client backs off
+			// and retries; the pending count is the autoscaler's
+			// strongest grow signal.
+			if cfg.Autoscale != nil {
+				placed := false
+				counted := false
+				for attempt := 0; attempt < placementAttempts; attempt++ {
+					id, err := mgr.Place(ci)
+					if err == nil {
+						cand := servers[id]
+						if canAdmit(cand, ci) && admitClient(cand, ci) == nil {
+							srv = cand
+							scheduler = cand.scheduler
+							placed = true
+							break
+						}
+						mgr.Unplace(cl.ID)
+					}
+					if !counted {
+						pendingPlace++
+						counted = true
+					}
+					p.Sleep(placementRetry + placementRetry*time.Duration(i%8)/8)
+				}
+				if counted {
+					pendingPlace--
+				}
+				if !placed {
+					failFleet(fmt.Errorf("client %q: no server could admit it after %d attempts", cl.ID, placementAttempts))
+					return
+				}
+			}
+			// migrate follows a fleet decision to move this client:
+			// release everything held here, ship the persistent state,
+			// re-admit on the target. Runs only between iterations, so
+			// the only held grant is PolicyPersistAll's session grant.
+			migrate := func(p *sim.Proc, dst *serverSim) bool {
+				start := p.Now()
+				old := srv
+				old.scheduler.Complete(cl.ID)
+				old.scheduler.Complete("persist:" + cl.ID)
+				old.devices.FreeOwner("persist:" + ci.ID)
+				for attempt := 0; ; attempt++ {
+					if err := admitClient(dst, ci); err == nil {
+						break
+					}
+					if attempt >= placementAttempts {
+						failFleet(fmt.Errorf("client %q: migration to server %d failed after %d attempts", cl.ID, dst.id, placementAttempts))
+						return false
+					}
+					// Target memory still held by in-flight grants:
+					// wait for them to complete.
+					p.Sleep(placementRetry)
+				}
+				p.Sleep(migrationTime(ci.PersistentBytes))
+				d := p.Now() - start
+				schedT += d
+				cfg.Tracer.Record(cl.ID, "migrate", "sched", start, d)
+				sampleMem(p.Now())
+				srv = dst
+				scheduler = dst.scheduler
+				decommission(old)
+				return true
+			}
+
 			persisted := false
 			for iter := 0; iter < cfg.Iterations; iter++ {
 				comm, comp, schedT = 0, 0, 0
+
+				// Fleet rebalance check (autoscaled runs): evacuate a
+				// draining server, or follow a strictly better
+				// placement.
+				if cfg.Autoscale != nil && iter > 0 {
+					target, moved, err := mgr.Rebalance(ci, func(id int) bool {
+						return canAdmit(servers[id], ci)
+					})
+					if err != nil {
+						failFleet(err)
+						return
+					}
+					if moved {
+						if !migrate(p, servers[target]) {
+							return
+						}
+						persisted = false
+					}
+				}
+				releaseCost := staticRelease
+				if cfg.Autoscale != nil {
+					density := (mgr.ClientCount(srv.id) + cfg.GPUs - 1) / cfg.GPUs
+					releaseCost = cost.ReleaseOverhead(density)
+				}
 
 				// Client computes the input section and uploads x_c.
 				sleepComp("client-pre", pre)
@@ -265,11 +560,34 @@ func runMenos(cfg Config) (*Result, error) {
 
 				bd.Add(comm, comp, schedT)
 			}
+
+			// Autoscaled clients depart when done: persistent state
+			// leaves the server (offloaded host-side), which lets a
+			// draining server finish emptying. Static runs keep the
+			// historical semantics — state held until the run ends.
+			if cfg.Autoscale != nil {
+				scheduler.Complete(cl.ID)
+				scheduler.Complete("persist:" + cl.ID)
+				srv.devices.FreeOwner("persist:" + cl.ID)
+				mgr.Depart(cl.ID)
+				sampleMem(p.Now())
+				decommission(srv)
+			}
 		})
 	}
 
 	if err := kernel.Run(); err != nil {
 		return nil, fmt.Errorf("menos simulation: %w", err)
+	}
+	if fleetErr != nil {
+		return nil, fmt.Errorf("menos fleet: %w", fleetErr)
+	}
+	if cfg.Autoscale != nil {
+		for _, srv := range servers {
+			if !srv.removed {
+				persistent += srv.devices.Used()
+			}
+		}
 	}
 
 	agg := &trace.Breakdown{}
@@ -300,6 +618,7 @@ func runMenos(cfg Config) (*Result, error) {
 			admission.P99 = ast.P99
 		}
 	}
+	fstats := mgr.Stats()
 	return &Result{
 		Mode:            ModeMenos,
 		Clients:         results,
@@ -312,6 +631,16 @@ func runMenos(cfg Config) (*Result, error) {
 		Waits:           waits,
 		MemSamples:      samples,
 		SimulatedTime:   kernel.Now(),
+		Fleet: FleetStats{
+			Policy:         placer.Name(),
+			StartServers:   cfg.Servers,
+			FinalServers:   mgr.ActiveServers(),
+			PeakServers:    peakServers,
+			Placements:     fstats.Placements,
+			Migrations:     fstats.Migrations,
+			ScaleEvents:    fstats.ScaleEvents,
+			ImbalanceRatio: mgr.Imbalance(),
+		},
 	}, nil
 }
 

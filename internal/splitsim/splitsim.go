@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"menos/internal/costmodel"
+	"menos/internal/fleet"
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
@@ -109,8 +110,21 @@ type Config struct {
 	// Servers scales out horizontally (Menos mode): each server hosts
 	// its own shared base copy on its own GPUs with its own scheduler
 	// (the paper's "GPUs distributed across multiple servers", managed
-	// by a distributed runtime). Clients are assigned round-robin.
-	Servers    int
+	// by a distributed runtime). Clients are assigned by Placer.
+	Servers int
+	// Placer chooses the server for each client (Menos multi-server
+	// runs). Nil means fleet.RoundRobin, which is bit-identical to the
+	// historical i mod Servers assignment — existing configs reproduce
+	// their exact virtual-time traces.
+	Placer fleet.Placer
+	// Autoscale, when set, lets the fleet grow and shrink during the
+	// run (Menos mode only): Servers becomes the *starting* size,
+	// clients are placed when they arrive instead of up front, an
+	// autoscaler evaluated on the virtual clock adds or drains servers
+	// from queue-depth and admission signals, and clients on draining
+	// servers migrate at iteration boundaries (paying the transfer
+	// cost for their persistent state). Nil keeps the fleet static.
+	Autoscale  *fleet.AutoscaleConfig
 	ServerPerf costmodel.Perf
 	Clients    []ClientSpec
 	Iterations int
@@ -167,6 +181,19 @@ func (c *Config) validate() error {
 	if c.Mode == ModeVanilla && c.Servers > 1 {
 		return fmt.Errorf("%w: the vanilla baseline models a single server", ErrConfig)
 	}
+	if c.Mode == ModeVanilla && (c.Autoscale != nil || c.Placer != nil) {
+		return fmt.Errorf("%w: the vanilla baseline has no fleet plane", ErrConfig)
+	}
+	if c.Autoscale != nil {
+		if err := c.Autoscale.Validate(); err != nil {
+			return fmt.Errorf("%w: autoscale: %v", ErrConfig, err)
+		}
+		norm := fleet.NewAutoscaler(*c.Autoscale).Config()
+		if c.Servers < norm.Min || c.Servers > norm.Max {
+			return fmt.Errorf("%w: autoscale: starting Servers=%d outside [Min=%d, Max=%d]",
+				ErrConfig, c.Servers, norm.Min, norm.Max)
+		}
+	}
 	for i, cl := range c.Clients {
 		if cl.ID == "" {
 			return fmt.Errorf("%w: client %d has no id", ErrConfig, i)
@@ -216,6 +243,25 @@ type Result struct {
 	MemSamples []MemSample
 	// SimulatedTime is the virtual time of the full run.
 	SimulatedTime time.Duration
+	// Fleet reports the fleet control plane's activity (Menos mode;
+	// zero value for vanilla).
+	Fleet FleetStats
+}
+
+// FleetStats summarises the fleet control plane's run: which placement
+// policy decided, how the server count evolved, and how much client
+// movement the autoscaler caused.
+type FleetStats struct {
+	Policy       string
+	StartServers int
+	FinalServers int
+	PeakServers  int
+	Placements   int64
+	Migrations   int64
+	ScaleEvents  int64
+	// ImbalanceRatio is max/mean resident clients per active server at
+	// the end of the run (1.0 is perfectly balanced; 0 when unused).
+	ImbalanceRatio float64
 }
 
 // MemSample is one point of the transient-memory timeline.
