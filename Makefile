@@ -9,11 +9,12 @@ test:
 	$(GO) test ./...
 
 # Race-checks the packages with real lock/atomic contention: the
-# metrics registry, the scheduler (including admission-control state
-# flips), the fleet manager, the TCP serving loop and the simulator
-# that drives them.
+# metrics registry and ring tracer, the wire protocol (version
+# interop), the scheduler (including admission-control state flips),
+# the fleet manager, the TCP serving loop and the simulator that
+# drives them.
 test-race:
-	$(GO) test -race ./internal/obs ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/obs ./internal/split ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -48,6 +48,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "experiment seed")
 	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload, fleet)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
+	flightDir := fs.String("flight-dir", "", "with -only overload: record flight snapshots (trace window + metrics) of a saturating run into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -205,6 +206,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(ov.Render())
+		if *flightDir != "" {
+			res, path, err := experiments.OverloadFlight(opts, *flightDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Flight recorder: %d sheds, final state %s -> %s\n\n",
+				res.Rejected, res.Admission.State, path)
+		}
 	}
 
 	// The fleet sweep is opt-in (-only fleet) for the same reason: it

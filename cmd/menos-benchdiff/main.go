@@ -166,13 +166,21 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	rep := Report{SHA: sha, Gate: gateMetric, Metrics: map[string]float64{}}
 
 	reg := obs.NewRegistry()
-	if err := loopbackRun(reg, clients, steps); err != nil {
+	tracer := obs.NewTracer(obs.NewWallClock())
+	tracer.EnableRing(obs.DefaultRingBytes)
+	tracer.Instrument(reg)
+	if err := loopbackRun(reg, tracer, clients, steps); err != nil {
 		return Report{}, fmt.Errorf("loopback benchmark: %w", err)
 	}
 	h := reg.Histogram(obs.MetricServerComputeSeconds, obs.DurationBuckets())
 	rep.Metrics[gateMetric] = h.Quantile(0.50)
 	rep.Metrics["server_compute_seconds_p99"] = h.Quantile(0.99)
 	rep.Metrics["server_compute_samples"] = float64(h.Count())
+	// Informational (never gated): spans evicted or dropped by the
+	// server's ring tracer during the run. A sudden jump means the
+	// telemetry plane itself got noisier, which is worth seeing in the
+	// diff notes before it becomes a debugging blind spot.
+	rep.Metrics["obs_spans_dropped_total"] = float64(tracer.Dropped())
 
 	simReg := obs.NewRegistry()
 	sim, err := splitsim.Run(splitsim.Config{
@@ -193,13 +201,14 @@ func runBench(sha string, clients, steps int) (Report, error) {
 
 // loopbackRun drives the paper workload end to end on this machine: an
 // opt-tiny deployment on a loopback listener, instrumented against
-// reg, with clients stepping real LoRA fine-tuning through the wire
-// protocol.
-func loopbackRun(reg *obs.Registry, clients, steps int) error {
+// reg and tracer, with clients stepping real LoRA fine-tuning through
+// the wire protocol.
+func loopbackRun(reg *obs.Registry, tracer *obs.Tracer, clients, steps int) error {
 	dep, err := core.NewDeployment(core.DeploymentConfig{
 		Model:      model.OPTTiny(),
 		WeightSeed: 7,
 		Metrics:    reg,
+		Tracer:     tracer,
 	})
 	if err != nil {
 		return err

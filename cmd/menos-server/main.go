@@ -7,11 +7,16 @@
 //
 //	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
 //	             [-gpu-gb 32] [-preserve] [-quiet]
-//	             [-metrics-addr :9090]
+//	             [-metrics-addr :9090] [-trace-buffer-mb 8]
+//	             [-flight-dir DIR]
 //
 // With -metrics-addr set, a telemetry endpoint serves Prometheus text
-// on /metrics, JSON on /metrics.json and a Chrome trace of recent
-// request spans on /trace (see docs/OBSERVABILITY.md).
+// on /metrics, JSON on /metrics.json, health as JSON on /healthz, and
+// a Chrome trace of recent request spans on /trace (pageable with
+// ?since=/?window=; spans are kept in a ring bounded by
+// -trace-buffer-mb). With -flight-dir set, a flight recorder snapshots
+// the trace window and metrics to size-bounded JSONL on sheds, OOMs
+// and admission state changes (see docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -51,7 +56,9 @@ func run(args []string) error {
 	quantFlag := fs.String("quant", "", "quantize the shared base: int8 or int4 (default fp32)")
 	weights := fs.String("weights", "", "load base weights from a checkpoint file instead of the seed")
 	exportWeights := fs.String("export-weights", "", "write the base weights to a file and exit (model distribution)")
-	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9090)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json, /trace and /healthz on this address (e.g. :9090)")
+	traceBudget := fs.Int64("trace-buffer-mb", 8, "ring-buffer budget for continuous span capture in MiB (with -metrics-addr)")
+	flightDir := fs.String("flight-dir", "", "write flight-recorder snapshots (trace window + metrics JSONL) to this directory on shed/OOM/admission events")
 	sloP99 := fs.Duration("slo-p99", 0, "grant-wait p99 target enabling adaptive admission control (0 disables; see docs/ADMISSION.md)")
 	sloWindow := fs.Duration("slo-window", 0, "admission-control sliding window (default 8x the p99 target)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
@@ -91,9 +98,23 @@ func run(args []string) error {
 	}
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metricsAddr != "" {
+	if *metricsAddr != "" || *flightDir != "" {
 		reg = obs.NewRegistry()
 		tracer = obs.NewTracer(obs.NewWallClock())
+		// Ring capture: old spans are evicted under the byte budget
+		// instead of new ones being dropped, so /trace and the flight
+		// recorder always hold the most recent window.
+		tracer.EnableRing(*traceBudget << 20)
+		tracer.SetProcess(1, "menos-server")
+		tracer.Instrument(reg)
+	}
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		flight, err = obs.NewFlightRecorder(obs.FlightConfig{Dir: *flightDir}, reg, tracer)
+		if err != nil {
+			return fmt.Errorf("flight recorder: %w", err)
+		}
+		defer flight.Close()
 	}
 	dep, err := core.NewDeployment(core.DeploymentConfig{
 		Model:          cfg,
@@ -106,6 +127,7 @@ func run(args []string) error {
 		Logger:         logger,
 		Metrics:        reg,
 		Tracer:         tracer,
+		Flight:         flight,
 	})
 	if err != nil {
 		return err
@@ -115,8 +137,9 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
+		admission := func() string { return dep.Server.Scheduler().AdmissionState().String() }
 		go func() {
-			if serr := http.Serve(ml, obs.Handler(reg, tracer)); serr != nil && logger != nil {
+			if serr := http.Serve(ml, obs.Handler(reg, tracer, obs.WithAdmission(admission))); serr != nil && logger != nil {
 				logger.Printf("metrics endpoint: %v", serr)
 			}
 		}()

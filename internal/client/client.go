@@ -97,8 +97,17 @@ type Config struct {
 	// histograms under the menos_client_* names. Nil disables them.
 	Metrics *obs.Registry
 	// Tracer, when set, records client-side spans (local compute and
-	// server round-trips) on the tracer's own clock. Nil disables them.
+	// server round-trips) on the tracer's own clock, groups each
+	// iteration's spans under a deterministic trace ID
+	// (obs.IterTraceID), and offers trace-context propagation
+	// (split.FeatureTraceContext) at handshake so the server's spans
+	// share those IDs. Nil disables all of it.
 	Tracer *obs.Tracer
+	// NoTraceContext suppresses the trace-context offer even when
+	// Tracer is set: the handshake then stays a plain version-1 frame.
+	// Dial's compatibility fallback sets this when a legacy server
+	// hangs up on the extended hello.
+	NoTraceContext bool
 }
 
 func (c *Config) applyDefaults() {
@@ -136,6 +145,9 @@ type Client struct {
 	iter      int
 	breakdown trace.Breakdown
 	demands   split.HelloAck
+	// traceOK reports that the server acked FeatureTraceContext:
+	// requests may carry trace IDs and responses echo them.
+	traceOK bool
 
 	m clientMetrics
 }
@@ -216,8 +228,26 @@ func New(conn net.Conn, cfg Config) (*Client, error) {
 // from the server-side one.
 const AdapterSalt = 0x5f3759df
 
-// Dial connects to a Menos server over TCP and handshakes.
+// Dial connects to a Menos server over TCP and handshakes. When the
+// configuration offers trace context and the handshake dies on a
+// transport error — the signature of a version-1 server rejecting the
+// extended hello and hanging up — Dial redials once with the offer
+// withdrawn, so a new client still interoperates with an old server.
 func Dial(addr string, cfg Config) (*Client, error) {
+	c, err := dialOnce(addr, cfg)
+	if err == nil || cfg.Tracer == nil || cfg.NoTraceContext {
+		return c, err
+	}
+	// Real rejections (config, capacity, overload) come back as
+	// protocol messages, not transport failures; don't mask them.
+	if errors.Is(err, ErrRejected) || errors.Is(err, ErrOverloaded) || errors.Is(err, ErrRemote) {
+		return nil, err
+	}
+	cfg.NoTraceContext = true
+	return dialOnce(addr, cfg)
+}
+
+func dialOnce(addr string, cfg Config) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
@@ -241,6 +271,9 @@ func (c *Client) handshake() error {
 		Seq:         c.cfg.Seq,
 		AdapterSeed: c.cfg.AdapterSeed,
 	}
+	if c.cfg.Tracer != nil && !c.cfg.NoTraceContext {
+		hello.Features = split.FeatureTraceContext
+	}
 	if err := split.WriteMessage(c.conn, hello); err != nil {
 		return fmt.Errorf("client: send hello: %w", err)
 	}
@@ -262,8 +295,13 @@ func (c *Client) handshake() error {
 		return fmt.Errorf("%w: %s", ErrRejected, ack.Reason)
 	}
 	c.demands = *ack
+	c.traceOK = ack.Features&split.FeatureTraceContext != 0
 	return nil
 }
+
+// TraceNegotiated reports whether the server accepted trace-context
+// propagation at handshake.
+func (c *Client) TraceNegotiated() bool { return c.traceOK }
 
 // Demands returns the server-profiled memory requirements for this
 // client.
@@ -297,8 +335,17 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	iter := c.iter
 	c.iter++
 
+	// Every iteration gets a deterministic trace ID; when the server
+	// negotiated trace context it rides the wire, so both processes'
+	// span buffers share it and a merged Chrome trace lines up.
+	var tid uint64
+	if c.cfg.Tracer != nil {
+		tid = obs.IterTraceID(c.cfg.ClientID, iter)
+	}
+	iterSpan := c.cfg.Tracer.BeginT(c.cfg.ClientID, "iteration", "iter", tid)
+
 	// Step 1 (client): input section forward.
-	sp := c.cfg.Tracer.Begin(c.cfg.ClientID, "input-forward", "compute")
+	sp := c.cfg.Tracer.BeginT(c.cfg.ClientID, "input-forward", "compute", tid)
 	t0 := time.Now()
 	xc, inCache, err := c.input.Forward(ids, c.cfg.Batch, c.cfg.Seq, true)
 	if err != nil {
@@ -308,10 +355,11 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Steps 1-2 (server): send x_c, receive x_s.
-	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "forward-rtt", "comm")
+	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "forward-rtt", "comm", tid)
 	t0 = time.Now()
 	if err := split.WriteMessage(c.conn, &split.ForwardReq{
 		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
+		TraceID: c.wireTrace(tid),
 	}); err != nil {
 		return StepResult{}, fmt.Errorf("client: send forward: %w", err)
 	}
@@ -323,7 +371,7 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Client: output section forward, loss, output backward.
-	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "output-loss", "compute")
+	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "output-loss", "compute", tid)
 	t0 = time.Now()
 	logits, outCache, err := c.output.Forward(xs, true)
 	if err != nil {
@@ -341,9 +389,11 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Steps 3-4 (server): send g_c, receive g_s.
-	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "backward-rtt", "comm")
+	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "backward-rtt", "comm", tid)
 	t0 = time.Now()
-	if err := split.WriteMessage(c.conn, &split.BackwardReq{Iter: iter, Apply: apply, Gradients: gc}); err != nil {
+	if err := split.WriteMessage(c.conn, &split.BackwardReq{
+		Iter: iter, Apply: apply, Gradients: gc, TraceID: c.wireTrace(tid),
+	}); err != nil {
 		return StepResult{}, fmt.Errorf("client: send backward: %w", err)
 	}
 	gs, err := c.expectBackwardResp(iter)
@@ -354,7 +404,7 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Client: input section backward and adapter optimization.
-	sp = c.cfg.Tracer.Begin(c.cfg.ClientID, "input-backward", "compute")
+	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "input-backward", "compute", tid)
 	t0 = time.Now()
 	if err := c.input.Backward(inCache, gs); err != nil {
 		return StepResult{}, fmt.Errorf("client: input backward: %w", err)
@@ -368,16 +418,26 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	comp += time.Since(t0)
 	sp.End()
 
+	iterSpan.End()
 	c.breakdown.Add(comm, comp, 0)
 	c.m.iterations.Inc()
-	c.m.comm.Observe(comm.Seconds())
-	c.m.comp.Observe(comp.Seconds())
+	c.m.comm.ObserveExemplar(comm.Seconds(), tid)
+	c.m.comp.ObserveExemplar(comp.Seconds(), tid)
 	return StepResult{
 		Loss:       loss,
 		Perplexity: nn.Perplexity(loss),
 		CommTime:   comm,
 		CompTime:   comp,
 	}, nil
+}
+
+// wireTrace gates a trace ID for the wire: zero (and therefore absent
+// from the frame) unless the server negotiated trace context.
+func (c *Client) wireTrace(tid uint64) uint64 {
+	if !c.traceOK {
+		return 0
+	}
+	return tid
 }
 
 // Evaluate computes the loss over a batch without updating anything.

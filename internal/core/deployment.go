@@ -58,8 +58,14 @@ type DeploymentConfig struct {
 	// serving loop against the registry (serve it with obs.Handler).
 	Metrics *obs.Registry
 	// Tracer, when set, records per-request spans (admission, grant
-	// waits, compute segments) on the wall clock.
+	// waits, compute segments) on the wall clock. Server spans carry
+	// the trace IDs negotiated with tracing clients, so a client trace
+	// and this server's trace merge into one timeline
+	// (obs.WriteMergedChromeTrace).
 	Tracer *obs.Tracer
+	// Flight, when set, snapshots the recent trace window and metrics
+	// to disk on shed, OOM-rejection and admission-state transitions.
+	Flight *obs.FlightRecorder
 }
 
 // Deployment is a running Menos server bound to a listener.
@@ -108,6 +114,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Logger:      cfg.Logger,
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,
+		Flight:      cfg.Flight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build server: %w", err)

@@ -70,6 +70,54 @@ func OverloadSweep(opts Options) (*trace.Table, error) {
 	return t, nil
 }
 
+// OverloadFlight runs one saturating SLO-governed configuration (the
+// sweep's deepest cell) with a tracer and a flight recorder writing
+// into dir: every shed and admission-state transition snapshots the
+// recent trace window and metrics into flight.jsonl. This is the CI
+// overload artifact — a post-mortem of the simulated incident that can
+// be archived and inspected without rerunning anything. It returns the
+// run result and the flight file's path.
+func OverloadFlight(opts Options, dir string) (*splitsim.Result, string, error) {
+	opts = opts.withDefaults()
+	w := memmodel.PaperLlamaWorkload()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(nil) // spans carry explicit virtual times
+	tracer.EnableRing(obs.DefaultRingBytes)
+	tracer.Instrument(reg)
+	// A short rate-limit interval: the whole simulated incident plays
+	// out in milliseconds of wall time, so the default 1s would keep
+	// all but the first snapshot per reason.
+	flight, err := obs.NewFlightRecorder(obs.FlightConfig{
+		Dir:         dir,
+		MinInterval: time.Millisecond,
+	}, reg, tracer)
+	if err != nil {
+		return nil, "", err
+	}
+	defer flight.Close()
+	specs := splitsim.HomogeneousClients(16, w, costmodel.ClientGPUPerf())
+	for i := range specs {
+		specs[i].StartDelay = time.Duration(i) * overloadStagger
+	}
+	r, err := splitsim.Run(splitsim.Config{
+		Mode:       splitsim.ModeMenos,
+		SLO:        sched.SLO{TargetP99: OverloadSLO, Window: OverloadWindow},
+		Clients:    specs,
+		Iterations: opts.Iterations,
+		LinkPreset: simnet.LANPreset,
+		Metrics:    reg,
+		Tracer:     tracer,
+		Flight:     flight,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if ferr := flight.Err(); ferr != nil {
+		return nil, "", fmt.Errorf("flight recorder: %w", ferr)
+	}
+	return r, flight.Path(), nil
+}
+
 // overloadRun is one cell of the sweep: the simulation result plus the
 // grant-wait p99 read back from the virtual-clock histogram.
 type overloadRun struct {

@@ -5,7 +5,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus
@@ -47,9 +51,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 func writeHeader(b *strings.Builder, name, typ, help string) {
 	if help != "" {
-		fmt.Fprintf(b, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
 	}
 	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// escapeHelp escapes backslashes and newlines per the Prometheus text
+// exposition format, so a multi-line help string cannot terminate the
+// HELP line early and corrupt the scrape.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
 // histJSON is the JSON projection of one histogram, with ready-made
@@ -62,6 +74,16 @@ type histJSON struct {
 	P50     float64          `json:"p50"`
 	P90     float64          `json:"p90"`
 	P99     float64          `json:"p99"`
+	// Exemplar links the histogram's tail to a concrete trace: the
+	// most recent observation in the highest bucket seen.
+	Exemplar *exemplarJSON `json:"exemplar,omitempty"`
+}
+
+// exemplarJSON is the trace pointer behind a histogram's extreme
+// observation; trace_id matches the span args in /trace output.
+type exemplarJSON struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // WriteJSON renders the registry as a single expvar-style JSON object:
@@ -95,6 +117,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				P90:     s.Quantile(0.90),
 				P99:     s.Quantile(0.99),
 			}
+			if id, v, ok := h.Exemplar(); ok {
+				hj.Exemplar = &exemplarJSON{TraceID: fmt.Sprintf("%016x", id), Value: v}
+			}
 			var cum int64
 			for i, bound := range s.Bounds {
 				cum += s.Counts[i]
@@ -110,16 +135,71 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(out)
 }
 
+// HandlerOption customizes Handler's endpoints.
+type HandlerOption func(*handlerOpts)
+
+type handlerOpts struct {
+	admission func() string
+}
+
+// WithAdmission wires the /healthz endpoint to a live admission-state
+// reader (e.g. the scheduler's AdmissionState().String()).
+func WithAdmission(f func() string) HandlerOption {
+	return func(o *handlerOpts) { o.admission = f }
+}
+
+// healthJSON is the /healthz response body.
+type healthJSON struct {
+	Status         string  `json:"status"`
+	UptimeSeconds  float64 `json:"uptime_seconds"`
+	GoVersion      string  `json:"go_version,omitempty"`
+	Module         string  `json:"module,omitempty"`
+	VCSRevision    string  `json:"vcs_revision,omitempty"`
+	VCSTime        string  `json:"vcs_time,omitempty"`
+	AdmissionState string  `json:"admission_state,omitempty"`
+}
+
+// buildDetails reads the binary's build metadata once at handler
+// construction (it cannot change at runtime).
+func buildDetails() (goVersion, module, rev, vcsTime string) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return runtime.Version(), "", "", ""
+	}
+	goVersion, module = bi.GoVersion, bi.Main.Path
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			vcsTime = s.Value
+		}
+	}
+	return goVersion, module, rev, vcsTime
+}
+
 // Handler serves the live introspection endpoints:
 //
 //	/metrics       Prometheus text exposition (scrape target)
-//	/metrics.json  expvar-style JSON with quantile estimates
-//	/trace         Chrome trace-event JSON of the span buffer
-//	/healthz       liveness probe
+//	/metrics.json  expvar-style JSON with quantile estimates and exemplars
+//	/trace         Chrome trace-event JSON of the span buffer; bounded
+//	               sampling via ?window=30s (trailing window) or
+//	               ?since=<seq> (spans after a sequence number — feed
+//	               back the dump's top-level lastSeq to page without
+//	               duplicates)
+//	/healthz       liveness as JSON: status, uptime, build info, and —
+//	               when wired via WithAdmission — admission state
 //
-// Either argument may be nil; the corresponding endpoints serve empty
-// documents.
-func Handler(reg *Registry, tracer *Tracer) http.Handler {
+// Registry or tracer may be nil; the corresponding endpoints serve
+// empty documents.
+func Handler(reg *Registry, tracer *Tracer, opts ...HandlerOption) http.Handler {
+	var ho handlerOpts
+	for _, o := range opts {
+		o(&ho)
+	}
+	start := time.Now()
+	goVersion, module, rev, vcsTime := buildDetails()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -134,14 +214,46 @@ func Handler(reg *Registry, tracer *Tracer) http.Handler {
 		}
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		var spans []Span
+		switch {
+		case q.Get("since") != "":
+			seq, err := strconv.ParseUint(q.Get("since"), 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			spans = tracer.SpansSince(seq)
+		case q.Get("window") != "":
+			d, err := time.ParseDuration(q.Get("window"))
+			if err != nil {
+				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			spans = tracer.SpansWindow(d)
+		default:
+			spans = tracer.Spans()
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="menos-trace.json"`)
-		if err := tracer.WriteChromeTrace(w); err != nil {
+		if err := tracer.writeChromeSpans(w, spans); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
-		_, _ = io.WriteString(w, "ok\n")
+		h := healthJSON{
+			Status:        "ok",
+			UptimeSeconds: time.Since(start).Seconds(),
+			GoVersion:     goVersion,
+			Module:        module,
+			VCSRevision:   rev,
+			VCSTime:       vcsTime,
+		}
+		if ho.admission != nil {
+			h.AdmissionState = ho.admission()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(h)
 	})
 	return mux
 }

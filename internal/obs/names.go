@@ -49,6 +49,9 @@ const (
 	MetricSwapOps   = "menos_swap_ops_total"
 	MetricSwapBytes = "menos_swap_bytes_total"
 
+	// Telemetry self-observation (internal/obs).
+	MetricObsSpansDropped = "menos_obs_spans_dropped_total"
+
 	// Fleet control plane (internal/fleet, docs/FLEET.md). Gauges are
 	// integers, so the imbalance ratio is published in thousandths
 	// (1000 = perfectly balanced).

@@ -180,6 +180,14 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is +Inf
 	sum    atomic.Uint64  // float64 bits
 	count  atomic.Int64
+
+	// Exemplar: the trace ID behind the most recent extreme
+	// observation (highest bucket seen so far), so "what iteration is
+	// my p99?" is answerable from /metrics.json alone. exBucket stores
+	// bucket index + 1 (0 = no exemplar yet).
+	exBucket atomic.Int64
+	exTrace  atomic.Uint64
+	exVal    atomic.Uint64 // float64 bits
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -190,7 +198,15 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one sample. Safe on nil.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one sample and, when traceID is nonzero,
+// offers it as the histogram's exemplar: the exemplar tracks the most
+// recent observation landing in the highest bucket seen so far, i.e.
+// the trace behind the current tail. Races between concurrent extreme
+// observations resolve last-writer-wins, which is fine for a debugging
+// pointer. Safe on nil.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
 	if h == nil {
 		return
 	}
@@ -198,6 +214,11 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
+	if traceID != 0 && int64(i+1) >= h.exBucket.Load() {
+		h.exBucket.Store(int64(i + 1))
+		h.exTrace.Store(traceID)
+		h.exVal.Store(math.Float64bits(v))
+	}
 	for {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
@@ -205,6 +226,15 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Exemplar returns the trace ID and value of the current exemplar, or
+// ok=false if no traced observation has been recorded. Safe on nil.
+func (h *Histogram) Exemplar() (traceID uint64, v float64, ok bool) {
+	if h == nil || h.exBucket.Load() == 0 {
+		return 0, 0, false
+	}
+	return h.exTrace.Load(), math.Float64frombits(h.exVal.Load()), true
 }
 
 // ObserveDuration records a duration in seconds. Safe on nil.

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRingEviction: ring mode keeps the newest spans, never exceeds the
+// byte budget, and counts every eviction.
+func TestRingEviction(t *testing.T) {
+	tr := NewTracer(&manualClock{})
+	budget := int64(300) // ~4 spans of cost 64+3
+	tr.EnableRing(budget)
+	const n = 100
+	for i := 0; i < n; i++ {
+		tr.Record("c", "s", "x", time.Duration(i)*time.Millisecond, time.Millisecond)
+	}
+	if got := tr.RingBytes(); got > budget {
+		t.Fatalf("ring bytes %d over budget %d", got, budget)
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		t.Fatal("ring evicted everything")
+	}
+	if int64(tr.Dropped()) != int64(n-len(spans)) {
+		t.Fatalf("dropped %d, want %d", tr.Dropped(), n-len(spans))
+	}
+	// Newest span always survives, and seqs stay contiguous newest-last.
+	if last := spans[len(spans)-1].Seq; last != n {
+		t.Fatalf("newest seq %d, want %d", last, n)
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Seq != spans[i-1].Seq+1 {
+			t.Fatalf("seq gap in live buffer: %d -> %d", spans[i-1].Seq, spans[i].Seq)
+		}
+	}
+}
+
+// TestRingKeepsNewest: a budget smaller than one span still retains the
+// most recent span, so /trace is never empty on a live server.
+func TestRingKeepsNewest(t *testing.T) {
+	tr := NewTracer(&manualClock{})
+	tr.EnableRing(1)
+	tr.Record("client-1", "forward", "compute", 0, time.Second)
+	tr.Record("client-1", "backward", "compute", time.Second, time.Second)
+	spans := tr.Spans()
+	if len(spans) != 1 || spans[0].Name != "backward" {
+		t.Fatalf("spans = %+v, want just the newest", spans)
+	}
+}
+
+// TestSpansSincePaging: feeding back the largest seen Seq yields each
+// span exactly once.
+func TestSpansSincePaging(t *testing.T) {
+	tr := NewTracer(&manualClock{})
+	for i := 0; i < 10; i++ {
+		tr.Record("c", "s", "x", 0, time.Millisecond)
+	}
+	page1 := tr.SpansSince(0)
+	if len(page1) != 10 {
+		t.Fatalf("since 0: %d spans, want 10", len(page1))
+	}
+	if got := tr.SpansSince(5); len(got) != 5 || got[0].Seq != 6 {
+		t.Fatalf("since 5: %d spans starting at %d", len(got), got[0].Seq)
+	}
+	if got := tr.SpansSince(tr.LastSeq()); len(got) != 0 {
+		t.Fatalf("since last: %d spans, want 0", len(got))
+	}
+}
+
+// TestSpansWindow: the trailing window filters by span end time, on the
+// tracer clock when present and the latest span end otherwise.
+func TestSpansWindow(t *testing.T) {
+	clk := &manualClock{}
+	tr := NewTracer(clk)
+	tr.Record("c", "old", "x", 0, time.Second)
+	tr.Record("c", "new", "x", 9*time.Second, time.Second)
+	clk.t = 10 * time.Second
+	got := tr.SpansWindow(5 * time.Second)
+	if len(got) != 1 || got[0].Name != "new" {
+		t.Fatalf("window spans = %+v", got)
+	}
+	if all := tr.SpansWindow(0); len(all) != 2 {
+		t.Fatalf("window<=0 returned %d spans, want all", len(all))
+	}
+
+	// Nil clock (offline/simulator dumps): anchored at max span end.
+	off := NewTracer(nil)
+	off.Record("c", "old", "x", 0, time.Second)
+	off.Record("c", "new", "x", 99*time.Second, time.Second)
+	if got := off.SpansWindow(5 * time.Second); len(got) != 1 || got[0].Name != "new" {
+		t.Fatalf("nil-clock window spans = %+v", got)
+	}
+}
+
+// TestRingSeqSurvivesReset: sequence numbers keep counting across Reset
+// so a poller's ?since= cursor stays valid.
+func TestRingSeqSurvivesReset(t *testing.T) {
+	tr := NewTracer(&manualClock{})
+	tr.Record("c", "s", "x", 0, time.Millisecond)
+	seq := tr.LastSeq()
+	tr.Reset()
+	tr.Record("c", "s", "x", 0, time.Millisecond)
+	if tr.LastSeq() != seq+1 {
+		t.Fatalf("seq after reset = %d, want %d", tr.LastSeq(), seq+1)
+	}
+}
+
+// TestRingHammer races writers against a ?since= pager and asserts the
+// two load-bearing invariants under contention: the byte budget is
+// never exceeded, and the pager sees every seq at most once, in order.
+// Run with -race (make test-race).
+func TestRingHammer(t *testing.T) {
+	tr := NewTracer(NewWallClock())
+	reg := NewRegistry()
+	tr.Instrument(reg)
+	const budget = 16 << 10
+	tr.EnableRing(budget)
+
+	const writers = 4
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Pager: polls SpansSince like a /trace?since= client.
+	pagerDone := make(chan error, 1)
+	go func() {
+		var cursor uint64
+		for {
+			select {
+			case <-stop:
+				pagerDone <- nil
+				return
+			default:
+			}
+			if b := tr.RingBytes(); b > budget {
+				pagerDone <- errInvariant("ring bytes over budget")
+				return
+			}
+			page := tr.SpansSince(cursor)
+			for _, s := range page {
+				if s.Seq <= cursor {
+					pagerDone <- errInvariant("duplicate or out-of-order seq")
+					return
+				}
+				cursor = s.Seq
+			}
+		}
+	}()
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				tr.RecordT("client", "span", "compute", uint64(w*perWriter+i+1),
+					time.Duration(i)*time.Microsecond, time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if err := <-pagerDone; err != nil {
+		t.Fatal(err)
+	}
+
+	if b := tr.RingBytes(); b > budget {
+		t.Fatalf("final ring bytes %d over budget %d", b, budget)
+	}
+	total := int64(writers * perWriter)
+	if got := int64(tr.Len()) + tr.Dropped(); got != total {
+		t.Fatalf("live %d + dropped %d != recorded %d", tr.Len(), tr.Dropped(), total)
+	}
+	if c := reg.Counter(MetricObsSpansDropped); c.Value() != tr.Dropped() {
+		t.Fatalf("drop counter %d != Dropped %d", c.Value(), tr.Dropped())
+	}
+}
+
+type errInvariant string
+
+func (e errInvariant) Error() string { return string(e) }

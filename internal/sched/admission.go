@@ -185,6 +185,9 @@ type AdmissionController struct {
 	throttleTicks map[string]int64
 	lastP99       time.Duration
 
+	// hook observes state transitions (Scheduler.SetAdmissionHook).
+	hook func(from, to AdmissionState)
+
 	// Telemetry handles (nil-safe; wired by instrument).
 	mState       *obs.Gauge
 	mP99Micros   *obs.Gauge
@@ -335,14 +338,20 @@ func (a *AdmissionController) evaluate(now, headAge time.Duration) {
 	}
 }
 
-// transition moves to state, stamping counters and gauges.
+// transition moves to state, stamping counters and gauges. The hook,
+// if set, fires under the scheduler mutex — it must hand real work off
+// (see SetAdmissionHook).
 func (a *AdmissionController) transition(state AdmissionState, now time.Duration) {
+	from := a.state
 	a.state = state
 	a.since = now
 	a.calm = false
 	a.transitions++
 	a.mTransitions.Inc()
 	a.mState.Set(int64(state))
+	if a.hook != nil && from != state {
+		a.hook(from, state)
+	}
 }
 
 // admit decides one submission from clientID. Returns nil (admit) or

@@ -214,6 +214,20 @@ func (s *Scheduler) EnableAdmission(slo SLO, clock obs.Clock) error {
 	return nil
 }
 
+// SetAdmissionHook registers f to run on every admission state change
+// (e.g. to trigger a flight-recorder snapshot). Setup-time only, after
+// EnableAdmission; a hook set while admission control is disabled is
+// dropped. The hook fires under the scheduler mutex, so it must not
+// call back into the scheduler — queue the work instead
+// (obs.FlightRecorder.TriggerAsync is safe).
+func (s *Scheduler) SetAdmissionHook(f func(from, to AdmissionState)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adm != nil {
+		s.adm.hook = f
+	}
+}
+
 // clockNow returns the telemetry clock reading, preferring the
 // instrumented clock, falling back to the admission clock; ok is false
 // when neither is wired (then request timestamps stay zero, exactly as

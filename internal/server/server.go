@@ -65,8 +65,14 @@ type Config struct {
 	Metrics *obs.Registry
 	// Tracer, when set, records per-iteration spans (admission, queue
 	// wait, forward/backward compute, release) on a wall clock. Nil
-	// disables tracing.
+	// disables tracing. When the client negotiates trace context
+	// (split.FeatureTraceContext) the server parents these spans under
+	// the client's iteration trace IDs.
 	Tracer *obs.Tracer
+	// Flight, when set, snapshots the recent trace window and metrics
+	// to disk on overload anomalies: admission-state transitions,
+	// sheds, and memory rejections. Nil disables the recorder.
+	Flight *obs.FlightRecorder
 }
 
 // Server is a running Menos server.
@@ -140,6 +146,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SLO.Enabled() {
 		if err := s.scheduler.EnableAdmission(cfg.SLO, obs.NewWallClock()); err != nil {
 			return nil, fmt.Errorf("server: admission control: %w", err)
+		}
+		if cfg.Flight != nil {
+			// Snapshot on every admission-state change. TriggerAsync
+			// queues off the scheduler mutex the hook runs under.
+			s.scheduler.SetAdmissionHook(func(from, to sched.AdmissionState) {
+				cfg.Flight.TriggerAsync(obs.FlightReasonAdmission)
+			})
 		}
 	}
 	if cfg.Metrics != nil {
@@ -257,6 +270,9 @@ type session struct {
 	demands   profile.Result
 	batch     int
 	seq       int
+	// features is the negotiated extension set (the intersection of
+	// the client's Hello offer and what this server accepts).
+	features uint64
 
 	// cachedInput retains x_c between the first forward and the
 	// backward re-forward ("we just need to cache the forward
@@ -310,6 +326,7 @@ func (s *Server) handleConn(conn net.Conn) {
 					// Admission shed: transient, the session stays up and
 					// the client retries after the hinted backoff.
 					s.logf("client %q: forward shed (%v)", sess.id, ov.RetryAfter)
+					s.cfg.Flight.TriggerAsync(obs.FlightReasonShed)
 					s.sendRetryable(conn, ov)
 					continue
 				}
@@ -322,6 +339,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				var ov *sched.OverloadError
 				if errors.As(err, &ov) {
 					s.logf("client %q: backward shed (%v)", sess.id, ov.RetryAfter)
+					s.cfg.Flight.TriggerAsync(obs.FlightReasonShed)
 					s.sendRetryable(conn, ov)
 					continue
 				}
@@ -393,6 +411,7 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	if s.scheduler.AdmissionState() == sched.StateShedding {
 		s.m.rejected.Inc()
 		admitSpan.End()
+		s.cfg.Flight.TriggerAsync(obs.FlightReasonShed)
 		retry := s.retryAfter()
 		_ = split.WriteMessage(conn, &split.HelloAck{
 			OK:           false,
@@ -412,13 +431,21 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 		cleanup()
 		return reject(err.Error())
 	}
+	// Feature negotiation: accept the intersection of the client's
+	// offer and what this server supports. Trace context is only
+	// useful (and only acked) when a tracer is wired.
+	var features uint64
+	if s.cfg.Tracer != nil {
+		features = hello.Features & split.FeatureTraceContext
+	}
 	sess := &session{
-		id:     hello.ClientID,
-		inst:   inst,
-		body:   inst.Body(),
-		params: inst.AdapterParams(),
-		batch:  hello.Batch,
-		seq:    hello.Seq,
+		id:       hello.ClientID,
+		inst:     inst,
+		body:     inst.Body(),
+		params:   inst.AdapterParams(),
+		batch:    hello.Batch,
+		seq:      hello.Seq,
+		features: features,
 	}
 	switch hello.Optimizer.Kind {
 	case "", "adam":
@@ -459,6 +486,7 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	if demands.BackwardBytes > s.scheduler.Available() {
 		releaseReservation()
 		cleanup()
+		s.cfg.Flight.TriggerAsync(obs.FlightReasonOOM)
 		return reject(fmt.Sprintf("backward demand %d exceeds schedulable memory %d",
 			demands.BackwardBytes, s.scheduler.Available()+persistent))
 	}
@@ -467,6 +495,7 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 		OK:            true,
 		ForwardBytes:  demands.ForwardBytes,
 		BackwardBytes: demands.BackwardBytes,
+		Features:      features,
 	}); err != nil {
 		releaseReservation()
 		cleanup()
@@ -494,17 +523,23 @@ func (s *Server) teardown(sess *session) {
 }
 
 // acquire blocks until the scheduler grants bytes to the session.
-func (s *Server) acquire(sess *session, kind sched.RequestKind, bytes int64) (time.Duration, error) {
-	sp := s.cfg.Tracer.Begin(sess.id, "wait:"+kind.String(), "sched")
+// traceID (0 = untraced) stamps the wait span and the grant-wait
+// exemplar, tying a tail-latency observation back to the client
+// iteration that suffered it.
+func (s *Server) acquire(sess *session, kind sched.RequestKind, bytes int64, traceID uint64) (time.Duration, error) {
+	sp := s.cfg.Tracer.BeginT(sess.id, "wait:"+kind.String(), "sched", traceID)
 	start := time.Now()
 	granted := make(chan struct{}, 1) // may fire synchronously inside Submit
 	if err := s.scheduler.Submit(sess.id, kind, bytes, func() { granted <- struct{}{} }); err != nil {
+		if errors.Is(err, sched.ErrNeverFits) {
+			s.cfg.Flight.TriggerAsync(obs.FlightReasonOOM)
+		}
 		return 0, err
 	}
 	<-granted
 	sp.End()
 	wait := time.Since(start)
-	s.m.schedWait.Observe(wait.Seconds())
+	s.m.schedWait.ObserveExemplar(wait.Seconds(), traceID)
 	return wait, nil
 }
 
@@ -520,11 +555,11 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 		return fmt.Errorf("geometry (%d,%d) exceeds profiled (%d,%d)",
 			req.Batch, req.Seq, sess.batch, sess.seq)
 	}
-	wait, err := s.acquire(sess, sched.KindForward, sess.demands.ForwardBytes)
+	wait, err := s.acquire(sess, sched.KindForward, sess.demands.ForwardBytes, req.TraceID)
 	if err != nil {
 		return err
 	}
-	compSpan := s.cfg.Tracer.Begin(sess.id, "forward", "compute")
+	compSpan := s.cfg.Tracer.BeginT(sess.id, "forward", "compute", req.TraceID)
 	compStart := time.Now()
 
 	var resp *tensor.Tensor
@@ -558,12 +593,12 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 	compSpan.End()
 	if s.cfg.OnDemand {
 		// Release GPU memory before waiting for gradients.
-		rel := s.cfg.Tracer.Begin(sess.id, "release", "release")
+		rel := s.cfg.Tracer.BeginT(sess.id, "release", "release", req.TraceID)
 		s.scheduler.Complete(sess.id)
 		rel.End()
 	}
-	s.recordIterationHalf(wait, comp)
-	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp})
+	s.recordIterationHalf(wait, comp, req.TraceID)
+	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp, TraceID: sess.echoTrace(req.TraceID)})
 }
 
 // serveBackward is Algorithm 1, lines 9-14.
@@ -584,11 +619,11 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 		if sess.cachedInput == nil {
 			return errors.New("backward before forward")
 		}
-		wait, err = s.acquire(sess, sched.KindBackward, sess.demands.BackwardBytes)
+		wait, err = s.acquire(sess, sched.KindBackward, sess.demands.BackwardBytes, req.TraceID)
 		if err != nil {
 			return err
 		}
-		compSpan = s.cfg.Tracer.Begin(sess.id, "backward", "compute")
+		compSpan = s.cfg.Tracer.BeginT(sess.id, "backward", "compute", req.TraceID)
 		compStart = time.Now()
 		// Re-forward with gradient preparation.
 		_, cache, err = sess.body.Forward(sess.cachedInput, sess.cachedBatch, sess.cachedSeq, true)
@@ -598,7 +633,7 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 		}
 		sess.cachedInput = nil
 	} else {
-		compSpan = s.cfg.Tracer.Begin(sess.id, "backward", "compute")
+		compSpan = s.cfg.Tracer.BeginT(sess.id, "backward", "compute", req.TraceID)
 		if sess.preserved == nil {
 			return errors.New("backward before forward")
 		}
@@ -625,20 +660,31 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 	compSpan.End()
 
 	// Release GPU memory (both policies release after backward).
-	rel := s.cfg.Tracer.Begin(sess.id, "release", "release")
+	rel := s.cfg.Tracer.BeginT(sess.id, "release", "release", req.TraceID)
 	s.scheduler.Complete(sess.id)
 	rel.End()
-	s.recordIterationHalf(wait, comp)
+	s.recordIterationHalf(wait, comp, req.TraceID)
 
 	s.stats.iterations.Add(1)
 	s.m.iterations.Inc()
-	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs})
+	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs, TraceID: sess.echoTrace(req.TraceID)})
 }
 
-func (s *Server) recordIterationHalf(wait, comp time.Duration) {
+// echoTrace returns the trace ID to stamp on a response: the request's
+// own, but only when the session negotiated trace context (an
+// un-negotiated peer must keep receiving byte-identical version-1
+// frames).
+func (sess *session) echoTrace(traceID uint64) uint64 {
+	if sess.features&split.FeatureTraceContext == 0 {
+		return 0
+	}
+	return traceID
+}
+
+func (s *Server) recordIterationHalf(wait, comp time.Duration, traceID uint64) {
 	s.stats.schedWaitNs.Add(int64(wait))
 	s.stats.computeNs.Add(int64(comp))
-	s.m.compute.Observe(comp.Seconds())
+	s.m.compute.ObserveExemplar(comp.Seconds(), traceID)
 }
 
 func (s *Server) sendError(conn net.Conn, err error) {

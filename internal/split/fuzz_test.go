@@ -26,6 +26,16 @@ func FuzzReadMessage(f *testing.F) {
 		&BackwardResp{Iter: 1, Gradients: tensor.NewNormal(rng, 1, 2, 3)},
 		&Bye{},
 		&ErrorMsg{Reason: "x"},
+		// VersionExt frames: trace-context negotiation and propagation.
+		&Hello{ClientID: "b", ModelName: "m", Cut: 1,
+			Adapter:  adapter.LoRASpec(adapter.DefaultLoRA()),
+			Features: FeatureTraceContext},
+		&HelloAck{OK: true, Features: FeatureTraceContext},
+		&ForwardReq{Iter: 2, Batch: 1, Seq: 2, TraceID: 0xdead,
+			Activations: tensor.NewNormal(rng, 1, 2, 3)},
+		&ForwardResp{Iter: 2, TraceID: 0xdead, Activations: tensor.NewNormal(rng, 1, 2, 3)},
+		&BackwardReq{Iter: 2, TraceID: 0xbeef, Gradients: tensor.NewNormal(rng, 1, 2, 3)},
+		&BackwardResp{Iter: 2, TraceID: 0xbeef, Gradients: tensor.NewNormal(rng, 1, 2, 3)},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -25,6 +25,11 @@ type Hello struct {
 	Batch       int
 	Seq         int
 	AdapterSeed uint64
+
+	// Features offers protocol extensions (Feature* bits). Carried in
+	// a VersionExt tail, so it is only on the wire when nonzero; an
+	// old server never sees it and an old client never sends it.
+	Features uint64
 }
 
 // MsgType implements Message.
@@ -53,6 +58,10 @@ func (m *Hello) decode(d *decoder) {
 	m.Seq = int(d.i64())
 	m.AdapterSeed = d.u64()
 }
+
+func (m *Hello) extPresent() bool     { return m.Features != 0 }
+func (m *Hello) encodeExt(e *encoder) { e.u64(m.Features) }
+func (m *Hello) decodeExt(d *decoder) { m.Features = d.u64() }
 
 func encodeSpec(e *encoder, s adapter.Spec) {
 	e.u8(uint8(s.Kind))
@@ -99,6 +108,11 @@ type HelloAck struct {
 	// server's backoff hint in milliseconds.
 	Retryable    bool
 	RetryAfterMs int64
+
+	// Features echoes the subset of the client's offered Feature* bits
+	// the server accepted (VersionExt tail; absent on the wire when
+	// zero, so an old client is unaffected).
+	Features uint64
 }
 
 // MsgType implements Message.
@@ -122,12 +136,21 @@ func (m *HelloAck) decode(d *decoder) {
 	m.RetryAfterMs = d.i64()
 }
 
+func (m *HelloAck) extPresent() bool     { return m.Features != 0 }
+func (m *HelloAck) encodeExt(e *encoder) { e.u64(m.Features) }
+func (m *HelloAck) decodeExt(d *decoder) { m.Features = d.u64() }
+
 // ForwardReq carries the client's intermediate activations x_c
 // (step 1 of §2.2).
 type ForwardReq struct {
 	Iter        int
 	Batch, Seq  int
 	Activations *tensor.Tensor
+
+	// TraceID is the client iteration's trace context, propagated when
+	// FeatureTraceContext was negotiated (VersionExt tail; absent on
+	// the wire when zero).
+	TraceID uint64
 }
 
 // MsgType implements Message.
@@ -147,10 +170,17 @@ func (m *ForwardReq) decode(d *decoder) {
 	m.Activations = d.tensor()
 }
 
+func (m *ForwardReq) extPresent() bool     { return m.TraceID != 0 }
+func (m *ForwardReq) encodeExt(e *encoder) { e.u64(m.TraceID) }
+func (m *ForwardReq) decodeExt(d *decoder) { m.TraceID = d.u64() }
+
 // ForwardResp returns the server activations x_s (step 2).
 type ForwardResp struct {
 	Iter        int
 	Activations *tensor.Tensor
+
+	// TraceID echoes the request's trace context back to the client.
+	TraceID uint64
 }
 
 // MsgType implements Message.
@@ -166,6 +196,10 @@ func (m *ForwardResp) decode(d *decoder) {
 	m.Activations = d.tensor()
 }
 
+func (m *ForwardResp) extPresent() bool     { return m.TraceID != 0 }
+func (m *ForwardResp) encodeExt(e *encoder) { e.u64(m.TraceID) }
+func (m *ForwardResp) decodeExt(d *decoder) { m.TraceID = d.u64() }
+
 // BackwardReq carries the client's gradients g_c at the upper cut
 // (step 3). Apply=false accumulates the server-side adapter gradients
 // without an optimizer step (gradient accumulation / micro-batching);
@@ -174,6 +208,9 @@ type BackwardReq struct {
 	Iter      int
 	Apply     bool
 	Gradients *tensor.Tensor
+
+	// TraceID is the client iteration's trace context (see ForwardReq).
+	TraceID uint64
 }
 
 // MsgType implements Message.
@@ -191,11 +228,18 @@ func (m *BackwardReq) decode(d *decoder) {
 	m.Gradients = d.tensor()
 }
 
+func (m *BackwardReq) extPresent() bool     { return m.TraceID != 0 }
+func (m *BackwardReq) encodeExt(e *encoder) { e.u64(m.TraceID) }
+func (m *BackwardReq) decodeExt(d *decoder) { m.TraceID = d.u64() }
+
 // BackwardResp returns the server gradients g_s at the lower cut
 // (step 4).
 type BackwardResp struct {
 	Iter      int
 	Gradients *tensor.Tensor
+
+	// TraceID echoes the request's trace context back to the client.
+	TraceID uint64
 }
 
 // MsgType implements Message.
@@ -210,6 +254,10 @@ func (m *BackwardResp) decode(d *decoder) {
 	m.Iter = int(d.i64())
 	m.Gradients = d.tensor()
 }
+
+func (m *BackwardResp) extPresent() bool     { return m.TraceID != 0 }
+func (m *BackwardResp) encodeExt(e *encoder) { e.u64(m.TraceID) }
+func (m *BackwardResp) decodeExt(d *decoder) { m.TraceID = d.u64() }
 
 // Bye announces a clean client departure so the server releases the
 // instance immediately.
@@ -258,6 +306,13 @@ var (
 	_ Message = (*BackwardResp)(nil)
 	_ Message = (*Bye)(nil)
 	_ Message = (*ErrorMsg)(nil)
+
+	_ extMessage = (*Hello)(nil)
+	_ extMessage = (*HelloAck)(nil)
+	_ extMessage = (*ForwardReq)(nil)
+	_ extMessage = (*ForwardResp)(nil)
+	_ extMessage = (*BackwardReq)(nil)
+	_ extMessage = (*BackwardResp)(nil)
 )
 
 // DecodeOpen starts an incremental (KV-cached) split decoding session

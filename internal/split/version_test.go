@@ -1,0 +1,140 @@
+package split
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"menos/internal/tensor"
+)
+
+// encodeFrame returns the raw frame bytes for m.
+func encodeFrame(t *testing.T, m Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestExtFieldsRoundTrip: every trace-context field survives a round
+// trip, and carrying one stamps the frame VersionExt.
+func TestExtFieldsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	act := tensor.NewNormal(rng, 1, 2, 3)
+	cases := []struct {
+		name string
+		msg  Message
+		get  func(Message) uint64
+	}{
+		{"hello", &Hello{ClientID: "a", ModelName: "m", Features: FeatureTraceContext},
+			func(m Message) uint64 { return m.(*Hello).Features }},
+		{"hello-ack", &HelloAck{OK: true, Features: FeatureTraceContext},
+			func(m Message) uint64 { return m.(*HelloAck).Features }},
+		{"forward-req", &ForwardReq{Iter: 1, Activations: act, TraceID: 0xfeed},
+			func(m Message) uint64 { return m.(*ForwardReq).TraceID }},
+		{"forward-resp", &ForwardResp{Iter: 1, Activations: act, TraceID: 0xfeed},
+			func(m Message) uint64 { return m.(*ForwardResp).TraceID }},
+		{"backward-req", &BackwardReq{Iter: 1, Gradients: act, TraceID: 0xfeed},
+			func(m Message) uint64 { return m.(*BackwardReq).TraceID }},
+		{"backward-resp", &BackwardResp{Iter: 1, Gradients: act, TraceID: 0xfeed},
+			func(m Message) uint64 { return m.(*BackwardResp).TraceID }},
+	}
+	for _, c := range cases {
+		raw := encodeFrame(t, c.msg)
+		if raw[2] != VersionExt {
+			t.Fatalf("%s: version byte %d, want %d", c.name, raw[2], VersionExt)
+		}
+		got, err := ReadMessage(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if want := c.get(c.msg); c.get(got) != want {
+			t.Fatalf("%s: ext field %x, want %x", c.name, c.get(got), want)
+		}
+	}
+}
+
+// TestZeroExtStaysVersion1 is the interop guarantee: a message whose
+// trace-context fields are zero encodes as a plain Version-1 frame —
+// the version byte an old peer insists on, with no extension tail (the
+// old decoder's strict trailing-bytes check would reject any). A
+// tracing-capable build talking to an old peer therefore produces
+// byte-identical wire traffic.
+func TestZeroExtStaysVersion1(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	act := tensor.NewNormal(rng, 1, 2, 3)
+	for _, m := range []Message{
+		&Hello{ClientID: "a", ModelName: "m"},
+		&HelloAck{OK: true, ForwardBytes: 1},
+		&ForwardReq{Iter: 1, Activations: act},
+		&ForwardResp{Iter: 1, Activations: act},
+		&BackwardReq{Iter: 1, Apply: true, Gradients: act},
+		&BackwardResp{Iter: 1, Gradients: act},
+	} {
+		raw := encodeFrame(t, m)
+		if raw[2] != Version {
+			t.Fatalf("%v: version byte %d, want %d", m.MsgType(), raw[2], Version)
+		}
+		if _, err := ReadMessage(bytes.NewReader(raw)); err != nil {
+			t.Fatalf("%v: %v", m.MsgType(), err)
+		}
+	}
+}
+
+// TestVersionExtFrameWithoutTail: a VersionExt frame whose payload has
+// no extension tail is legal (equivalent to its Version-1 form).
+func TestVersionExtFrameWithoutTail(t *testing.T) {
+	raw := encodeFrame(t, &ForwardReq{Iter: 3})
+	raw[2] = VersionExt
+	got, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr := got.(*ForwardReq); fr.Iter != 3 || fr.TraceID != 0 {
+		t.Fatalf("decoded %+v", fr)
+	}
+}
+
+// TestVersionExtTailOnNonExtMessage: trailing bytes on a VersionExt
+// frame of a message type with no extension are still rejected — the
+// tail mechanism does not loosen frame validation elsewhere.
+func TestVersionExtTailOnNonExtMessage(t *testing.T) {
+	raw := encodeFrame(t, &ErrorMsg{Reason: ""})
+	raw[3] = byte(TypeBye) // Bye decodes nothing, leaving the 4 length bytes
+	raw[2] = VersionExt    // even at the extension version
+	if _, err := ReadMessage(bytes.NewReader(raw)); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestLegacyPeerWouldRejectExtFrames documents why negotiation gates
+// the ext fields: a frame that actually carries trace context is
+// stamped VersionExt, which a strict Version-1 decoder rejects — so
+// the client must never send one before the server acks the feature.
+func TestLegacyPeerWouldRejectExtFrames(t *testing.T) {
+	raw := encodeFrame(t, &ForwardReq{Iter: 1, TraceID: 0xabc})
+	if raw[2] != VersionExt {
+		t.Fatalf("version byte %d, want %d", raw[2], VersionExt)
+	}
+	// Simulate the legacy check: version != 1 is a bad frame.
+	if raw[2] == Version {
+		t.Fatal("ext frame impersonates version 1")
+	}
+}
+
+// TestFeatureNegotiationIntersection: the documented negotiation
+// algebra — server acks the intersection, unknown client bits drop out.
+func TestFeatureNegotiationIntersection(t *testing.T) {
+	offered := FeatureTraceContext | 1<<63 // future bit this build ignores
+	acked := offered & FeatureTraceContext
+	raw := encodeFrame(t, &HelloAck{OK: true, Features: acked})
+	got, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*HelloAck).Features != FeatureTraceContext {
+		t.Fatalf("acked features %x", got.(*HelloAck).Features)
+	}
+}

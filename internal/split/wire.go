@@ -20,13 +20,33 @@ import (
 const (
 	// Magic marks the start of every frame.
 	Magic uint16 = 0x4D53 // "MS"
-	// Version is the protocol version; mismatches are rejected.
+	// Version is the base protocol version. Version-1 peers reject
+	// anything else, so a frame is only ever written at a higher
+	// version when it actually carries extension content.
 	Version uint8 = 1
+	// VersionExt adds an optional extension tail after the base
+	// payload (trace context today). A frame is emitted at VersionExt
+	// only when its extension fields are non-empty; otherwise the bytes
+	// on the wire are identical to a Version-1 frame, which is what
+	// lets a new peer interoperate with an old one.
+	VersionExt uint8 = 2
 	// MaxFrameBytes bounds a frame payload; larger frames indicate a
 	// corrupt or hostile stream.
 	MaxFrameBytes = 512 << 20
 
 	headerSize = 8 // magic(2) + version(1) + type(1) + length(4)
+)
+
+// Feature bits negotiated in Hello/HelloAck (VersionExt frames). The
+// client offers its feature set; the server acks the intersection it
+// supports. A Version-1 peer never sees them and the negotiation
+// silently resolves to "none".
+const (
+	// FeatureTraceContext: ForwardReq/BackwardReq carry the client
+	// iteration's trace ID and the responses echo it, so both sides'
+	// span buffers share IDs (docs/OBSERVABILITY.md, "Distributed
+	// tracing").
+	FeatureTraceContext uint64 = 1 << 0
 )
 
 // Errors reported by the codec.
@@ -97,17 +117,35 @@ type Message interface {
 	decode(r *decoder)
 }
 
+// extMessage is a message with an optional VersionExt tail. The tail
+// is appended after the base payload and only when extPresent reports
+// non-empty content; the frame header is then stamped VersionExt so a
+// same-version peer knows to decode it. With empty extension content
+// the frame is byte-identical to Version 1 — an old peer never sees a
+// version it would reject.
+type extMessage interface {
+	Message
+	extPresent() bool
+	encodeExt(e *encoder)
+	decodeExt(d *decoder)
+}
+
 // WriteMessage frames and writes m.
 func WriteMessage(w io.Writer, m Message) error {
 	var enc encoder
 	m.encode(&enc)
+	version := Version
+	if xm, ok := m.(extMessage); ok && xm.extPresent() {
+		xm.encodeExt(&enc)
+		version = VersionExt
+	}
 	payload := enc.buf
 	if len(payload) > MaxFrameBytes {
 		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
 	}
 	header := make([]byte, headerSize)
 	binary.LittleEndian.PutUint16(header[0:], Magic)
-	header[2] = Version
+	header[2] = version
 	header[3] = byte(m.MsgType())
 	binary.LittleEndian.PutUint32(header[4:], uint32(len(payload)))
 	if _, err := w.Write(header); err != nil {
@@ -119,7 +157,10 @@ func WriteMessage(w io.Writer, m Message) error {
 	return nil
 }
 
-// ReadMessage reads and decodes one frame.
+// ReadMessage reads and decodes one frame. Versions 1 through
+// VersionExt are accepted; an extension tail on a VersionExt frame is
+// decoded when present (a VersionExt frame without one is legal and
+// equivalent to its Version-1 form).
 func ReadMessage(r io.Reader) (Message, error) {
 	header := make([]byte, headerSize)
 	if _, err := io.ReadFull(r, header); err != nil {
@@ -128,8 +169,9 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if binary.LittleEndian.Uint16(header[0:]) != Magic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
-	if header[2] != Version {
-		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadFrame, header[2], Version)
+	version := header[2]
+	if version < Version || version > VersionExt {
+		return nil, fmt.Errorf("%w: version %d, want %d..%d", ErrBadFrame, version, Version, VersionExt)
 	}
 	msgType := MsgType(header[3])
 	length := binary.LittleEndian.Uint32(header[4:])
@@ -146,6 +188,11 @@ func ReadMessage(r io.Reader) (Message, error) {
 	}
 	dec := decoder{buf: payload}
 	m.decode(&dec)
+	if version >= VersionExt && dec.err == nil && dec.off < len(payload) {
+		if xm, ok := m.(extMessage); ok {
+			xm.decodeExt(&dec)
+		}
+	}
 	if dec.err != nil {
 		return nil, fmt.Errorf("split: decode %v: %w", msgType, dec.err)
 	}

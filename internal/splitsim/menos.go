@@ -117,6 +117,13 @@ func runMenos(cfg Config) (*Result, error) {
 				return nil, fmt.Errorf("admission control: %w", err)
 			}
 		}
+		if cfg.Flight != nil {
+			// The kernel is single-threaded, so the synchronous Trigger
+			// keeps flight snapshots deterministic across runs.
+			srv.scheduler.SetAdmissionHook(func(from, to sched.AdmissionState) {
+				cfg.Flight.Trigger(obs.FlightReasonAdmission)
+			})
+		}
 		servers = append(servers, srv)
 		err = mgr.AddServer(id, devices.Capacity(), []string{w0.Model.Name}, func() fleet.Signals {
 			return fleet.Signals{
@@ -352,18 +359,23 @@ func runMenos(cfg Config) (*Result, error) {
 			// identical virtual-time bounds, so summing spans by
 			// category reconstructs the Breakdown exactly (the bench's
 			// -trace-out parity check relies on this).
+			// tid is the current iteration's trace ID — the same
+			// obs.IterTraceID(clientID, iter) a TCP client stamps on its
+			// wire requests, so simulated and real traces of one workload
+			// correlate by identical IDs.
+			var tid uint64
 			var comm, comp, schedT time.Duration
 			sleepComp := func(name string, d time.Duration) {
 				start := p.Now()
 				p.Sleep(d)
 				comp += d
-				cfg.Tracer.Record(cl.ID, name, "compute", start, d)
+				cfg.Tracer.RecordT(cl.ID, name, "compute", tid, start, d)
 			}
 			xfer := func(name string) {
 				start := p.Now()
 				d := link.Transfer(p, transfer)
 				comm += d
-				cfg.Tracer.Record(cl.ID, name, "comm", start, d)
+				cfg.Tracer.RecordT(cl.ID, name, "comm", tid, start, d)
 			}
 			grant := func(kind sched.RequestKind, bytes int64) {
 				start := p.Now()
@@ -376,6 +388,9 @@ func runMenos(cfg Config) (*Result, error) {
 					// keyed by client index) so shed clients do not
 					// resubmit in a synchronized herd.
 					rejected++
+					if cfg.Flight != nil {
+						cfg.Flight.Trigger(obs.FlightReasonShed)
+					}
 					var ov *sched.OverloadError
 					errors.As(err, &ov)
 					p.Sleep(ov.RetryAfter + ov.RetryAfter*time.Duration(i%8)/8)
@@ -389,7 +404,7 @@ func runMenos(cfg Config) (*Result, error) {
 				// d includes the fixed scheduler decision cost, which
 				// does not advance virtual time; keep the span equal to
 				// what the Breakdown records.
-				cfg.Tracer.Record(cl.ID, "wait:"+kind.String(), "sched", start, d)
+				cfg.Tracer.RecordT(cl.ID, "wait:"+kind.String(), "sched", tid, start, d)
 			}
 			release := func() {
 				scheduler.Complete(cl.ID)
@@ -457,7 +472,7 @@ func runMenos(cfg Config) (*Result, error) {
 				p.Sleep(migrationTime(ci.PersistentBytes))
 				d := p.Now() - start
 				schedT += d
-				cfg.Tracer.Record(cl.ID, "migrate", "sched", start, d)
+				cfg.Tracer.RecordT(cl.ID, "migrate", "sched", tid, start, d)
 				sampleMem(p.Now())
 				srv = dst
 				scheduler = dst.scheduler
@@ -467,6 +482,7 @@ func runMenos(cfg Config) (*Result, error) {
 
 			persisted := false
 			for iter := 0; iter < cfg.Iterations; iter++ {
+				tid = obs.IterTraceID(cl.ID, iter)
 				comm, comp, schedT = 0, 0, 0
 
 				// Fleet rebalance check (autoscaled runs): evacuate a

@@ -1,12 +1,14 @@
 package splitsim
 
 import (
+	"os"
 	"strings"
 	"testing"
 	"time"
 
 	"menos/internal/memmodel"
 	"menos/internal/obs"
+	"menos/internal/sched"
 )
 
 // checkParity asserts that summing spans by category reconstructs the
@@ -93,6 +95,92 @@ func TestMenosMetricsInstrumented(t *testing.T) {
 	if snap.Sum > simWaits {
 		t.Errorf("histogram wait sum %.3fs exceeds simulated waits %.3fs (wall-clock leak?)",
 			snap.Sum, simWaits)
+	}
+}
+
+// TestTraceIDsDeterministic: two traced runs of the same config emit
+// byte-identical span streams — same order, timing, and trace IDs — and
+// every iteration-scoped span carries the obs.IterTraceID a TCP client
+// would stamp, so simulator and wire traces correlate.
+func TestTraceIDsDeterministic(t *testing.T) {
+	record := func() []obs.Span {
+		tracer := obs.NewTracer(nil)
+		cfg := menosCfg(3, memmodel.PaperOPTWorkload())
+		cfg.Tracer = tracer
+		run(t, cfg)
+		return tracer.Spans()
+	}
+	a, b := record(), record()
+	if len(a) != len(b) {
+		t.Fatalf("span counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+
+	// Per-client compute spans must cycle through the deterministic
+	// iteration trace IDs in order.
+	want := make(map[uint64]bool)
+	for iter := 0; iter < 8; iter++ {
+		want[obs.IterTraceID("client-1", iter)] = true
+	}
+	var seen int
+	for _, s := range a {
+		if s.Track != "client-1" || s.Cat != "compute" {
+			continue
+		}
+		if s.TraceID == 0 {
+			t.Fatalf("compute span %q has no trace ID", s.Name)
+		}
+		if !want[s.TraceID] {
+			t.Fatalf("compute span %q trace ID %x not an IterTraceID", s.Name, s.TraceID)
+		}
+		seen++
+	}
+	if seen == 0 {
+		t.Fatal("no compute spans for client-1")
+	}
+}
+
+// TestMenosShedTriggersFlight: an over-subscribed traced run with a
+// flight recorder attached snapshots shed and admission transitions,
+// and the snapshot spans carry the run's trace IDs.
+func TestMenosShedTriggersFlight(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(nil)
+	fr, err := obs.NewFlightRecorder(obs.FlightConfig{
+		Dir:         t.TempDir(),
+		MinInterval: time.Nanosecond,
+	}, reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fr.Close()
+
+	// Llama at 6 clients over-subscribes the V100 hard enough to shed.
+	cfg := menosCfg(6, memmodel.PaperLlamaWorkload())
+	cfg.Metrics = reg
+	cfg.Tracer = tracer
+	cfg.SLO = sched.SLO{TargetP99: 2 * time.Second, Window: 40 * time.Second}
+	cfg.Flight = fr
+	r := run(t, cfg)
+	if r.Rejected == 0 {
+		t.Skip("config did not shed; flight path not exercised")
+	}
+	if err := fr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(fr.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"reason":"`+obs.FlightReasonShed+`"`) {
+		t.Fatal("no shed snapshot in flight recording")
+	}
+	if !strings.Contains(string(data), `"trace_id":"`) {
+		t.Fatal("flight snapshot spans carry no trace IDs")
 	}
 }
 

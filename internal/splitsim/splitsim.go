@@ -136,7 +136,15 @@ type Config struct {
 	// time: span timestamps are kernel time, never the wall clock, so
 	// a dumped Chrome trace shows the simulated timeline. The span
 	// category totals reconstruct the run's trace.Breakdown exactly.
+	// Spans carry the same deterministic obs.IterTraceID(client, iter)
+	// IDs a real TCP run stamps on the wire, so identical workloads
+	// correlate across planes.
 	Tracer *obs.Tracer
+	// Flight, when set, snapshots the trace window and metrics on shed
+	// and admission-state transitions (Menos mode). Snapshots use the
+	// synchronous trigger path, so a given config produces the same
+	// flight records on every run.
+	Flight *obs.FlightRecorder
 	// Metrics, when set, instruments the simulated scheduler and GPUs
 	// against the registry, with wait times measured on the virtual
 	// clock. The vanilla baseline additionally counts swap traffic

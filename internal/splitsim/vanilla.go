@@ -164,24 +164,27 @@ func runVanilla(cfg Config) (*Result, error) {
 
 		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
 			// Spans mirror the Breakdown accumulators exactly, as in
-			// the Menos loop.
+			// the Menos loop, and carry the same deterministic
+			// per-iteration trace IDs.
+			var tid uint64
 			var comm, comp, schedT time.Duration
 			sleepComp := func(name string, d time.Duration) {
 				start := p.Now()
 				p.Sleep(d)
 				comp += d
-				cfg.Tracer.Record(cl.ID, name, "compute", start, d)
+				cfg.Tracer.RecordT(cl.ID, name, "compute", tid, start, d)
 			}
 			xfer := func(name string) {
 				start := p.Now()
 				d := link.Transfer(p, transfer)
 				comm += d
-				cfg.Tracer.Record(cl.ID, name, "comm", start, d)
+				cfg.Tracer.RecordT(cl.ID, name, "comm", tid, start, d)
 			}
 			if cl.StartDelay > 0 {
 				p.Sleep(cl.StartDelay)
 			}
 			for iter := 0; iter < cfg.Iterations; iter++ {
+				tid = obs.IterTraceID(cl.ID, iter)
 				comm, comp, schedT = 0, 0, 0
 
 				sleepComp("client-pre", pre)
@@ -191,7 +194,7 @@ func runVanilla(cfg Config) (*Result, error) {
 				resStart := p.Now()
 				d := res.ensure(p, cl.ID, cost)
 				schedT += d
-				cfg.Tracer.Record(cl.ID, "residency-wait", "sched", resStart, d)
+				cfg.Tracer.RecordT(cl.ID, "residency-wait", "sched", tid, resStart, d)
 
 				sleepComp("forward", cost.ForwardTime(cl.Workload))
 
