@@ -9,12 +9,13 @@ test:
 	$(GO) test ./...
 
 # Race-checks the packages with real lock/atomic contention: the
-# metrics registry and ring tracer, the wire protocol (version
-# interop), the scheduler (including admission-control state flips),
-# the fleet manager, the TCP serving loop and the simulator that
-# drives them.
+# tensor worker pool and scratch arena, the model plane that hammers
+# them from concurrent training loops, the metrics registry and ring
+# tracer, the wire protocol (version interop), the scheduler (including
+# admission-control state flips), the fleet manager, the TCP serving
+# loop and the simulator that drives them.
 test-race:
-	$(GO) test -race ./internal/obs ./internal/split ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

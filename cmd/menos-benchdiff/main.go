@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"menos/internal/adapter"
 	"menos/internal/client"
@@ -43,6 +44,7 @@ import (
 	"menos/internal/costmodel"
 	"menos/internal/memmodel"
 	"menos/internal/model"
+	"menos/internal/nn"
 	"menos/internal/obs"
 	"menos/internal/splitsim"
 	"menos/internal/tensor"
@@ -182,6 +184,18 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	// diff notes before it becomes a debugging blind spot.
 	rep.Metrics["obs_spans_dropped_total"] = float64(tracer.Dropped())
 
+	// Informational (never gated until a baseline carrying it is
+	// committed): wall-clock seconds per full fine-tuning step on the
+	// in-process model, the number the compute-plane kernels move. Also
+	// recorded: the worker-pool width it was measured at, since the two
+	// only compare within a runner class anyway.
+	stepSec, err := trainStepSeconds()
+	if err != nil {
+		return Report{}, fmt.Errorf("train-step benchmark: %w", err)
+	}
+	rep.Metrics["train_step_seconds"] = stepSec
+	rep.Metrics["tensor_pool_workers"] = float64(tensor.Parallelism())
+
 	simReg := obs.NewRegistry()
 	sim, err := splitsim.Run(splitsim.Config{
 		Mode:       splitsim.ModeMenos,
@@ -197,6 +211,43 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	rep.Metrics["sim_time_seconds"] = sim.SimulatedTime.Seconds()
 	rep.Metrics["sim_avg_iteration_seconds"] = sim.AvgIterationTime().Seconds()
 	return rep, nil
+}
+
+// trainStepSeconds times one full fine-tuning step (forward, backward,
+// Adam update) on a fixed-seed opt-tiny model, averaged over a few
+// timed steps after one warm-up step so the scratch arena is primed and
+// the timing reflects the steady state a training loop lives in.
+func trainStepSeconds() (float64, error) {
+	m, err := model.New(tensor.NewRNG(7), model.OPTTiny())
+	if err != nil {
+		return 0, err
+	}
+	opt := nn.NewAdam(1e-3)
+	params := m.Params()
+	batch, seq := 2, 16
+	rng := tensor.NewRNG(8)
+	ids := make([]int, batch*seq)
+	targets := make([]int, batch*seq)
+	for i := range ids {
+		ids[i] = rng.Intn(m.Cfg.Vocab)
+		targets[i] = rng.Intn(m.Cfg.Vocab)
+	}
+	const timedSteps = 3
+	var elapsed time.Duration
+	for step := 0; step < timedSteps+1; step++ {
+		start := time.Now()
+		if _, err := m.LossAndGrad(ids, targets, batch, seq); err != nil {
+			return 0, err
+		}
+		if err := opt.Step(params); err != nil {
+			return 0, err
+		}
+		nn.ZeroGrads(params)
+		if step > 0 { // step 0 is the warm-up
+			elapsed += time.Since(start)
+		}
+	}
+	return elapsed.Seconds() / timedSteps, nil
 }
 
 // loopbackRun drives the paper workload end to end on this machine: an

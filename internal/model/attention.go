@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"menos/internal/nn"
 	"menos/internal/tensor"
@@ -46,6 +47,10 @@ type Attention struct {
 	heads   int
 	headDim int
 	rope    *ropeTable // nil for OPT-style learned positions
+
+	// scratch is the step-scoped buffer arena shared by the whole
+	// model (and its shallow clones). nil degrades to allocation.
+	scratch *tensor.Scratch
 }
 
 // AttnCache retains everything the attention backward pass needs.
@@ -59,6 +64,10 @@ type AttnCache struct {
 	QT, KT, VT *tensor.Tensor
 	// Softmax probabilities, (B*heads*T, P+T).
 	Probs *tensor.Tensor
+	// Pre-projection context (B*T, dim), the O projection's input.
+	// Retained so Backward can return it to the scratch arena; it
+	// aliases the X held by OC, so Bytes does not count it twice.
+	Ctx *tensor.Tensor
 }
 
 // Bytes reports retained activation size.
@@ -99,8 +108,29 @@ func (a *Attention) prefixLen() int {
 	return a.Prefix.Len
 }
 
+// errCollector records the first error raised by any worker of a
+// parallel region.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCollector) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
 // Forward computes attention over x of shape (B*T, dim). When withGrad
 // is false no cache is produced (no-grad forward).
+//
+// The per-(batch, head) bodies are independent — each one reads shared
+// projections and writes a disjoint slice of ctx/probs — so they fan
+// out over the tensor worker pool. Every float is still produced by
+// exactly the same instruction sequence as the serial loop, so results
+// are bit-identical at any parallelism.
 func (a *Attention) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*tensor.Tensor, *AttnCache, error) {
 	dim := a.heads * a.headDim
 	if x.Rank() != 2 || x.Dim(0) != batch*seq || x.Dim(1) != dim {
@@ -126,20 +156,24 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*t
 
 	pLen := a.prefixLen()
 	ext := pLen + seq
-	ctx := tensor.New(batch*seq, dim)
+	sc := a.scratch
+	ctx := sc.Get(batch*seq, dim)
 	var probs *tensor.Tensor
 	if withGrad {
-		probs = tensor.New(batch*a.heads*seq, ext)
+		probs = sc.Get(batch*a.heads*seq, ext)
 	}
 	scale := float32(1.0 / math.Sqrt(float64(a.headDim)))
 
-	qh := tensor.New(seq, a.headDim)
-	khExt := tensor.New(ext, a.headDim)
-	vhExt := tensor.New(ext, a.headDim)
-	scores := tensor.New(seq, ext)
-	outh := tensor.New(seq, a.headDim)
-	for b := 0; b < batch; b++ {
-		for h := 0; h < a.heads; h++ {
+	var ec errCollector
+	tensor.ParallelFor(batch*a.heads, 1, func(lo, hi int) {
+		qh := sc.Get(seq, a.headDim)
+		khExt := sc.Get(ext, a.headDim)
+		vhExt := sc.Get(ext, a.headDim)
+		scores := sc.Get(seq, ext)
+		outh := sc.Get(seq, a.headDim)
+		defer sc.Put(qh, khExt, vhExt, scores, outh)
+		for u := lo; u < hi; u++ {
+			b, h := u/a.heads, u%a.heads
 			a.gatherHead(q, b*seq, h, seq, qh.Data())
 			if pLen > 0 {
 				a.gatherHead(a.Prefix.K.Value, 0, h, pLen, khExt.Data()[:pLen*a.headDim])
@@ -148,22 +182,29 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*t
 			a.gatherHead(k, b*seq, h, seq, khExt.Data()[pLen*a.headDim:])
 			a.gatherHead(v, b*seq, h, seq, vhExt.Data()[pLen*a.headDim:])
 			if err := tensor.MatMulT(scores, qh, khExt); err != nil {
-				return nil, nil, fmt.Errorf("attention scores: %w", err)
+				ec.set(fmt.Errorf("attention scores: %w", err))
+				return
 			}
 			scores.Scale(scale)
 			maskCausal(scores, pLen)
 			if err := tensor.SoftmaxRows(scores, scores); err != nil {
-				return nil, nil, fmt.Errorf("attention softmax: %w", err)
+				ec.set(fmt.Errorf("attention softmax: %w", err))
+				return
 			}
 			if probs != nil {
 				off := (b*a.heads + h) * seq * ext
 				copy(probs.Data()[off:off+seq*ext], scores.Data())
 			}
 			if err := tensor.MatMul(outh, scores, vhExt); err != nil {
-				return nil, nil, fmt.Errorf("attention context: %w", err)
+				ec.set(fmt.Errorf("attention context: %w", err))
+				return
 			}
 			a.scatterHeadCopy(ctx, b*seq, h, seq, outh.Data())
 		}
+	})
+	if ec.err != nil {
+		sc.Put(ctx, probs)
+		return nil, nil, ec.err
 	}
 
 	y, oc, err := a.O.Apply(ctx, withGrad)
@@ -171,16 +212,27 @@ func (a *Attention) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*t
 		return nil, nil, fmt.Errorf("attention o: %w", err)
 	}
 	if !withGrad {
+		// Without a cache the projections die with the head loop.
+		sc.Put(ctx, q, k, v)
 		return y, nil, nil
 	}
 	return y, &AttnCache{
 		B: batch, T: seq, P: pLen,
 		QC: qc, KC: kc, VC: vc, OC: oc,
-		QT: q, KT: k, VT: v, Probs: probs,
+		QT: q, KT: k, VT: v, Probs: probs, Ctx: ctx,
 	}, nil
 }
 
+// attnBwdBufs is the per-worker buffer set of the backward head loop.
+type attnBwdBufs struct {
+	qh, khExt, vhExt   *tensor.Tensor
+	douth, dqh, dkhExt *tensor.Tensor
+	dvhExt, dp, p      *tensor.Tensor
+}
+
 // Backward propagates dy of shape (B*T, dim) through the attention.
+// The cache is consumed: its retained activations are returned to the
+// scratch arena, so Backward can only run once per Forward.
 func (a *Attention) Backward(cache *AttnCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
 	if cache == nil || cache.Probs == nil {
 		return nil, fmt.Errorf("attention backward: no cached activations")
@@ -192,66 +244,105 @@ func (a *Attention) Backward(cache *AttnCache, dy *tensor.Tensor) (*tensor.Tenso
 	batch, seq, pLen := cache.B, cache.T, cache.P
 	ext := pLen + seq
 	dim := a.heads * a.headDim
+	sc := a.scratch
 
 	dctx, err := a.O.Grad(cache.OC, dy)
 	if err != nil {
 		return nil, fmt.Errorf("attention o backward: %w", err)
 	}
+	sc.Put(cache.Ctx)
+	cache.Ctx = nil
 
-	dq := tensor.New(batch*seq, dim)
-	dk := tensor.New(batch*seq, dim)
-	dv := tensor.New(batch*seq, dim)
+	dq := sc.Get(batch*seq, dim)
+	dk := sc.Get(batch*seq, dim)
+	dv := sc.Get(batch*seq, dim)
 	scale := float32(1.0 / math.Sqrt(float64(a.headDim)))
 
-	qh := tensor.New(seq, a.headDim)
-	khExt := tensor.New(ext, a.headDim)
-	vhExt := tensor.New(ext, a.headDim)
-	douth := tensor.New(seq, a.headDim)
-	dqh := tensor.New(seq, a.headDim)
-	dkhExt := tensor.New(ext, a.headDim)
-	dvhExt := tensor.New(ext, a.headDim)
-	dp := tensor.New(seq, ext)
-	p := tensor.New(seq, ext)
-	for b := 0; b < batch; b++ {
-		for h := 0; h < a.heads; h++ {
-			a.gatherHead(cache.QT, b*seq, h, seq, qh.Data())
-			if pLen > 0 {
-				a.gatherHead(a.Prefix.K.Value, 0, h, pLen, khExt.Data()[:pLen*a.headDim])
-				a.gatherHead(a.Prefix.V.Value, 0, h, pLen, vhExt.Data()[:pLen*a.headDim])
-			}
-			a.gatherHead(cache.KT, b*seq, h, seq, khExt.Data()[pLen*a.headDim:])
-			a.gatherHead(cache.VT, b*seq, h, seq, vhExt.Data()[pLen*a.headDim:])
-			a.gatherHead(dctx, b*seq, h, seq, douth.Data())
-			off := (b*a.heads + h) * seq * ext
-			copy(p.Data(), cache.Probs.Data()[off:off+seq*ext])
-
-			// dP = dOut @ Vᵀ ; dV = Pᵀ @ dOut
-			if err := tensor.MatMulT(dp, douth, vhExt); err != nil {
-				return nil, fmt.Errorf("attention dP: %w", err)
-			}
-			dvhExt.Zero()
-			if err := tensor.MatMulTAccum(dvhExt, p, douth); err != nil {
-				return nil, fmt.Errorf("attention dV: %w", err)
-			}
-			// dS = P ∘ (dP - rowsum(dP∘P)); scale by 1/√hd.
-			softmaxBackwardInPlace(dp, p)
-			dp.Scale(scale)
-			// dQ = dS @ K ; dK = dSᵀ @ Q
-			if err := tensor.MatMul(dqh, dp, khExt); err != nil {
-				return nil, fmt.Errorf("attention dQ: %w", err)
-			}
-			dkhExt.Zero()
-			if err := tensor.MatMulTAccum(dkhExt, dp, qh); err != nil {
-				return nil, fmt.Errorf("attention dK: %w", err)
-			}
-			if pLen > 0 {
-				a.scatterHeadAdd(a.Prefix.K.Grad, 0, h, pLen, dkhExt.Data()[:pLen*a.headDim])
-				a.scatterHeadAdd(a.Prefix.V.Grad, 0, h, pLen, dvhExt.Data()[:pLen*a.headDim])
-			}
-			a.scatterHeadCopy(dq, b*seq, h, seq, dqh.Data())
-			a.scatterHeadCopy(dk, b*seq, h, seq, dkhExt.Data()[pLen*a.headDim:])
-			a.scatterHeadCopy(dv, b*seq, h, seq, dvhExt.Data()[pLen*a.headDim:])
+	headBackward := func(b, h int, bufs *attnBwdBufs) error {
+		a.gatherHead(cache.QT, b*seq, h, seq, bufs.qh.Data())
+		if pLen > 0 {
+			a.gatherHead(a.Prefix.K.Value, 0, h, pLen, bufs.khExt.Data()[:pLen*a.headDim])
+			a.gatherHead(a.Prefix.V.Value, 0, h, pLen, bufs.vhExt.Data()[:pLen*a.headDim])
 		}
+		a.gatherHead(cache.KT, b*seq, h, seq, bufs.khExt.Data()[pLen*a.headDim:])
+		a.gatherHead(cache.VT, b*seq, h, seq, bufs.vhExt.Data()[pLen*a.headDim:])
+		a.gatherHead(dctx, b*seq, h, seq, bufs.douth.Data())
+		off := (b*a.heads + h) * seq * ext
+		copy(bufs.p.Data(), cache.Probs.Data()[off:off+seq*ext])
+
+		// dP = dOut @ Vᵀ ; dV = Pᵀ @ dOut
+		if err := tensor.MatMulT(bufs.dp, bufs.douth, bufs.vhExt); err != nil {
+			return fmt.Errorf("attention dP: %w", err)
+		}
+		bufs.dvhExt.Zero()
+		if err := tensor.MatMulTAccum(bufs.dvhExt, bufs.p, bufs.douth); err != nil {
+			return fmt.Errorf("attention dV: %w", err)
+		}
+		// dS = P ∘ (dP - rowsum(dP∘P)); scale by 1/√hd.
+		softmaxBackwardInPlace(bufs.dp, bufs.p)
+		bufs.dp.Scale(scale)
+		// dQ = dS @ K ; dK = dSᵀ @ Q
+		if err := tensor.MatMul(bufs.dqh, bufs.dp, bufs.khExt); err != nil {
+			return fmt.Errorf("attention dQ: %w", err)
+		}
+		bufs.dkhExt.Zero()
+		if err := tensor.MatMulTAccum(bufs.dkhExt, bufs.dp, bufs.qh); err != nil {
+			return fmt.Errorf("attention dK: %w", err)
+		}
+		if pLen > 0 {
+			a.scatterHeadAdd(a.Prefix.K.Grad, 0, h, pLen, bufs.dkhExt.Data()[:pLen*a.headDim])
+			a.scatterHeadAdd(a.Prefix.V.Grad, 0, h, pLen, bufs.dvhExt.Data()[:pLen*a.headDim])
+		}
+		a.scatterHeadCopy(dq, b*seq, h, seq, bufs.dqh.Data())
+		a.scatterHeadCopy(dk, b*seq, h, seq, bufs.dkhExt.Data()[pLen*a.headDim:])
+		a.scatterHeadCopy(dv, b*seq, h, seq, bufs.dvhExt.Data()[pLen*a.headDim:])
+		return nil
+	}
+
+	// Without a prefix every (batch, head) body is independent and the
+	// fan-out is flat. With a prefix, all batches of one head
+	// accumulate into the same prefix-gradient columns, so the unit of
+	// parallelism becomes the head and batches run in ascending order
+	// inside it — the exact accumulation order of the serial loop.
+	units := batch * a.heads
+	perHead := pLen > 0
+	if perHead {
+		units = a.heads
+	}
+	var ec errCollector
+	tensor.ParallelFor(units, 1, func(lo, hi int) {
+		bufs := &attnBwdBufs{
+			qh:     sc.Get(seq, a.headDim),
+			khExt:  sc.Get(ext, a.headDim),
+			vhExt:  sc.Get(ext, a.headDim),
+			douth:  sc.Get(seq, a.headDim),
+			dqh:    sc.Get(seq, a.headDim),
+			dkhExt: sc.Get(ext, a.headDim),
+			dvhExt: sc.Get(ext, a.headDim),
+			dp:     sc.Get(seq, ext),
+			p:      sc.Get(seq, ext),
+		}
+		defer sc.Put(bufs.qh, bufs.khExt, bufs.vhExt, bufs.douth,
+			bufs.dqh, bufs.dkhExt, bufs.dvhExt, bufs.dp, bufs.p)
+		for u := lo; u < hi; u++ {
+			if perHead {
+				for b := 0; b < batch; b++ {
+					if err := headBackward(b, u, bufs); err != nil {
+						ec.set(err)
+						return
+					}
+				}
+			} else if err := headBackward(u/a.heads, u%a.heads, bufs); err != nil {
+				ec.set(err)
+				return
+			}
+		}
+	})
+	sc.Put(dctx, cache.Probs, cache.QT, cache.KT, cache.VT)
+	cache.Probs, cache.QT, cache.KT, cache.VT = nil, nil, nil, nil
+	if ec.err != nil {
+		sc.Put(dq, dk, dv)
+		return nil, ec.err
 	}
 
 	if a.rope != nil {
@@ -271,12 +362,14 @@ func (a *Attention) Backward(cache *AttnCache, dy *tensor.Tensor) (*tensor.Tenso
 	if err != nil {
 		return nil, fmt.Errorf("attention v backward: %w", err)
 	}
+	sc.Put(dq, dk, dv)
 	if err := tensor.Add(dxq, dxq, dxk); err != nil {
 		return nil, fmt.Errorf("attention dx sum: %w", err)
 	}
 	if err := tensor.Add(dxq, dxq, dxv); err != nil {
 		return nil, fmt.Errorf("attention dx sum: %w", err)
 	}
+	sc.Put(dxk, dxv)
 	return dxq, nil
 }
 
@@ -337,17 +430,24 @@ func (a *Attention) scatterHeadAdd(dst *tensor.Tensor, rowOff, h, rows int, src 
 }
 
 // applyRope rotates q/k rows in place; inverse applies the backward
-// rotation.
+// rotation. Rows are independent, so they fan out over the pool.
 func (a *Attention) applyRope(t *tensor.Tensor, batch, seq int, inverse bool) {
 	dim := a.heads * a.headDim
-	for b := 0; b < batch; b++ {
-		for pos := 0; pos < seq; pos++ {
-			row := t.Data()[(b*seq+pos)*dim : (b*seq+pos+1)*dim]
+	grain := 1
+	if dim > 0 {
+		if grain = (1 << 14) / dim; grain < 1 {
+			grain = 1
+		}
+	}
+	tensor.ParallelFor(batch*seq, grain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			pos := r % seq
+			row := t.Data()[r*dim : (r+1)*dim]
 			for h := 0; h < a.heads; h++ {
 				a.rope.apply(row[h*a.headDim:(h+1)*a.headDim], pos, inverse)
 			}
 		}
-	}
+	})
 }
 
 // maskCausal adds a large negative value to entries of a (T, P+T) score

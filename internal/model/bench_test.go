@@ -1,0 +1,72 @@
+package model
+
+import (
+	"testing"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// BenchmarkAttention measures one multi-head attention forward+backward
+// at a shape big enough to exercise the per-(batch,head) fan-out.
+func BenchmarkAttention(b *testing.B) {
+	cfg := Config{
+		Name: "bench", Family: FamilyOPT,
+		Vocab: 96, Dim: 256, Layers: 2, Heads: 8, FFN: 512, MaxSeq: 128,
+	}
+	rng := tensor.NewRNG(1)
+	attn := newAttention(rng, cfg)
+	// Wire up the arena exactly as a block inside a model would, and
+	// release the outputs the way Block.Forward/Backward do, so the
+	// bench measures the steady-state reuse path.
+	sc := tensor.NewScratch()
+	attn.scratch = sc
+	setOpScratch(sc, attn.Q, attn.K, attn.V, attn.O)
+	batch, seq := 4, 64
+	x := tensor.NewNormal(tensor.NewRNG(2), 0.5, batch*seq, cfg.Dim)
+	dy := tensor.NewNormal(tensor.NewRNG(3), 0.1, batch*seq, cfg.Dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, cache, err := attn.Forward(x, batch, seq, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dx, err := attn.Backward(cache, dy)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.Put(y, dx)
+	}
+}
+
+// BenchmarkTrainStep measures one full local fine-tuning step of
+// OPTTiny (forward, backward, Adam update, grad zeroing). Its B/op is
+// the steady-state allocation figure quoted in docs/PERFORMANCE.md.
+func BenchmarkTrainStep(b *testing.B) {
+	m, err := New(tensor.NewRNG(7), OPTTiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := nn.NewAdam(1e-3)
+	params := m.Params()
+	batch, seq := 4, 32
+	rng := tensor.NewRNG(9)
+	ids := make([]int, batch*seq)
+	targets := make([]int, batch*seq)
+	for i := range ids {
+		ids[i] = rng.Intn(OPTTiny().Vocab)
+		targets[i] = rng.Intn(OPTTiny().Vocab)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.LossAndGrad(ids, targets, batch, seq); err != nil {
+			b.Fatal(err)
+		}
+		if err := opt.Step(params); err != nil {
+			b.Fatal(err)
+		}
+		nn.ZeroGrads(params)
+	}
+}

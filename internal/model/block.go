@@ -16,6 +16,8 @@ type Block struct {
 	Attn  *Attention
 	Norm2 nn.Op
 	FFN   *FFN
+
+	scratch *tensor.Scratch // step-scoped buffer arena; nil degrades to allocation
 }
 
 // BlockCache retains one block's intermediate results. Its Bytes()
@@ -25,6 +27,18 @@ type BlockCache struct {
 	AttnC  *AttnCache
 	Norm2C any
 	FFNC   *FFNCache
+
+	// H is the first residual sum (the Norm2 input). It aliases the X
+	// held by Norm2C — retained separately so Backward can return it
+	// to the scratch arena; Bytes does not count it twice.
+	H *tensor.Tensor
+
+	// N1 and N2 are the norm outputs (the attention and FFN inputs).
+	// They alias the X fields of the projection caches inside AttnC and
+	// FFNC — retained separately so Backward can return them to the
+	// scratch arena once those sub-backwards have consumed them; Bytes
+	// does not count them again.
+	N1, N2 *tensor.Tensor
 }
 
 // Bytes reports retained activation size.
@@ -58,6 +72,7 @@ func (b *Block) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*tenso
 		cache = &BlockCache{}
 	}
 
+	sc := b.scratch
 	n1, n1c, err := b.Norm1.Apply(x, withGrad)
 	if err != nil {
 		return nil, nil, fmt.Errorf("block norm1: %w", err)
@@ -66,10 +81,14 @@ func (b *Block) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*tenso
 	if err != nil {
 		return nil, nil, fmt.Errorf("block attn: %w", err)
 	}
-	h := tensor.New(x.Shape()...)
+	if !withGrad {
+		sc.Put(n1)
+	}
+	h := sc.Get(x.Shape()...)
 	if err := tensor.Add(h, x, attnOut); err != nil {
 		return nil, nil, fmt.Errorf("block residual 1: %w", err)
 	}
+	sc.Put(attnOut)
 
 	n2, n2c, err := b.Norm2.Apply(h, withGrad)
 	if err != nil {
@@ -79,13 +98,21 @@ func (b *Block) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (*tenso
 	if err != nil {
 		return nil, nil, fmt.Errorf("block ffn: %w", err)
 	}
-	y := tensor.New(h.Shape()...)
+	if !withGrad {
+		sc.Put(n2)
+	}
+	y := sc.Get(h.Shape()...)
 	if err := tensor.Add(y, h, ffnOut); err != nil {
 		return nil, nil, fmt.Errorf("block residual 2: %w", err)
 	}
+	sc.Put(ffnOut)
 
 	if cache != nil {
 		cache.Norm1C, cache.AttnC, cache.Norm2C, cache.FFNC = n1c, attnC, n2c, ffnC
+		cache.H = h
+		cache.N1, cache.N2 = n1, n2
+	} else {
+		sc.Put(h)
 	}
 	return y, cache, nil
 }
@@ -95,6 +122,7 @@ func (b *Block) Backward(cache *BlockCache, dy *tensor.Tensor) (*tensor.Tensor, 
 	if cache == nil {
 		return nil, fmt.Errorf("block backward: no cached activations")
 	}
+	sc := b.scratch
 	// y = h + FFN(Norm2(h)): dh = dy + Norm2ᵀ(FFNᵀ(dy))
 	dffn, err := b.FFN.Backward(cache.FFNC, dy)
 	if err != nil {
@@ -104,10 +132,15 @@ func (b *Block) Backward(cache *BlockCache, dy *tensor.Tensor) (*tensor.Tensor, 
 	if err != nil {
 		return nil, fmt.Errorf("block norm2 backward: %w", err)
 	}
-	dh := tensor.New(dy.Shape()...)
+	// N2 (the FFN input) was last read by the FFN's projection
+	// backwards; H (the Norm2 input) by Norm2.Grad just above.
+	sc.Put(dffn, cache.H, cache.N2)
+	cache.H, cache.N2 = nil, nil
+	dh := sc.Get(dy.Shape()...)
 	if err := tensor.Add(dh, dy, dn2); err != nil {
 		return nil, fmt.Errorf("block residual 2 backward: %w", err)
 	}
+	sc.Put(dn2)
 
 	// h = x + Attn(Norm1(x)): dx = dh + Norm1ᵀ(Attnᵀ(dh))
 	dattn, err := b.Attn.Backward(cache.AttnC, dh)
@@ -118,10 +151,15 @@ func (b *Block) Backward(cache *BlockCache, dy *tensor.Tensor) (*tensor.Tensor, 
 	if err != nil {
 		return nil, fmt.Errorf("block norm1 backward: %w", err)
 	}
-	dx := tensor.New(dy.Shape()...)
+	// N1 (the attention input) was last read by the Q/K/V projection
+	// backwards inside Attn.Backward.
+	sc.Put(dattn, cache.N1)
+	cache.N1 = nil
+	dx := sc.Get(dy.Shape()...)
 	if err := tensor.Add(dx, dh, dn1); err != nil {
 		return nil, fmt.Errorf("block residual 1 backward: %w", err)
 	}
+	sc.Put(dh, dn1)
 	return dx, nil
 }
 

@@ -15,10 +15,11 @@ package model
 // prefix adapter is not carried over: clones start pristine.
 func (b *Block) ShallowClone() *Block {
 	return &Block{
-		Norm1: b.Norm1,
-		Attn:  b.Attn.ShallowClone(),
-		Norm2: b.Norm2,
-		FFN:   b.FFN.ShallowClone(),
+		Norm1:   b.Norm1,
+		Attn:    b.Attn.ShallowClone(),
+		Norm2:   b.Norm2,
+		FFN:     b.FFN.ShallowClone(),
+		scratch: b.scratch, // arena is mutex-guarded, safe to share
 	}
 }
 
@@ -32,17 +33,19 @@ func (a *Attention) ShallowClone() *Attention {
 		O:       a.O,
 		heads:   a.heads,
 		headDim: a.headDim,
-		rope:    a.rope, // read-only table, safe to share
+		rope:    a.rope,    // read-only table, safe to share
+		scratch: a.scratch, // arena is mutex-guarded, safe to share
 	}
 }
 
 // ShallowClone returns a new FFN sharing the projection operators.
 func (f *FFN) ShallowClone() *FFN {
 	return &FFN{
-		family: f.family,
-		Up:     f.Up,
-		Down:   f.Down,
-		Gate:   f.Gate,
+		family:  f.family,
+		Up:      f.Up,
+		Down:    f.Down,
+		Gate:    f.Gate,
+		scratch: f.scratch, // arena is mutex-guarded, safe to share
 	}
 }
 

@@ -16,6 +16,8 @@ type FFN struct {
 	Up   nn.Op
 	Down nn.Op
 	Gate nn.Op // Llama only
+
+	scratch *tensor.Scratch // step-scoped buffer arena; nil degrades to allocation
 }
 
 // FFNCache retains FFN intermediates for the backward pass.
@@ -24,6 +26,12 @@ type FFNCache struct {
 	Act               *nn.ActCache   // GELU input (OPT) or SiLU input (Llama)
 	UpOut             *tensor.Tensor // Llama: up-projection output (for the gating product)
 	SiluOut           *tensor.Tensor // Llama: SiLU(gate) output
+
+	// Hidden is the Down projection's input (the GELU output for OPT,
+	// the gating product for Llama). It aliases the X held by DownC —
+	// retained separately so Backward can return it to the scratch
+	// arena; Bytes does not count it twice.
+	Hidden *tensor.Tensor
 }
 
 // Bytes reports retained activation size.
@@ -59,6 +67,7 @@ func (f *FFN) Forward(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, *FFNCach
 	if withGrad {
 		cache = &FFNCache{}
 	}
+	sc := f.scratch
 	switch f.family {
 	case FamilyOPT:
 		h, upc, err := f.Up.Apply(x, withGrad)
@@ -69,13 +78,19 @@ func (f *FFN) Forward(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, *FFNCach
 		if withGrad {
 			act = &nn.ActCache{}
 		}
-		g := nn.GELU(h, act)
+		g := nn.GELUScratch(sc, h, act)
+		if !withGrad {
+			sc.Put(h)
+		}
 		y, downc, err := f.Down.Apply(g, withGrad)
 		if err != nil {
 			return nil, nil, fmt.Errorf("ffn down: %w", err)
 		}
 		if cache != nil {
 			cache.UpC, cache.DownC, cache.Act = upc, downc, act
+			cache.Hidden = g
+		} else {
+			sc.Put(g)
 		}
 		return y, cache, nil
 
@@ -92,8 +107,11 @@ func (f *FFN) Forward(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, *FFNCach
 		if withGrad {
 			act = &nn.ActCache{}
 		}
-		s := nn.SiLU(g, act)
-		h := tensor.New(s.Shape()...)
+		s := nn.SiLUScratch(sc, g, act)
+		if !withGrad {
+			sc.Put(g)
+		}
+		h := sc.Get(s.Shape()...)
 		if err := tensor.Mul(h, s, u); err != nil {
 			return nil, nil, fmt.Errorf("ffn gating: %w", err)
 		}
@@ -106,6 +124,9 @@ func (f *FFN) Forward(x *tensor.Tensor, withGrad bool) (*tensor.Tensor, *FFNCach
 			cache.Act = act
 			cache.UpOut = u
 			cache.SiluOut = s
+			cache.Hidden = h
+		} else {
+			sc.Put(u, s, h)
 		}
 		return y, cache, nil
 
@@ -119,20 +140,26 @@ func (f *FFN) Backward(cache *FFNCache, dy *tensor.Tensor) (*tensor.Tensor, erro
 	if cache == nil {
 		return nil, fmt.Errorf("ffn backward: no cached activations")
 	}
+	sc := f.scratch
 	switch f.family {
 	case FamilyOPT:
 		dg, err := f.Down.Grad(cache.DownC, dy)
 		if err != nil {
 			return nil, fmt.Errorf("ffn down backward: %w", err)
 		}
-		dh, err := nn.GELUBackward(cache.Act, dg)
+		sc.Put(cache.Hidden)
+		cache.Hidden = nil
+		dh, err := nn.GELUBackwardScratch(sc, cache.Act, dg)
 		if err != nil {
 			return nil, fmt.Errorf("ffn gelu backward: %w", err)
 		}
+		sc.Put(dg, cache.Act.X)
+		cache.Act = nil
 		dx, err := f.Up.Grad(cache.UpC, dh)
 		if err != nil {
 			return nil, fmt.Errorf("ffn up backward: %w", err)
 		}
+		sc.Put(dh)
 		return dx, nil
 
 	case FamilyLlama:
@@ -140,30 +167,39 @@ func (f *FFN) Backward(cache *FFNCache, dy *tensor.Tensor) (*tensor.Tensor, erro
 		if err != nil {
 			return nil, fmt.Errorf("ffn down backward: %w", err)
 		}
+		sc.Put(cache.Hidden)
+		cache.Hidden = nil
 		// h = s ∘ u  →  ds = dh ∘ u ; du = dh ∘ s
-		ds := tensor.New(dh.Shape()...)
+		ds := sc.Get(dh.Shape()...)
 		if err := tensor.Mul(ds, dh, cache.UpOut); err != nil {
 			return nil, fmt.Errorf("ffn ds: %w", err)
 		}
-		du := tensor.New(dh.Shape()...)
+		du := sc.Get(dh.Shape()...)
 		if err := tensor.Mul(du, dh, cache.SiluOut); err != nil {
 			return nil, fmt.Errorf("ffn du: %w", err)
 		}
-		dg, err := nn.SiLUBackward(cache.Act, ds)
+		sc.Put(dh, cache.UpOut, cache.SiluOut)
+		cache.UpOut, cache.SiluOut = nil, nil
+		dg, err := nn.SiLUBackwardScratch(sc, cache.Act, ds)
 		if err != nil {
 			return nil, fmt.Errorf("ffn silu backward: %w", err)
 		}
+		sc.Put(ds, cache.Act.X)
+		cache.Act = nil
 		dxGate, err := f.Gate.Grad(cache.GateC, dg)
 		if err != nil {
 			return nil, fmt.Errorf("ffn gate backward: %w", err)
 		}
+		sc.Put(dg)
 		dxUp, err := f.Up.Grad(cache.UpC, du)
 		if err != nil {
 			return nil, fmt.Errorf("ffn up backward: %w", err)
 		}
+		sc.Put(du)
 		if err := tensor.Add(dxGate, dxGate, dxUp); err != nil {
 			return nil, fmt.Errorf("ffn dx sum: %w", err)
 		}
+		sc.Put(dxUp)
 		return dxGate, nil
 
 	default:

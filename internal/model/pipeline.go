@@ -39,23 +39,27 @@ func (t *Transformer) LossAndGrad(ids, targets []int, batch, seq int) (StepResul
 	if err != nil {
 		return StepResult{}, err
 	}
-	loss, dlogits, err := nn.CrossEntropy(logits, targets)
+	loss, dlogits, err := nn.CrossEntropyScratch(t.scratch, logits, targets)
 	if err != nil {
 		return StepResult{}, err
 	}
+	t.scratch.Put(logits)
 	actBytes := inCache.Bytes() + bodyCache.Bytes() + outCache.Bytes()
 
 	gc, err := output.Backward(outCache, dlogits)
 	if err != nil {
 		return StepResult{}, err
 	}
+	t.scratch.Put(dlogits)
 	gs, err := body.Backward(bodyCache, gc)
 	if err != nil {
 		return StepResult{}, err
 	}
+	t.scratch.Put(gc)
 	if err := input.Backward(inCache, gs); err != nil {
 		return StepResult{}, err
 	}
+	t.scratch.Put(gs)
 	return StepResult{Loss: loss, ActivationByte: actBytes}, nil
 }
 
@@ -74,10 +78,13 @@ func (t *Transformer) Loss(ids, targets []int, batch, seq int) (float64, error) 
 	if err != nil {
 		return 0, err
 	}
+	t.scratch.Put(xc)
 	logits, _, err := output.Forward(xs, false)
 	if err != nil {
 		return 0, err
 	}
-	loss, _, err := nn.CrossEntropy(logits, targets)
+	t.scratch.Put(xs)
+	loss, dlogits, err := nn.CrossEntropyScratch(t.scratch, logits, targets)
+	t.scratch.Put(logits, dlogits)
 	return loss, err
 }

@@ -109,6 +109,15 @@ func Body(blocks []*Block) *BodySection {
 	return &BodySection{blocks: blocks}
 }
 
+// scratch returns the buffer arena the section's blocks share (nil
+// when the blocks were built without one).
+func (s *BodySection) scratch() *tensor.Scratch {
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	return s.blocks[0].scratch
+}
+
 // Forward embeds ids (length batch*seq, row-major by batch) and runs
 // the client-side blocks, producing the intermediate activations x_c
 // that are sent to the server.
@@ -141,6 +150,7 @@ func (s *InputSection) Forward(ids []int, batch, seq int, withGrad bool) (*tenso
 		if err := tensor.Add(x, x, pos); err != nil {
 			return nil, nil, fmt.Errorf("input position add: %w", err)
 		}
+		s.model.scratch.Put(pos)
 		if cache != nil {
 			cache.PosC = posC
 		}
@@ -152,6 +162,11 @@ func (s *InputSection) Forward(ids []int, batch, seq int, withGrad bool) (*tenso
 		y, bc, err := s.model.Blocks[i].Forward(x, batch, seq, withGrad)
 		if err != nil {
 			return nil, nil, fmt.Errorf("input block %d: %w", i, err)
+		}
+		if cache == nil {
+			// No-grad pass: x (the embedding sum or a previous block's
+			// output, both owned here) is dead once the block consumed it.
+			s.model.scratch.Put(x)
 		}
 		x = y
 		if cache != nil {
@@ -167,10 +182,14 @@ func (s *InputSection) Backward(cache *InputCache, dy *tensor.Tensor) error {
 	if cache == nil {
 		return fmt.Errorf("input section backward: no cached activations")
 	}
+	orig := dy
 	for i := len(cache.BlockCs) - 1; i >= 0; i-- {
 		dx, err := s.model.Blocks[i].Backward(cache.BlockCs[i], dy)
 		if err != nil {
 			return fmt.Errorf("input block %d backward: %w", i, err)
+		}
+		if dy != orig {
+			s.model.scratch.Put(dy)
 		}
 		dy = dx
 	}
@@ -181,6 +200,9 @@ func (s *InputSection) Backward(cache *InputCache, dy *tensor.Tensor) error {
 	}
 	if err := s.model.Embed.Backward(cache.EmbC, dy); err != nil {
 		return fmt.Errorf("input embedding backward: %w", err)
+	}
+	if dy != orig {
+		s.model.scratch.Put(dy)
 	}
 	return nil
 }
@@ -210,6 +232,11 @@ func (s *BodySection) Forward(x *tensor.Tensor, batch, seq int, withGrad bool) (
 		if err != nil {
 			return nil, nil, fmt.Errorf("body block %d: %w", i, err)
 		}
+		if cache == nil && i > 0 {
+			// No-grad pass: x is a previous block's output (owned here,
+			// never the caller's input) and dead once consumed.
+			s.scratch().Put(x)
+		}
 		x = y
 		if cache != nil {
 			cache.BlockCs = append(cache.BlockCs, bc)
@@ -224,10 +251,14 @@ func (s *BodySection) Backward(cache *BodyCache, dy *tensor.Tensor) (*tensor.Ten
 	if cache == nil || len(cache.BlockCs) != len(s.blocks) {
 		return nil, fmt.Errorf("body backward: missing or mismatched cache")
 	}
+	orig := dy
 	for i := len(s.blocks) - 1; i >= 0; i-- {
 		dx, err := s.blocks[i].Backward(cache.BlockCs[i], dy)
 		if err != nil {
 			return nil, fmt.Errorf("body block %d backward: %w", i, err)
+		}
+		if dy != orig {
+			s.scratch().Put(dy)
 		}
 		dy = dx
 	}
@@ -262,6 +293,7 @@ func (s *OutputSection) Forward(x *tensor.Tensor, withGrad bool) (*tensor.Tensor
 		return nil, nil, fmt.Errorf("output head: %w", err)
 	}
 	if !withGrad {
+		s.model.scratch.Put(n)
 		return logits, nil, nil
 	}
 	return logits, &OutputCache{NormC: normC, HeadC: headC}, nil
@@ -281,6 +313,7 @@ func (s *OutputSection) Backward(cache *OutputCache, dlogits *tensor.Tensor) (*t
 	if err != nil {
 		return nil, fmt.Errorf("output norm backward: %w", err)
 	}
+	s.model.scratch.Put(dn)
 	return dx, nil
 }
 

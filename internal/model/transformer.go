@@ -15,6 +15,11 @@ type Transformer struct {
 	Blocks []*Block
 	Norm   nn.Op // final norm before the LM head
 	LMHead *nn.Linear
+
+	// scratch is the step-scoped buffer arena shared by every block
+	// (and every shallow clone of them), so steady-state training
+	// steps reuse activations and gradients instead of allocating.
+	scratch *tensor.Scratch
 }
 
 // New constructs a transformer with freshly initialized weights drawn
@@ -34,11 +39,42 @@ func New(rng *tensor.RNG, cfg Config) (*Transformer, error) {
 	} else {
 		t.Norm = nn.NewRMSNorm(cfg.Dim)
 	}
+	t.scratch = tensor.NewScratch()
 	t.Blocks = make([]*Block, cfg.Layers)
 	for i := range t.Blocks {
 		t.Blocks[i] = NewBlock(rng, cfg)
+		t.Blocks[i].setScratch(t.scratch)
 	}
+	setOpScratch(t.scratch, t.Norm, t.LMHead)
 	return t, nil
+}
+
+// Scratch exposes the model's buffer arena (nil for a zero-value
+// Transformer, which degrades to plain allocation everywhere).
+func (t *Transformer) Scratch() *tensor.Scratch { return t.scratch }
+
+// setScratch attaches the arena to the block and its submodules,
+// including every parameter layer that can draw outputs from it.
+func (b *Block) setScratch(sc *tensor.Scratch) {
+	b.scratch = sc
+	b.Attn.scratch = sc
+	b.FFN.scratch = sc
+	setOpScratch(sc, b.Norm1, b.Norm2,
+		b.Attn.Q, b.Attn.K, b.Attn.V, b.Attn.O,
+		b.FFN.Up, b.FFN.Down, b.FFN.Gate)
+}
+
+// setOpScratch attaches the arena to every op that supports one; nil
+// ops (e.g. the absent Gate of an OPT FFN) are skipped.
+func setOpScratch(sc *tensor.Scratch, ops ...nn.Op) {
+	for _, op := range ops {
+		if op == nil {
+			continue
+		}
+		if u, ok := op.(nn.ScratchUser); ok {
+			u.SetScratch(sc)
+		}
+	}
 }
 
 // SetFrozenBase freezes (or unfreezes) every base parameter: embedding,

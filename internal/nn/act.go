@@ -7,6 +7,11 @@ import (
 	"menos/internal/tensor"
 )
 
+// actGrain is the ParallelFor grain for activation kernels: tanh/exp
+// make them compute-bound, so they fan out earlier than memory-bound
+// elementwise ops.
+const actGrain = 1 << 13
+
 // ActCache retains the input of an elementwise activation.
 type ActCache struct {
 	X *tensor.Tensor
@@ -23,10 +28,24 @@ func (c *ActCache) Bytes() int64 {
 // GELU applies the Gaussian Error Linear Unit (tanh approximation, as
 // used by OPT/GPT-style models).
 func GELU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	return GELUScratch(nil, x, cache)
+}
+
+// GELUScratch is GELU drawing its output from the given buffer arena
+// (nil degrades to allocation).
+func GELUScratch(sc *tensor.Scratch, x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
+	out := sc.Get(x.Shape()...)
 	xd, od := x.Data(), out.Data()
-	for i, v := range xd {
-		od[i] = geluScalar(v)
+	if tensor.Parallelism() <= 1 || len(xd) <= actGrain {
+		for i, v := range xd {
+			od[i] = geluScalar(v)
+		}
+	} else {
+		tensor.ParallelFor(len(xd), actGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = geluScalar(xd[i])
+			}
+		})
 	}
 	if cache != nil {
 		cache.X = x
@@ -36,6 +55,12 @@ func GELU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
 
 // GELUBackward computes dx = dy * gelu'(x).
 func GELUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	return GELUBackwardScratch(nil, cache, dy)
+}
+
+// GELUBackwardScratch is GELUBackward drawing dx from the given buffer
+// arena (nil degrades to allocation).
+func GELUBackwardScratch(sc *tensor.Scratch, cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
 	if cache == nil || cache.X == nil {
 		return nil, fmt.Errorf("gelu backward: no cached activations")
 	}
@@ -43,10 +68,18 @@ func GELUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("gelu backward: dy %v for x %v: %w",
 			dy.Shape(), cache.X.Shape(), tensor.ErrShape)
 	}
-	dx := tensor.New(cache.X.Shape()...)
+	dx := sc.Get(cache.X.Shape()...)
 	xd, dyd, dxd := cache.X.Data(), dy.Data(), dx.Data()
-	for i, v := range xd {
-		dxd[i] = dyd[i] * geluGradScalar(v)
+	if tensor.Parallelism() <= 1 || len(xd) <= actGrain {
+		for i, v := range xd {
+			dxd[i] = dyd[i] * geluGradScalar(v)
+		}
+	} else {
+		tensor.ParallelFor(len(xd), actGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dxd[i] = dyd[i] * geluGradScalar(xd[i])
+			}
+		})
 	}
 	return dx, nil
 }
@@ -72,10 +105,24 @@ func geluGradScalar(v float32) float32 {
 // SiLU applies x * sigmoid(x), the activation used by Llama's SwiGLU
 // feed-forward network.
 func SiLU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
-	out := tensor.New(x.Shape()...)
+	return SiLUScratch(nil, x, cache)
+}
+
+// SiLUScratch is SiLU drawing its output from the given buffer arena
+// (nil degrades to allocation).
+func SiLUScratch(sc *tensor.Scratch, x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
+	out := sc.Get(x.Shape()...)
 	xd, od := x.Data(), out.Data()
-	for i, v := range xd {
-		od[i] = siluScalar(v)
+	if tensor.Parallelism() <= 1 || len(xd) <= actGrain {
+		for i, v := range xd {
+			od[i] = siluScalar(v)
+		}
+	} else {
+		tensor.ParallelFor(len(xd), actGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				od[i] = siluScalar(xd[i])
+			}
+		})
 	}
 	if cache != nil {
 		cache.X = x
@@ -85,6 +132,12 @@ func SiLU(x *tensor.Tensor, cache *ActCache) *tensor.Tensor {
 
 // SiLUBackward computes dx = dy * silu'(x).
 func SiLUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
+	return SiLUBackwardScratch(nil, cache, dy)
+}
+
+// SiLUBackwardScratch is SiLUBackward drawing dx from the given buffer
+// arena (nil degrades to allocation).
+func SiLUBackwardScratch(sc *tensor.Scratch, cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
 	if cache == nil || cache.X == nil {
 		return nil, fmt.Errorf("silu backward: no cached activations")
 	}
@@ -92,10 +145,18 @@ func SiLUBackward(cache *ActCache, dy *tensor.Tensor) (*tensor.Tensor, error) {
 		return nil, fmt.Errorf("silu backward: dy %v for x %v: %w",
 			dy.Shape(), cache.X.Shape(), tensor.ErrShape)
 	}
-	dx := tensor.New(cache.X.Shape()...)
+	dx := sc.Get(cache.X.Shape()...)
 	xd, dyd, dxd := cache.X.Data(), dy.Data(), dx.Data()
-	for i, v := range xd {
-		dxd[i] = dyd[i] * siluGradScalar(v)
+	if tensor.Parallelism() <= 1 || len(xd) <= actGrain {
+		for i, v := range xd {
+			dxd[i] = dyd[i] * siluGradScalar(v)
+		}
+	} else {
+		tensor.ParallelFor(len(xd), actGrain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				dxd[i] = dyd[i] * siluGradScalar(xd[i])
+			}
+		})
 	}
 	return dx, nil
 }

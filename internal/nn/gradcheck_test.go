@@ -82,6 +82,81 @@ func TestLinearGradCheck(t *testing.T) {
 	assertGradClose(t, "dx", dx, numericGrad(t, x, forward), 2e-2)
 }
 
+// directionalGradCheck compares the analytic gradient projected onto a
+// random direction against a central-difference estimate of the loss
+// along that direction. One direction instead of one probe per element
+// keeps the check affordable at the tile-boundary shapes below, where
+// full numericGrad would need tens of thousands of forward passes.
+func directionalGradCheck(t *testing.T, name string, rng *tensor.RNG, x, analytic *tensor.Tensor, loss func() float64, tol float64) {
+	t.Helper()
+	const h = 1e-3
+	d := tensor.NewNormal(rng, 1, x.Shape()...)
+	xd, dd := x.Data(), d.Data()
+	orig := make([]float32, len(xd))
+	copy(orig, xd)
+
+	for i := range xd {
+		xd[i] = orig[i] + h*dd[i]
+	}
+	up := loss()
+	for i := range xd {
+		xd[i] = orig[i] - h*dd[i]
+	}
+	down := loss()
+	copy(xd, orig)
+
+	numeric := (up - down) / (2 * h)
+	var dot float64
+	for i, g := range analytic.Data() {
+		dot += float64(g) * float64(dd[i])
+	}
+	diff := math.Abs(dot - numeric)
+	scale := math.Max(1, math.Max(math.Abs(dot), math.Abs(numeric)))
+	if diff/scale > tol {
+		t.Fatalf("%s: directional derivative analytic %v vs numeric %v (rel %v)", name, dot, numeric, diff/scale)
+	}
+}
+
+// TestLinearGradCheckTileBoundaries pushes the gradient check through
+// shapes that straddle the 4-row register tile of the matmul kernels
+// (63/64/65 rows) with odd in/out widths, at parallelism > 1, so a
+// tiling or partitioning bug in any of the four matmul variants used by
+// Linear's forward/backward shows up as a wrong gradient.
+func TestLinearGradCheckTileBoundaries(t *testing.T) {
+	prevPar := tensor.Parallelism()
+	defer tensor.SetParallelism(prevPar)
+	tensor.SetParallelism(4)
+
+	const in, out = 33, 19 // odd k and n straddle the column tiles
+	for _, rows := range []int{63, 64, 65} {
+		rng := tensor.NewRNG(uint64(23 + rows))
+		l := NewLinear(rng, in, out, true)
+		x := tensor.NewNormal(rng, 1, rows, in)
+
+		forward := func() float64 {
+			y, err := l.Forward(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sumLoss(y)
+		}
+
+		cache := &LinearCache{}
+		y, err := l.Forward(x, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dx, err := l.Backward(cache, ones(y.Shape()...))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		directionalGradCheck(t, "dx", rng, x, dx, forward, 2e-2)
+		directionalGradCheck(t, "dW", rng, l.W.Value, l.W.Grad, forward, 2e-2)
+		directionalGradCheck(t, "dB", rng, l.B.Value, l.B.Grad, forward, 2e-2)
+	}
+}
+
 func TestLinearFrozenSkipsWeightGrads(t *testing.T) {
 	rng := tensor.NewRNG(12)
 	l := NewLinear(rng, 3, 3, true)

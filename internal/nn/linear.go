@@ -17,7 +17,16 @@ type Linear struct {
 	// accumulates weight gradients. This is the mechanical core of
 	// adapter-based fine-tuning (§2.1).
 	Frozen bool
+
+	// scratch, when set, supplies the output tensors of Forward and
+	// Backward from a shared buffer arena instead of the allocator.
+	// Ownership of those outputs rests with the caller, exactly as for
+	// freshly allocated ones.
+	scratch *tensor.Scratch
 }
+
+// SetScratch attaches a buffer arena to the layer.
+func (l *Linear) SetScratch(sc *tensor.Scratch) { l.scratch = sc }
 
 // LinearCache retains the forward input needed by the backward pass.
 type LinearCache struct {
@@ -55,7 +64,7 @@ func (l *Linear) Forward(x *tensor.Tensor, cache *LinearCache) (*tensor.Tensor, 
 		return nil, fmt.Errorf("linear: input %v incompatible with weight %v: %w",
 			x.Shape(), l.W.Value.Shape(), tensor.ErrShape)
 	}
-	y := tensor.New(x.Dim(0), l.Out())
+	y := l.scratch.Get(x.Dim(0), l.Out())
 	if err := tensor.MatMul(y, x, l.W.Value); err != nil {
 		return nil, fmt.Errorf("linear forward: %w", err)
 	}
@@ -93,7 +102,7 @@ func (l *Linear) Backward(cache *LinearCache, dy *tensor.Tensor) (*tensor.Tensor
 		}
 	}
 	// dx = dy @ Wᵀ
-	dx := tensor.New(x.Dim(0), l.In())
+	dx := l.scratch.Get(x.Dim(0), l.In())
 	if err := tensor.MatMulT(dx, dy, l.W.Value); err != nil {
 		return nil, fmt.Errorf("linear dx: %w", err)
 	}

@@ -18,16 +18,24 @@ const IgnoreIndex = -1
 // averaged over non-ignored positions, matching the convention of
 // causal-LM training so exp(loss) is perplexity.
 func CrossEntropy(logits *tensor.Tensor, targets []int) (loss float64, dlogits *tensor.Tensor, err error) {
+	return CrossEntropyScratch(nil, logits, targets)
+}
+
+// CrossEntropyScratch is CrossEntropy drawing its temporaries and the
+// returned dlogits from the given buffer arena (nil degrades to
+// allocation). Ownership of dlogits passes to the caller.
+func CrossEntropyScratch(sc *tensor.Scratch, logits *tensor.Tensor, targets []int) (loss float64, dlogits *tensor.Tensor, err error) {
 	if logits.Rank() != 2 || logits.Dim(0) != len(targets) {
 		return 0, nil, fmt.Errorf("cross entropy: logits %v for %d targets: %w",
 			logits.Shape(), len(targets), tensor.ErrShape)
 	}
 	rows, vocab := logits.Dim(0), logits.Dim(1)
-	probs := tensor.New(rows, vocab)
+	probs := sc.Get(rows, vocab)
+	defer sc.Put(probs)
 	if err := tensor.SoftmaxRows(probs, logits); err != nil {
 		return 0, nil, fmt.Errorf("cross entropy softmax: %w", err)
 	}
-	dlogits = tensor.New(rows, vocab)
+	dlogits = sc.Get(rows, vocab)
 	var total float64
 	count := 0
 	for r := 0; r < rows; r++ {
@@ -36,6 +44,7 @@ func CrossEntropy(logits *tensor.Tensor, targets []int) (loss float64, dlogits *
 			continue
 		}
 		if t < 0 || t >= vocab {
+			sc.Put(dlogits)
 			return 0, nil, fmt.Errorf("cross entropy: target %d out of range [0,%d)", t, vocab)
 		}
 		count++

@@ -17,7 +17,14 @@ type LayerNorm struct {
 	Gamma  Param
 	Beta   Param
 	Frozen bool
+
+	// scratch, when set, supplies output and cache tensors from a
+	// shared buffer arena; Backward returns the retained xhat to it.
+	scratch *tensor.Scratch
 }
+
+// SetScratch attaches a buffer arena to the layer.
+func (l *LayerNorm) SetScratch(sc *tensor.Scratch) { l.scratch = sc }
 
 // LayerNormCache retains the normalized input and per-row statistics.
 type LayerNormCache struct {
@@ -56,9 +63,15 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, cache *LayerNormCache) (*tensor.Te
 			x.Shape(), l.Gamma.Value.Dim(0), tensor.ErrShape)
 	}
 	rows, cols := x.Dim(0), x.Dim(1)
-	out := tensor.New(rows, cols)
-	xhat := tensor.New(rows, cols)
-	invStd := make([]float32, rows)
+	out := l.scratch.Get(rows, cols)
+	var xhat *tensor.Tensor
+	var invStd []float32
+	if cache != nil {
+		// xhat is only needed by the backward pass; a no-grad forward
+		// skips it entirely.
+		xhat = l.scratch.Get(rows, cols)
+		invStd = make([]float32, rows)
+	}
 	gamma, beta := l.Gamma.Value.Data(), l.Beta.Value.Data()
 	for r := 0; r < rows; r++ {
 		xr := x.Data()[r*cols : (r+1)*cols]
@@ -74,13 +87,19 @@ func (l *LayerNorm) Forward(x *tensor.Tensor, cache *LayerNormCache) (*tensor.Te
 		}
 		variance /= float64(cols)
 		inv := float32(1.0 / math.Sqrt(variance+normEps))
-		invStd[r] = inv
-		xh := xhat.Data()[r*cols : (r+1)*cols]
 		or := out.Data()[r*cols : (r+1)*cols]
-		for c := 0; c < cols; c++ {
-			h := (xr[c] - float32(mean)) * inv
-			xh[c] = h
-			or[c] = h*gamma[c] + beta[c]
+		if xhat != nil {
+			invStd[r] = inv
+			xh := xhat.Data()[r*cols : (r+1)*cols]
+			for c := 0; c < cols; c++ {
+				h := (xr[c] - float32(mean)) * inv
+				xh[c] = h
+				or[c] = h*gamma[c] + beta[c]
+			}
+		} else {
+			for c := 0; c < cols; c++ {
+				or[c] = (xr[c]-float32(mean))*inv*gamma[c] + beta[c]
+			}
 		}
 	}
 	if cache != nil {
@@ -101,7 +120,7 @@ func (l *LayerNorm) Backward(cache *LayerNormCache, dy *tensor.Tensor) (*tensor.
 			dy.Shape(), cache.XHat.Shape(), tensor.ErrShape)
 	}
 	gamma := l.Gamma.Value.Data()
-	dx := tensor.New(rows, cols)
+	dx := l.scratch.Get(rows, cols)
 	for r := 0; r < rows; r++ {
 		dyr := dy.Data()[r*cols : (r+1)*cols]
 		xh := cache.XHat.Data()[r*cols : (r+1)*cols]
@@ -132,6 +151,13 @@ func (l *LayerNorm) Backward(cache *LayerNormCache, dy *tensor.Tensor) (*tensor.
 			}
 		}
 	}
+	if l.scratch != nil {
+		// The layer owns xhat; with the backward pass done it is dead.
+		// Without an arena the cache keeps its seed semantics (a second
+		// Backward over the same cache still works).
+		l.scratch.Put(cache.XHat)
+		cache.XHat = nil
+	}
 	return dx, nil
 }
 
@@ -148,7 +174,15 @@ func (l *LayerNorm) Params() []Param {
 type RMSNorm struct {
 	Gamma  Param
 	Frozen bool
+
+	// scratch, when set, supplies output tensors from a shared buffer
+	// arena. The cache retains only the caller's input, so unlike
+	// LayerNorm there is nothing for Backward to return.
+	scratch *tensor.Scratch
 }
+
+// SetScratch attaches a buffer arena to the layer.
+func (l *RMSNorm) SetScratch(sc *tensor.Scratch) { l.scratch = sc }
 
 // RMSNormCache retains the input and per-row inverse RMS.
 type RMSNormCache struct {
@@ -183,7 +217,7 @@ func (l *RMSNorm) Forward(x *tensor.Tensor, cache *RMSNormCache) (*tensor.Tensor
 			x.Shape(), l.Gamma.Value.Dim(0), tensor.ErrShape)
 	}
 	rows, cols := x.Dim(0), x.Dim(1)
-	out := tensor.New(rows, cols)
+	out := l.scratch.Get(rows, cols)
 	invRMS := make([]float32, rows)
 	gamma := l.Gamma.Value.Data()
 	for r := 0; r < rows; r++ {
@@ -218,7 +252,7 @@ func (l *RMSNorm) Backward(cache *RMSNormCache, dy *tensor.Tensor) (*tensor.Tens
 			dy.Shape(), cache.X.Shape(), tensor.ErrShape)
 	}
 	gamma := l.Gamma.Value.Data()
-	dx := tensor.New(rows, cols)
+	dx := l.scratch.Get(rows, cols)
 	for r := 0; r < rows; r++ {
 		xr := cache.X.Data()[r*cols : (r+1)*cols]
 		dyr := dy.Data()[r*cols : (r+1)*cols]

@@ -44,11 +44,24 @@ func CacheBytes(cache any) int64 {
 	return 0
 }
 
+// ScratchUser is implemented by layers that can draw their output
+// tensors from a shared buffer arena instead of the allocator. Model
+// code attaches its step-scoped arena to every layer that supports it;
+// layers without an arena keep allocating, so the interface is purely
+// an optimization hook.
+type ScratchUser interface {
+	SetScratch(sc *tensor.Scratch)
+}
+
 // Op conformance for the basic layers.
 var (
 	_ Op = (*Linear)(nil)
 	_ Op = (*LayerNorm)(nil)
 	_ Op = (*RMSNorm)(nil)
+
+	_ ScratchUser = (*Linear)(nil)
+	_ ScratchUser = (*LayerNorm)(nil)
+	_ ScratchUser = (*RMSNorm)(nil)
 )
 
 // Apply implements Op for Linear.

@@ -45,6 +45,10 @@ const (
 	MetricClientCommSeconds = "menos_client_comm_seconds"
 	MetricClientCompSeconds = "menos_client_comp_seconds"
 
+	// Compute plane (internal/tensor). The worker-pool size is fixed
+	// per process, so the gauge is set once at server construction.
+	MetricTensorPoolWorkers = "menos_tensor_pool_workers"
+
 	// Swap path (vanilla baseline, internal/splitsim).
 	MetricSwapOps   = "menos_swap_ops_total"
 	MetricSwapBytes = "menos_swap_bytes_total"

@@ -164,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 			schedWait:  cfg.Metrics.Histogram(obs.MetricServerWaitSeconds, obs.DurationBuckets(), "scheduler grant wait per request"),
 			active:     cfg.Metrics.Gauge(obs.MetricServerActiveClients, "clients currently connected and admitted"),
 		}
+		cfg.Metrics.Gauge(obs.MetricTensorPoolWorkers, "tensor worker-pool parallelism").Set(int64(tensor.Parallelism()))
 	}
 	return s, nil
 }

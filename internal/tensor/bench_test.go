@@ -1,0 +1,74 @@
+package tensor
+
+import "testing"
+
+// Kernel benchmarks at the 512-cube shape used by the compute-plane
+// acceptance numbers in docs/PERFORMANCE.md. Each variant is measured
+// at the pool's configured parallelism ("pool") and, for comparison,
+// pinned to one worker ("serial"), so the parallel speedup is visible
+// in one -bench run.
+
+const benchDim = 512
+
+func benchTensors(b *testing.B) (dst, x, y *Tensor) {
+	b.Helper()
+	rng := NewRNG(1)
+	dst = New(benchDim, benchDim)
+	x = NewNormal(rng, 1, benchDim, benchDim)
+	y = NewNormal(rng, 1, benchDim, benchDim)
+	return dst, x, y
+}
+
+// benchPoolSerial runs op once per iteration, first at the configured
+// parallelism, then pinned to a single worker.
+func benchPoolSerial(b *testing.B, op func() error) {
+	run := func(b *testing.B) {
+		b.SetBytes(3 * benchDim * benchDim * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pool", run)
+	b.Run("serial", func(b *testing.B) {
+		prev := Parallelism()
+		SetParallelism(1)
+		defer SetParallelism(prev)
+		run(b)
+	})
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	dst, x, y := benchTensors(b)
+	benchPoolSerial(b, func() error { return MatMul(dst, x, y) })
+}
+
+func BenchmarkMatMulAccum(b *testing.B) {
+	dst, x, y := benchTensors(b)
+	benchPoolSerial(b, func() error { return MatMulAccum(dst, x, y) })
+}
+
+func BenchmarkMatMulT(b *testing.B) {
+	dst, x, y := benchTensors(b)
+	benchPoolSerial(b, func() error { return MatMulT(dst, x, y) })
+}
+
+func BenchmarkMatMulTAccum(b *testing.B) {
+	dst, x, y := benchTensors(b)
+	benchPoolSerial(b, func() error { return MatMulTAccum(dst, x, y) })
+}
+
+func BenchmarkSoftmaxRows(b *testing.B) {
+	rng := NewRNG(2)
+	x := NewNormal(rng, 1, benchDim, benchDim)
+	dst := New(benchDim, benchDim)
+	b.SetBytes(2 * benchDim * benchDim * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := SoftmaxRows(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

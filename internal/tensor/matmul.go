@@ -1,15 +1,28 @@
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
-// matmulParallelThreshold is the minimum number of output rows before
-// MatMul fans work out across goroutines. Small matrices are cheaper to
-// compute serially than to coordinate.
-const matmulParallelThreshold = 64
+// Blocking parameters for the tiled kernels. All four variants
+// partition work by output row, so any parallel split produces the
+// same per-element accumulation order as the serial kernel and the
+// results are bit-identical at every parallelism setting.
+// matmulParallelFlops is the approximate multiply-add count below
+// which fanning a kernel out costs more than it saves; it sets the
+// ParallelFor grain so tiny matmuls stay on the calling goroutine.
+const matmulParallelFlops = 1 << 16
+
+// matmulGrain converts a per-row cost into a ParallelFor grain: the
+// number of output rows that amount to matmulParallelFlops of work.
+func matmulGrain(flopsPerRow int) int {
+	if flopsPerRow <= 0 {
+		return 1 << 30
+	}
+	g := matmulParallelFlops / flopsPerRow
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // MatMul computes dst = a @ b for rank-2 tensors: a is (m,k), b is
 // (k,n), dst is (m,n). dst must not alias a or b.
@@ -49,44 +62,53 @@ func MatMulAccum(dst, a, b *Tensor) error {
 }
 
 func matmulAccum(dst, a, b []float32, m, k, n int) {
-	if m >= matmulParallelThreshold {
-		matmulAccumParallel(dst, a, b, m, k, n)
+	g := matmulGrain(k * n)
+	if serialFor(m, g) {
+		matmulAccumRange(dst, a, b, 0, m, k, n)
 		return
 	}
-	matmulAccumRange(dst, a, b, 0, m, k, n)
+	ParallelFor(m, g, func(lo, hi int) {
+		matmulAccumRange(dst, a, b, lo, hi, k, n)
+	})
 }
 
-func matmulAccumParallel(dst, a, b []float32, m, k, n int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	chunk := (m + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < m; lo += chunk {
-		hi := lo + chunk
-		if hi > m {
-			hi = m
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			matmulAccumRange(dst, a, b, lo, hi, k, n)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
-
+// matmulAccumRange accumulates output rows [rowLo, rowHi) in the ikj
+// order, register-tiled four output rows at a time: each streamed row
+// of b feeds four accumulating dst rows, cutting b traffic 4x while
+// the four hot dst rows stay cache-resident. Per (i, j) the reduction
+// still runs in ascending p order, so results are bit-identical to
+// the one-row loop.
 func matmulAccumRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
-	for i := rowLo; i < rowHi; i++ {
-		ai := a[i*k : (i+1)*k]
-		di := dst[i*n : (i+1)*n]
+	i := rowLo
+	for ; i+4 <= rowHi; i += 4 {
+		a0 := a[(i+0)*k:][:k]
+		a1 := a[(i+1)*k:][:k]
+		a2 := a[(i+2)*k:][:k]
+		a3 := a[(i+3)*k:][:k]
+		d0 := dst[(i+0)*n:][:n]
+		d1 := dst[(i+1)*n:][:n]
+		d2 := dst[(i+2)*n:][:n]
+		d3 := dst[(i+3)*n:][:n]
+		for p := 0; p < k; p++ {
+			av0 := a0[p]
+			av1 := a1[p]
+			av2 := a2[p]
+			av3 := a3[p]
+			bp := b[p*n:][:n]
+			for j, bv := range bp {
+				d0[j] += av0 * bv
+				d1[j] += av1 * bv
+				d2[j] += av2 * bv
+				d3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < rowHi; i++ {
+		ai := a[i*k:][:k]
+		di := dst[i*n:][:n]
 		for p := 0; p < k; p++ {
 			av := ai[p]
-			if av == 0 {
-				continue
-			}
-			bp := b[p*n : (p+1)*n]
+			bp := b[p*n:][:n]
 			for j, bv := range bp {
 				di[j] += av * bv
 			}
@@ -106,11 +128,54 @@ func MatMulT(dst, a, b *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("%w: matmulT %v @ %vᵀ -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	for i := 0; i < m; i++ {
-		ai := a.data[i*k : (i+1)*k]
-		di := dst.data[i*n : (i+1)*n]
+	g := matmulGrain(k * n)
+	if serialFor(m, g) {
+		matmulTRange(dst.data, a.data, b.data, 0, m, k, n)
+		return nil
+	}
+	ParallelFor(m, g, func(lo, hi int) {
+		matmulTRange(dst.data, a.data, b.data, lo, hi, k, n)
+	})
+	return nil
+}
+
+// matmulTRange computes output rows [rowLo, rowHi) of dst = a @ bᵀ.
+// Rows are register-tiled four at a time so each row of b is loaded
+// once per quad instead of once per output element; each of the four
+// dot products accumulates in ascending p order, exactly as the
+// one-row loop does.
+func matmulTRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
+	i := rowLo
+	for ; i+4 <= rowHi; i += 4 {
+		a0 := a[(i+0)*k:][:k]
+		a1 := a[(i+1)*k:][:k]
+		a2 := a[(i+2)*k:][:k]
+		a3 := a[(i+3)*k:][:k]
+		d0 := dst[(i+0)*n:][:n]
+		d1 := dst[(i+1)*n:][:n]
+		d2 := dst[(i+2)*n:][:n]
+		d3 := dst[(i+3)*n:][:n]
 		for j := 0; j < n; j++ {
-			bj := b.data[j*k : (j+1)*k]
+			bj := b[j*k:][:k]
+			var s0, s1, s2, s3 float32
+			for p := 0; p < k; p++ {
+				bv := bj[p]
+				s0 += a0[p] * bv
+				s1 += a1[p] * bv
+				s2 += a2[p] * bv
+				s3 += a3[p] * bv
+			}
+			d0[j] = s0
+			d1[j] = s1
+			d2[j] = s2
+			d3[j] = s3
+		}
+	}
+	for ; i < rowHi; i++ {
+		ai := a[i*k:][:k]
+		di := dst[i*n:][:n]
+		for j := 0; j < n; j++ {
+			bj := b[j*k:][:k]
 			var s float32
 			for p := 0; p < k; p++ {
 				s += ai[p] * bj[p]
@@ -118,7 +183,6 @@ func MatMulT(dst, a, b *Tensor) error {
 			di[j] = s
 		}
 	}
-	return nil
 }
 
 // MatMulTAccum computes dst += aᵀ @ b: a is (k,m), b is (k,n), dst is
@@ -133,18 +197,55 @@ func MatMulTAccum(dst, a, b *Tensor) error {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		return fmt.Errorf("%w: matmulTAccum %vᵀ @ %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	for p := 0; p < k; p++ {
-		ap := a.data[p*m : (p+1)*m]
-		bp := b.data[p*n : (p+1)*n]
-		for i, av := range ap {
-			if av == 0 {
-				continue
+	g := matmulGrain(k * n)
+	if serialFor(m, g) {
+		matmulTAccumRange(dst.data, a.data, b.data, 0, m, k, m, n)
+		return nil
+	}
+	ParallelFor(m, g, func(lo, hi int) {
+		matmulTAccumRange(dst.data, a.data, b.data, lo, hi, k, m, n)
+	})
+	return nil
+}
+
+// matmulTAccumRange accumulates output rows [rowLo, rowHi) of
+// dst += aᵀ @ b. The seed kernel iterated p outermost and touched all
+// m output rows per step; here the loop is inverted so each worker
+// owns a row range (required for a race-free parallel split) and
+// register-tiled four output rows at a time: the four a values live
+// on one cache line of row p and the streamed row bp feeds four
+// accumulating dst rows. Per (i, j) the p order is still ascending,
+// matching the seed kernel's accumulation order bit for bit.
+func matmulTAccumRange(dst, a, b []float32, rowLo, rowHi, k, m, n int) {
+	i := rowLo
+	for ; i+4 <= rowHi; i += 4 {
+		d0 := dst[(i+0)*n:][:n]
+		d1 := dst[(i+1)*n:][:n]
+		d2 := dst[(i+2)*n:][:n]
+		d3 := dst[(i+3)*n:][:n]
+		for p := 0; p < k; p++ {
+			ap := a[p*m:][:m]
+			av0 := ap[i]
+			av1 := ap[i+1]
+			av2 := ap[i+2]
+			av3 := ap[i+3]
+			bp := b[p*n:][:n]
+			for j, bv := range bp {
+				d0[j] += av0 * bv
+				d1[j] += av1 * bv
+				d2[j] += av2 * bv
+				d3[j] += av3 * bv
 			}
-			di := dst.data[i*n : (i+1)*n]
+		}
+	}
+	for ; i < rowHi; i++ {
+		di := dst[i*n:][:n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			bp := b[p*n:][:n]
 			for j, bv := range bp {
 				di[j] += av * bv
 			}
 		}
 	}
-	return nil
 }

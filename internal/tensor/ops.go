@@ -5,15 +5,33 @@ import (
 	"math"
 )
 
+// elemwiseGrain is the ParallelFor grain for memory-bound elementwise
+// kernels: below ~32Ki elements the fan-out overhead exceeds the work.
+const elemwiseGrain = 1 << 15
+
+// softmaxGrainElems sizes the per-chunk row grain for SoftmaxRows;
+// exp is compute-bound so it pays to fan out earlier than the
+// elementwise ops do.
+const softmaxGrainElems = 1 << 13
+
 // Add computes dst = a + b elementwise. All three tensors must have the
 // same element count; dst may alias a or b.
 func Add(dst, a, b *Tensor) error {
 	if len(a.data) != len(b.data) || len(dst.data) != len(a.data) {
 		return fmt.Errorf("%w: add %v + %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	for i := range dst.data {
-		dst.data[i] = a.data[i] + b.data[i]
+	ad, bd, dd := a.data, b.data, dst.data
+	if serialFor(len(dd), elemwiseGrain) {
+		for i, av := range ad {
+			dd[i] = av + bd[i]
+		}
+		return nil
 	}
+	ParallelFor(len(dd), elemwiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] + bd[i]
+		}
+	})
 	return nil
 }
 
@@ -22,9 +40,18 @@ func Sub(dst, a, b *Tensor) error {
 	if len(a.data) != len(b.data) || len(dst.data) != len(a.data) {
 		return fmt.Errorf("%w: sub %v - %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	for i := range dst.data {
-		dst.data[i] = a.data[i] - b.data[i]
+	ad, bd, dd := a.data, b.data, dst.data
+	if serialFor(len(dd), elemwiseGrain) {
+		for i, av := range ad {
+			dd[i] = av - bd[i]
+		}
+		return nil
 	}
+	ParallelFor(len(dd), elemwiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] - bd[i]
+		}
+	})
 	return nil
 }
 
@@ -33,9 +60,18 @@ func Mul(dst, a, b *Tensor) error {
 	if len(a.data) != len(b.data) || len(dst.data) != len(a.data) {
 		return fmt.Errorf("%w: mul %v * %v -> %v", ErrShape, a.shape, b.shape, dst.shape)
 	}
-	for i := range dst.data {
-		dst.data[i] = a.data[i] * b.data[i]
+	ad, bd, dd := a.data, b.data, dst.data
+	if serialFor(len(dd), elemwiseGrain) {
+		for i, av := range ad {
+			dd[i] = av * bd[i]
+		}
+		return nil
 	}
+	ParallelFor(len(dd), elemwiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] = ad[i] * bd[i]
+		}
+	})
 	return nil
 }
 
@@ -44,17 +80,35 @@ func AXPY(alpha float32, x, dst *Tensor) error {
 	if len(x.data) != len(dst.data) {
 		return fmt.Errorf("%w: axpy %v into %v", ErrShape, x.shape, dst.shape)
 	}
-	for i, v := range x.data {
-		dst.data[i] += alpha * v
+	xd, dd := x.data, dst.data
+	if serialFor(len(dd), elemwiseGrain) {
+		for i, xv := range xd {
+			dd[i] += alpha * xv
+		}
+		return nil
 	}
+	ParallelFor(len(dd), elemwiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dd[i] += alpha * xd[i]
+		}
+	})
 	return nil
 }
 
 // Scale multiplies every element of t by alpha in place.
 func (t *Tensor) Scale(alpha float32) {
-	for i := range t.data {
-		t.data[i] *= alpha
+	td := t.data
+	if serialFor(len(td), elemwiseGrain) {
+		for i := range td {
+			td[i] *= alpha
+		}
+		return
 	}
+	ParallelFor(len(td), elemwiseGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			td[i] *= alpha
+		}
+	})
 }
 
 // AddRowBroadcast computes dst[r, :] = a[r, :] + bias[:] for every row
@@ -134,9 +188,28 @@ func SoftmaxRows(dst, a *Tensor) error {
 		return fmt.Errorf("%w: softmax rows of %v into %v", ErrShape, a.shape, dst.shape)
 	}
 	rows, cols := a.shape[0], a.shape[1]
-	for r := 0; r < rows; r++ {
-		ar := a.data[r*cols : (r+1)*cols]
-		dr := dst.data[r*cols : (r+1)*cols]
+	grain := 1
+	if cols > 0 {
+		grain = softmaxGrainElems / cols
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	if serialFor(rows, grain) {
+		softmaxRowRange(dst.data, a.data, cols, 0, rows)
+		return nil
+	}
+	ParallelFor(rows, grain, func(rowLo, rowHi int) {
+		softmaxRowRange(dst.data, a.data, cols, rowLo, rowHi)
+	})
+	return nil
+}
+
+// softmaxRowRange applies the stable softmax to rows [rowLo, rowHi).
+func softmaxRowRange(dst, a []float32, cols, rowLo, rowHi int) {
+	for r := rowLo; r < rowHi; r++ {
+		ar := a[r*cols : (r+1)*cols]
+		dr := dst[r*cols : (r+1)*cols]
 		maxV := ar[0]
 		for _, v := range ar[1:] {
 			if v > maxV {
@@ -154,7 +227,6 @@ func SoftmaxRows(dst, a *Tensor) error {
 			dr[c] *= inv
 		}
 	}
-	return nil
 }
 
 // Transpose returns the transpose of a rank-2 tensor as a new tensor.

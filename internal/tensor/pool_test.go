@@ -1,0 +1,128 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	for _, par := range []int{1, 2, 3, 8} {
+		SetParallelism(par)
+		for _, n := range []int{1, 2, 7, 64, 1000} {
+			for _, grain := range []int{1, 3, 64, 10000} {
+				hits := make([]int32, n)
+				ParallelFor(n, grain, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("par=%d n=%d grain=%d: bad chunk [%d,%d)", par, n, grain, lo, hi)
+						return
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&hits[i], 1)
+					}
+				})
+				for i, h := range hits {
+					if h != 1 {
+						t.Fatalf("par=%d n=%d grain=%d: index %d visited %d times", par, n, grain, i, h)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForZeroIterations(t *testing.T) {
+	called := false
+	ParallelFor(0, 1, func(lo, hi int) { called = true })
+	ParallelFor(-3, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("ParallelFor ran fn for an empty range")
+	}
+}
+
+// TestParallelForNested pins the no-deadlock guarantee: a parallel
+// region whose bodies invoke further parallel regions must complete.
+// Waiting callers drain the shared queue instead of parking, so
+// workers blocked in inner waits cannot strand the chunks queued
+// behind theirs (parking here deadlocks when every consumer holds an
+// outer chunk, which a 1-CPU -race run reliably produces).
+func TestParallelForNested(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(4)
+	var total int64
+	ParallelFor(8, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ParallelFor(100, 10, func(ilo, ihi int) {
+				atomic.AddInt64(&total, int64(ihi-ilo))
+			})
+		}
+	})
+	if total != 800 {
+		t.Fatalf("nested ParallelFor covered %d of 800 iterations", total)
+	}
+}
+
+func TestSetParallelismResize(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	for _, n := range []int{4, 1, 2, 16} {
+		SetParallelism(n)
+		if got := Parallelism(); got != n {
+			t.Fatalf("Parallelism() = %d after SetParallelism(%d)", got, n)
+		}
+		// The pool must keep functioning across resizes.
+		var count int64
+		ParallelFor(500, 1, func(lo, hi int) {
+			atomic.AddInt64(&count, int64(hi-lo))
+		})
+		if count != 500 {
+			t.Fatalf("after resize to %d: covered %d of 500", n, count)
+		}
+	}
+
+	SetParallelism(0) // reset to GOMAXPROCS
+	if got, want := Parallelism(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("SetParallelism(0) → %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestSetParallelismDuringParallelFor resizes the pool while kernels
+// are in flight; every in-flight chunk must still complete exactly
+// once.
+func TestSetParallelismDuringParallelFor(t *testing.T) {
+	prev := Parallelism()
+	defer SetParallelism(prev)
+	SetParallelism(4)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{1, 2, 4, 8}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				SetParallelism(sizes[i%len(sizes)])
+			}
+		}
+	}()
+	for iter := 0; iter < 50; iter++ {
+		var count int64
+		ParallelFor(200, 1, func(lo, hi int) {
+			atomic.AddInt64(&count, int64(hi-lo))
+		})
+		if count != 200 {
+			t.Fatalf("iteration %d: covered %d of 200", iter, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

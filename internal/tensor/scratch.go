@@ -1,0 +1,123 @@
+package tensor
+
+import "sync"
+
+// scratchMaxPerClass caps how many free buffers a size class retains.
+// Attention fans out at most pool-parallelism head workers, each with
+// a handful of buffers, so a small cap bounds arena growth while still
+// absorbing the steady-state working set of a training step.
+const scratchMaxPerClass = 64
+
+// Scratch is a buffer arena for step-scoped tensors. Get returns a
+// zeroed tensor of the requested shape, drawing from a free list
+// keyed by element count; Put returns tensors to the free list for
+// reuse. Unlike sync.Pool, nothing is dropped nondeterministically
+// and every Get observes identical (all-zero) contents whether the
+// buffer is fresh or recycled, so swapping New for Get can never
+// change a computed value.
+//
+// A nil *Scratch is valid and degrades to plain allocation, which
+// keeps call sites unconditional.
+//
+// Ownership contract: a tensor obtained from Get has exactly one
+// owner at a time. Put hands ownership back; using a tensor after
+// putting it is a bug. Never put a tensor that a cache or caller
+// still references. Put is idempotent within the retention window
+// (duplicates are detected and dropped) so a defensive extra Put
+// cannot corrupt the free list.
+type Scratch struct {
+	mu    sync.Mutex
+	free  map[int][]*Tensor
+	gets  uint64
+	hits  uint64
+	bytes int64 // bytes currently retained on free lists
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch {
+	return &Scratch{free: make(map[int][]*Tensor)}
+}
+
+// Get returns a zeroed tensor with the given shape, reusing a retained
+// buffer of the same element count when one is available.
+func (s *Scratch) Get(shape ...int) *Tensor {
+	if s == nil {
+		return New(shape...)
+	}
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	var t *Tensor
+	s.mu.Lock()
+	s.gets++
+	if list := s.free[n]; len(list) > 0 {
+		t = list[len(list)-1]
+		list[len(list)-1] = nil
+		s.free[n] = list[:len(list)-1]
+		s.hits++
+		s.bytes -= int64(n) * 4
+	}
+	s.mu.Unlock()
+	if t == nil {
+		return New(shape...)
+	}
+	t.shape = append(t.shape[:0], shape...)
+	t.Zero()
+	return t
+}
+
+// Put returns tensors to the arena. Nil entries and duplicates of
+// already-retained buffers are ignored; size classes past their cap
+// fall through to the garbage collector.
+func (s *Scratch) Put(ts ...*Tensor) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for _, t := range ts {
+		if t == nil || len(t.data) == 0 {
+			continue
+		}
+		n := len(t.data)
+		list := s.free[n]
+		if len(list) >= scratchMaxPerClass {
+			continue
+		}
+		dup := false
+		for _, have := range list {
+			if have == t {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		s.free[n] = append(list, t)
+		s.bytes += int64(n) * 4
+	}
+	s.mu.Unlock()
+}
+
+// Stats reports the total Get count and how many were served from the
+// free lists.
+func (s *Scratch) Stats() (gets, hits uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets, s.hits
+}
+
+// RetainedBytes reports how much buffer memory the arena currently
+// holds on its free lists.
+func (s *Scratch) RetainedBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -292,10 +292,13 @@ func TestMatMulTAccumMatchesExplicitTranspose(t *testing.T) {
 }
 
 func TestMatMulParallelMatchesSerial(t *testing.T) {
-	// Exercise the parallel path (rows >= threshold) and confirm the
-	// result matches a serial reference computation.
+	// Exercise the pooled parallel path (work above the fan-out grain
+	// at parallelism > 1) and confirm the result matches a serial
+	// reference computation.
+	defer SetParallelism(Parallelism())
+	SetParallelism(4)
 	rng := NewRNG(4)
-	m, k, n := matmulParallelThreshold+5, 17, 13
+	m, k, n := 69, 67, 33
 	a := NewNormal(rng, 1, m, k)
 	b := NewNormal(rng, 1, k, n)
 	got := New(m, n)
