@@ -49,6 +49,7 @@ func run(args []string) error {
 	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload, fleet)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
 	flightDir := fs.String("flight-dir", "", "with -only overload: record flight snapshots (trace window + metrics) of a saturating run into this directory")
+	pprofFlag := fs.Bool("pprof", false, "with -flight-dir: capture heap and goroutine pprof profiles alongside each flight snapshot")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -207,7 +208,7 @@ func run(args []string) error {
 		}
 		fmt.Println(ov.Render())
 		if *flightDir != "" {
-			res, path, err := experiments.OverloadFlight(opts, *flightDir)
+			res, path, err := experiments.OverloadFlight(opts, *flightDir, *pprofFlag)
 			if err != nil {
 				return err
 			}

@@ -183,6 +183,14 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	// telemetry plane itself got noisier, which is worth seeing in the
 	// diff notes before it becomes a debugging blind spot.
 	rep.Metrics["obs_spans_dropped_total"] = float64(tracer.Dropped())
+	// Informational (never gated): the heaviest tenants by server-side
+	// compute-seconds, read from the per-client {client=...} series of
+	// the same compute family the gate uses. With homogeneous bench
+	// clients these should be near-equal; a skew means the scheduler or
+	// the serving loop stopped treating identical tenants identically.
+	for i, top := range topClientCompute(reg, 3) {
+		rep.Metrics[fmt.Sprintf("client_compute_top%d_seconds", i+1)] = top
+	}
 
 	// Informational (never gated until a baseline carrying it is
 	// committed): wall-clock seconds per full fine-tuning step on the
@@ -211,6 +219,23 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	rep.Metrics["sim_time_seconds"] = sim.SimulatedTime.Seconds()
 	rep.Metrics["sim_avg_iteration_seconds"] = sim.AvgIterationTime().Seconds()
 	return rep, nil
+}
+
+// topClientCompute returns the n largest per-client compute-second
+// sums from the labeled menos_server_compute_seconds family, descending.
+func topClientCompute(reg *obs.Registry, n int) []float64 {
+	hv := reg.HistogramVec(obs.MetricServerComputeSeconds, "client", obs.DurationBuckets())
+	var sums []float64
+	for _, l := range hv.Labels() {
+		if h, ok := hv.Get(l); ok {
+			sums = append(sums, h.Snapshot().Sum)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(sums)))
+	if len(sums) > n {
+		sums = sums[:n]
+	}
+	return sums
 }
 
 // trainStepSeconds times one full fine-tuning step (forward, backward,

@@ -130,4 +130,10 @@ func TestLoopbackBenchSmoke(t *testing.T) {
 	if rep.Metrics["sim_time_seconds"] <= 0 {
 		t.Fatal("virtual-time benchmark missing")
 	}
+	if rep.Metrics["client_compute_top1_seconds"] <= 0 {
+		t.Fatal("per-client compute ranking missing")
+	}
+	if rep.Gate == "client_compute_top1_seconds" {
+		t.Fatal("per-client ranking must stay ungated")
+	}
 }

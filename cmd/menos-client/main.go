@@ -58,6 +58,7 @@ func run(args []string) error {
 	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
 	maxRetries := fs.Int("max-retries", 8, "retries per step when the server sheds load (0 fails fast)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9091)")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics mux (with -metrics-addr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,7 +103,13 @@ func run(args []string) error {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ml.Close()
-		go func() { _ = http.Serve(ml, obs.Handler(reg, tracer)) }()
+		stopSampler := obs.StartRuntimeSampler(reg, obs.RuntimeSamplerConfig{})
+		defer stopSampler()
+		var opts []obs.HandlerOption
+		if *pprofFlag {
+			opts = append(opts, obs.WithPprof())
+		}
+		go func() { _ = http.Serve(ml, obs.Handler(reg, tracer, opts...)) }()
 		fmt.Printf("menos-client %s: telemetry on http://%s/metrics\n", *id, ml.Addr())
 	}
 

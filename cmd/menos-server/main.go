@@ -8,15 +8,21 @@
 //	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
 //	             [-gpu-gb 32] [-preserve] [-quiet]
 //	             [-metrics-addr :9090] [-trace-buffer-mb 8]
-//	             [-flight-dir DIR]
+//	             [-flight-dir DIR] [-pprof] [-server-id 0]
 //
 // With -metrics-addr set, a telemetry endpoint serves Prometheus text
-// on /metrics, JSON on /metrics.json, health as JSON on /healthz, and
-// a Chrome trace of recent request spans on /trace (pageable with
+// on /metrics (per-tenant {client="..."} series included), JSON on
+// /metrics.json, health as JSON on /healthz, the per-tenant load
+// document on /loadz (the fleet.LoadSnapshot consumed by menos-top),
+// and a Chrome trace of recent request spans on /trace (pageable with
 // ?since=/?window=; spans are kept in a ring bounded by
-// -trace-buffer-mb). With -flight-dir set, a flight recorder snapshots
-// the trace window and metrics to size-bounded JSONL on sheds, OOMs
-// and admission state changes (see docs/OBSERVABILITY.md).
+// -trace-buffer-mb). A runtime sampler publishes the menos_go_* gauges
+// (heap, goroutines, GC). With -flight-dir set, a flight recorder
+// snapshots the trace window and metrics to size-bounded JSONL on
+// sheds, OOMs and admission state changes (see docs/OBSERVABILITY.md).
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ on the
+// metrics mux and makes flight snapshots capture heap and goroutine
+// profiles next to the JSONL.
 package main
 
 import (
@@ -59,6 +65,9 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json, /trace and /healthz on this address (e.g. :9090)")
 	traceBudget := fs.Int64("trace-buffer-mb", 8, "ring-buffer budget for continuous span capture in MiB (with -metrics-addr)")
 	flightDir := fs.String("flight-dir", "", "write flight-recorder snapshots (trace window + metrics JSONL) to this directory on shed/OOM/admission events")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics mux and capture heap/goroutine profiles in flight snapshots")
+	serverID := fs.Int("server-id", 0, "fleet identity echoed by /loadz")
+	tenantCap := fs.Int("tenant-cap", 0, "max per-client metric series before aggregating into {client=\"other\"} (0 = default)")
 	sloP99 := fs.Duration("slo-p99", 0, "grant-wait p99 target enabling adaptive admission control (0 disables; see docs/ADMISSION.md)")
 	sloWindow := fs.Duration("slo-window", 0, "admission-control sliding window (default 8x the p99 target)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
@@ -110,7 +119,12 @@ func run(args []string) error {
 	}
 	var flight *obs.FlightRecorder
 	if *flightDir != "" {
-		flight, err = obs.NewFlightRecorder(obs.FlightConfig{Dir: *flightDir}, reg, tracer)
+		flight, err = obs.NewFlightRecorder(obs.FlightConfig{
+			Dir: *flightDir,
+			// Profile capture is wall-clock work; it rides the same
+			// opt-in as the pprof endpoints.
+			CaptureProfiles: *pprofFlag,
+		}, reg, tracer)
 		if err != nil {
 			return fmt.Errorf("flight recorder: %w", err)
 		}
@@ -128,6 +142,8 @@ func run(args []string) error {
 		Metrics:        reg,
 		Tracer:         tracer,
 		Flight:         flight,
+		ServerID:       *serverID,
+		TenantCap:      *tenantCap,
 	})
 	if err != nil {
 		return err
@@ -137,9 +153,18 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("metrics listener: %w", err)
 		}
+		stopSampler := obs.StartRuntimeSampler(reg, obs.RuntimeSamplerConfig{})
+		defer stopSampler()
 		admission := func() string { return dep.Server.Scheduler().AdmissionState().String() }
+		opts := []obs.HandlerOption{
+			obs.WithAdmission(admission),
+			obs.WithLoadz(func() any { return dep.Server.LoadSnapshot() }),
+		}
+		if *pprofFlag {
+			opts = append(opts, obs.WithPprof())
+		}
 		go func() {
-			if serr := http.Serve(ml, obs.Handler(reg, tracer, obs.WithAdmission(admission))); serr != nil && logger != nil {
+			if serr := http.Serve(ml, obs.Handler(reg, tracer, opts...)); serr != nil && logger != nil {
 				logger.Printf("metrics endpoint: %v", serr)
 			}
 		}()

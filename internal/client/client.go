@@ -153,11 +153,18 @@ type Client struct {
 }
 
 // clientMetrics are the client plane's telemetry handles; the zero
-// value (nil handles) is valid and free.
+// value (nil handles) is valid and free. The labeled handles share
+// metric names with the unlabeled aggregates ({client="..."} series
+// under the same family), resolved once at construction so the hot
+// path stays a plain atomic observe.
 type clientMetrics struct {
 	iterations *obs.Counter
 	comm       *obs.Histogram
 	comp       *obs.Histogram
+
+	iterationsBy *obs.Counter
+	commBy       *obs.Histogram
+	compBy       *obs.Histogram
 }
 
 // New builds the client's model sections and performs the handshake
@@ -215,6 +222,10 @@ func New(conn net.Conn, cfg Config) (*Client, error) {
 			iterations: cfg.Metrics.Counter(obs.MetricClientIterations, "client fine-tuning iterations"),
 			comm:       cfg.Metrics.Histogram(obs.MetricClientCommSeconds, obs.DurationBuckets(), "server round-trip time per iteration"),
 			comp:       cfg.Metrics.Histogram(obs.MetricClientCompSeconds, obs.DurationBuckets(), "local compute time per iteration"),
+
+			iterationsBy: cfg.Metrics.CounterVec(obs.MetricClientIterations, "client").With(cfg.ClientID),
+			commBy:       cfg.Metrics.HistogramVec(obs.MetricClientCommSeconds, "client", obs.DurationBuckets()).With(cfg.ClientID),
+			compBy:       cfg.Metrics.HistogramVec(obs.MetricClientCompSeconds, "client", obs.DurationBuckets()).With(cfg.ClientID),
 		}
 	}
 
@@ -423,6 +434,9 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	c.m.iterations.Inc()
 	c.m.comm.ObserveExemplar(comm.Seconds(), tid)
 	c.m.comp.ObserveExemplar(comp.Seconds(), tid)
+	c.m.iterationsBy.Inc()
+	c.m.commBy.Observe(comm.Seconds())
+	c.m.compBy.Observe(comp.Seconds())
 	return StepResult{
 		Loss:       loss,
 		Perplexity: nn.Perplexity(loss),

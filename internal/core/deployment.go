@@ -66,6 +66,11 @@ type DeploymentConfig struct {
 	// Flight, when set, snapshots the recent trace window and metrics
 	// to disk on shed, OOM-rejection and admission-state transitions.
 	Flight *obs.FlightRecorder
+	// ServerID is the server's fleet identity, echoed by /loadz.
+	ServerID int
+	// TenantCap bounds per-client accounting cardinality (0 =
+	// obs.DefaultVecCap); tenants past it aggregate into "other".
+	TenantCap int
 }
 
 // Deployment is a running Menos server bound to a listener.
@@ -115,6 +120,8 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,
 		Flight:      cfg.Flight,
+		ServerID:    cfg.ServerID,
+		TenantCap:   cfg.TenantCap,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build server: %w", err)

@@ -76,8 +76,11 @@ func OverloadSweep(opts Options) (*trace.Table, error) {
 // recent trace window and metrics into flight.jsonl. This is the CI
 // overload artifact — a post-mortem of the simulated incident that can
 // be archived and inspected without rerunning anything. It returns the
-// run result and the flight file's path.
-func OverloadFlight(opts Options, dir string) (*splitsim.Result, string, error) {
+// run result and the flight file's path. With captureProfiles set,
+// each snapshot also writes heap and goroutine pprof profiles next to
+// the JSONL — self-observability of the benchmark process itself under
+// its heaviest load.
+func OverloadFlight(opts Options, dir string, captureProfiles bool) (*splitsim.Result, string, error) {
 	opts = opts.withDefaults()
 	w := memmodel.PaperLlamaWorkload()
 	reg := obs.NewRegistry()
@@ -88,8 +91,9 @@ func OverloadFlight(opts Options, dir string) (*splitsim.Result, string, error) 
 	// out in milliseconds of wall time, so the default 1s would keep
 	// all but the first snapshot per reason.
 	flight, err := obs.NewFlightRecorder(obs.FlightConfig{
-		Dir:         dir,
-		MinInterval: time.Millisecond,
+		Dir:             dir,
+		MinInterval:     time.Millisecond,
+		CaptureProfiles: captureProfiles,
 	}, reg, tracer)
 	if err != nil {
 		return nil, "", err

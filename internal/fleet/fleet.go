@@ -75,26 +75,29 @@ type Probe func() Signals
 // ServerLoad is one server's state as seen by a placement decision:
 // live signals plus the Manager's own bookkeeping (resident clients,
 // committed transient demand, resident models, drain flag).
+// The JSON tags define the wire schema of the /loadz endpoint
+// (LoadSnapshot); changing them is a breaking change for menos-top and
+// any polling controller.
 type ServerLoad struct {
-	ID int
+	ID int `json:"id"`
 	// Clients is the number of resident clients (persistent state on
 	// this server).
-	Clients int
+	Clients int `json:"clients"`
 	// QueueDepth, UsedBytes and Admission are the live Signals.
-	QueueDepth int
-	UsedBytes  int64
-	Admission  AdmissionState
+	QueueDepth int            `json:"queue_depth"`
+	UsedBytes  int64          `json:"used_bytes"`
+	Admission  AdmissionState `json:"admission"`
 	// CommittedBytes sums the predicted transient peaks of the resident
 	// clients — demand that is not visible in UsedBytes between grants
 	// but will contend for the scheduler's budget.
-	CommittedBytes int64
+	CommittedBytes int64 `json:"committed_bytes"`
 	// CapacityBytes is the server's total GPU memory.
-	CapacityBytes int64
+	CapacityBytes int64 `json:"capacity_bytes"`
 	// Models lists the base models resident on the server.
-	Models []string
+	Models []string `json:"models"`
 	// Draining marks a server being scaled down: it accepts no new
 	// placements and its clients migrate away.
-	Draining bool
+	Draining bool `json:"draining,omitempty"`
 }
 
 // HasModel reports whether the server already hosts base model name.

@@ -1,0 +1,20 @@
+package fleet
+
+import "menos/internal/obs"
+
+// LoadSnapshot is the wire document a server publishes at GET /loadz:
+// exactly the ServerLoad shape a Placer consumes — so a future
+// menos-fleetd can poll N servers and feed the rows straight into
+// Manager/Placer decisions without translation — plus the per-client
+// accounting ledger behind it. The simulator hand-assembles ServerLoad
+// from its bookkeeping; the real serving plane serializes this struct.
+type LoadSnapshot struct {
+	// AtSeconds is the server's telemetry-clock reading when the
+	// snapshot was taken (seconds since process start).
+	AtSeconds float64 `json:"at_seconds"`
+	// Server is the placement-relevant load surface.
+	Server ServerLoad `json:"server"`
+	// Clients is the per-tenant ledger: one row per resident (or
+	// recently active) client, sorted by ID.
+	Clients []obs.ClientUsage `json:"clients"`
+}

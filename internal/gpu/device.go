@@ -50,6 +50,10 @@ type devMetrics struct {
 	oom        *obs.Counter
 	used       *obs.Gauge
 	peak       *obs.Gauge
+	// ownerBytes attributes residency per allocation owner tag
+	// ("persist:<client>", "base-model", ...), the device-plane half of
+	// the per-tenant accounting story.
+	ownerBytes *obs.GaugeVec
 }
 
 // Device is one simulated GPU.
@@ -94,10 +98,14 @@ func (d *Device) Instrument(reg *obs.Registry) {
 		oom:        reg.Counter(obs.MetricGPUOOM, "allocations refused for lack of memory"),
 		used:       reg.Gauge(obs.MetricGPUUsedBytes, "bytes currently allocated"),
 		peak:       reg.Gauge(obs.MetricGPUPeakBytes, "high-water mark of allocated bytes"),
+		ownerBytes: reg.GaugeVec(obs.MetricGPUOwnerBytes, "owner", "bytes currently allocated per owner tag"),
 	}
 	d.mu.Lock()
 	d.m.used.Add(d.used)
 	d.m.peak.SetMax(d.m.used.Value())
+	for _, a := range d.allocs {
+		d.m.ownerBytes.With(a.owner).Add(a.bytes)
+	}
 	d.mu.Unlock()
 }
 
@@ -166,6 +174,7 @@ func (d *Device) Alloc(owner string, bytes int64) (AllocID, error) {
 	d.m.allocBytes.Add(bytes)
 	d.m.used.Add(bytes)
 	d.m.peak.SetMax(d.m.used.Value())
+	d.m.ownerBytes.With(owner).Add(bytes)
 	return id, nil
 }
 
@@ -183,6 +192,7 @@ func (d *Device) Free(id AllocID) error {
 	d.m.freeOps.Inc()
 	d.m.freeBytes.Add(a.bytes)
 	d.m.used.Add(-a.bytes)
+	d.m.ownerBytes.With(a.owner).Add(-a.bytes)
 	return nil
 }
 
@@ -203,6 +213,9 @@ func (d *Device) FreeOwner(owner string) int64 {
 	}
 	d.m.freeBytes.Add(reclaimed)
 	d.m.used.Add(-reclaimed)
+	if reclaimed > 0 {
+		d.m.ownerBytes.With(owner).Add(-reclaimed)
+	}
 	return reclaimed
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -14,7 +15,13 @@ import (
 
 // WritePrometheus renders every registered metric in the Prometheus
 // text exposition format (version 0.0.4), sorted by metric name so the
-// output is deterministic. Safe on a nil registry (writes nothing).
+// output is deterministic. A labeled family sharing its name with an
+// unlabeled metric is merged under one TYPE header: the unlabeled
+// sample first, then the labeled series in label order — which is what
+// makes Σ series{client=*} comparable to the aggregate on a single
+// scrape. Histogram exemplars are appended to their bucket line in the
+// OpenMetrics style (`# {trace_id="..."} <value>`). Safe on a nil
+// registry (writes nothing).
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
@@ -23,30 +30,74 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	defer r.mu.RUnlock()
 	var b strings.Builder
 
-	for _, name := range sortedKeys(r.counters) {
+	for _, name := range unionKeys(r.counters, r.counterVecs) {
 		writeHeader(&b, name, "counter", r.help[name])
-		fmt.Fprintf(&b, "%s %d\n", name, r.counters[name].Value())
-	}
-	for _, name := range sortedKeys(r.gauges) {
-		writeHeader(&b, name, "gauge", r.help[name])
-		fmt.Fprintf(&b, "%s %d\n", name, r.gauges[name].Value())
-	}
-	for _, name := range sortedKeys(r.hists) {
-		writeHeader(&b, name, "histogram", r.help[name])
-		s := r.hists[name].Snapshot()
-		var cum int64
-		for i, bound := range s.Bounds {
-			cum += s.Counts[i]
-			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatFloat(bound), cum)
+		if c, ok := r.counters[name]; ok {
+			fmt.Fprintf(&b, "%s %d\n", name, c.Value())
 		}
-		cum += s.Counts[len(s.Bounds)]
-		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-		fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(s.Sum))
-		fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+		if cv, ok := r.counterVecs[name]; ok {
+			for _, lv := range cv.Labels() {
+				c, _ := cv.Get(lv)
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", name, cv.Label(), escapeLabel(lv), c.Value())
+			}
+		}
+	}
+	for _, name := range unionKeys(r.gauges, r.gaugeVecs) {
+		writeHeader(&b, name, "gauge", r.help[name])
+		if g, ok := r.gauges[name]; ok {
+			fmt.Fprintf(&b, "%s %d\n", name, g.Value())
+		}
+		if gv, ok := r.gaugeVecs[name]; ok {
+			for _, lv := range gv.Labels() {
+				g, _ := gv.Get(lv)
+				fmt.Fprintf(&b, "%s{%s=\"%s\"} %d\n", name, gv.Label(), escapeLabel(lv), g.Value())
+			}
+		}
+	}
+	for _, name := range unionKeys(r.hists, r.histVecs) {
+		writeHeader(&b, name, "histogram", r.help[name])
+		if h, ok := r.hists[name]; ok {
+			writeHistText(&b, name, "", "", h)
+		}
+		if hv, ok := r.histVecs[name]; ok {
+			for _, lv := range hv.Labels() {
+				h, _ := hv.Get(lv)
+				writeHistText(&b, name, hv.Label(), lv, h)
+			}
+		}
 	}
 
 	_, err := io.WriteString(w, b.String())
 	return err
+}
+
+// writeHistText emits one histogram series — cumulative buckets, sum,
+// count — optionally carrying a label pair. The bucket the exemplar
+// landed in (if any) gets the OpenMetrics exemplar suffix.
+func writeHistText(b *strings.Builder, name, label, value string, h *Histogram) {
+	s := h.Snapshot()
+	exIdx, exID, exVal, exOK := h.exemplarInfo()
+	var lp, ls string // prefix inside bucket braces; label set for sum/count
+	if label != "" {
+		lp = label + `="` + escapeLabel(value) + `",`
+		ls = "{" + label + `="` + escapeLabel(value) + `"}`
+	}
+	bucket := func(i int, le string, cum int64) {
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d", name, lp, le, cum)
+		if exOK && i == exIdx {
+			fmt.Fprintf(b, " # {trace_id=\"%016x\"} %s", exID, formatFloat(exVal))
+		}
+		b.WriteByte('\n')
+	}
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		bucket(i, formatFloat(bound), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	bucket(len(s.Bounds), "+Inf", cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, ls, formatFloat(s.Sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, ls, s.Count)
 }
 
 func writeHeader(b *strings.Builder, name, typ, help string) {
@@ -61,6 +112,15 @@ func writeHeader(b *strings.Builder, name, typ, help string) {
 // HELP line early and corrupt the scrape.
 func escapeHelp(s string) string {
 	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the text exposition format:
+// backslash, double quote, and newline. A client ID containing any of
+// these cannot break out of the label set.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
 	return strings.ReplaceAll(s, "\n", `\n`)
 }
 
@@ -86,14 +146,55 @@ type exemplarJSON struct {
 	Value   float64 `json:"value"`
 }
 
+// vecJSON is the JSON projection of one labeled counter or gauge
+// family: the label key plus the per-value series.
+type vecJSON struct {
+	Label  string           `json:"label"`
+	Series map[string]int64 `json:"series"`
+}
+
+// histVecJSON is the JSON projection of one labeled histogram family.
+type histVecJSON struct {
+	Label  string              `json:"label"`
+	Series map[string]histJSON `json:"series"`
+}
+
+// histToJSON projects one histogram into its JSON form.
+func histToJSON(h *Histogram) histJSON {
+	s := h.Snapshot()
+	hj := histJSON{
+		Count:   s.Count,
+		Sum:     s.Sum,
+		Buckets: make(map[string]int64, len(s.Counts)),
+		P50:     s.Quantile(0.50),
+		P90:     s.Quantile(0.90),
+		P99:     s.Quantile(0.99),
+	}
+	if id, v, ok := h.Exemplar(); ok {
+		hj.Exemplar = &exemplarJSON{TraceID: fmt.Sprintf("%016x", id), Value: v}
+	}
+	var cum int64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		hj.Buckets[formatFloat(bound)] = cum
+	}
+	hj.Buckets["+Inf"] = cum + s.Counts[len(s.Bounds)]
+	return hj
+}
+
 // WriteJSON renders the registry as a single expvar-style JSON object:
-// {"counters": {...}, "gauges": {...}, "histograms": {...}}. Keys are
-// emitted in sorted order (encoding/json sorts map keys). Safe on nil.
+// {"counters": {...}, "gauges": {...}, "histograms": {...}}, plus —
+// when labeled families are registered — "counter_vecs", "gauge_vecs"
+// and "histogram_vecs" sections keyed by family name. Keys are emitted
+// in sorted order (encoding/json sorts map keys). Safe on nil.
 func (r *Registry) WriteJSON(w io.Writer) error {
 	out := struct {
-		Counters   map[string]int64    `json:"counters"`
-		Gauges     map[string]int64    `json:"gauges"`
-		Histograms map[string]histJSON `json:"histograms"`
+		Counters      map[string]int64       `json:"counters"`
+		Gauges        map[string]int64       `json:"gauges"`
+		Histograms    map[string]histJSON    `json:"histograms"`
+		CounterVecs   map[string]vecJSON     `json:"counter_vecs,omitempty"`
+		GaugeVecs     map[string]vecJSON     `json:"gauge_vecs,omitempty"`
+		HistogramVecs map[string]histVecJSON `json:"histogram_vecs,omitempty"`
 	}{
 		Counters:   make(map[string]int64),
 		Gauges:     make(map[string]int64),
@@ -108,25 +209,40 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			out.Gauges[name] = g.Value()
 		}
 		for name, h := range r.hists {
-			s := h.Snapshot()
-			hj := histJSON{
-				Count:   s.Count,
-				Sum:     s.Sum,
-				Buckets: make(map[string]int64, len(s.Counts)),
-				P50:     s.Quantile(0.50),
-				P90:     s.Quantile(0.90),
-				P99:     s.Quantile(0.99),
+			out.Histograms[name] = histToJSON(h)
+		}
+		for name, cv := range r.counterVecs {
+			vj := vecJSON{Label: cv.Label(), Series: make(map[string]int64)}
+			for _, lv := range cv.Labels() {
+				c, _ := cv.Get(lv)
+				vj.Series[lv] = c.Value()
 			}
-			if id, v, ok := h.Exemplar(); ok {
-				hj.Exemplar = &exemplarJSON{TraceID: fmt.Sprintf("%016x", id), Value: v}
+			if out.CounterVecs == nil {
+				out.CounterVecs = make(map[string]vecJSON)
 			}
-			var cum int64
-			for i, bound := range s.Bounds {
-				cum += s.Counts[i]
-				hj.Buckets[formatFloat(bound)] = cum
+			out.CounterVecs[name] = vj
+		}
+		for name, gv := range r.gaugeVecs {
+			vj := vecJSON{Label: gv.Label(), Series: make(map[string]int64)}
+			for _, lv := range gv.Labels() {
+				g, _ := gv.Get(lv)
+				vj.Series[lv] = g.Value()
 			}
-			hj.Buckets["+Inf"] = cum + s.Counts[len(s.Bounds)]
-			out.Histograms[name] = hj
+			if out.GaugeVecs == nil {
+				out.GaugeVecs = make(map[string]vecJSON)
+			}
+			out.GaugeVecs[name] = vj
+		}
+		for name, hv := range r.histVecs {
+			vj := histVecJSON{Label: hv.Label(), Series: make(map[string]histJSON)}
+			for _, lv := range hv.Labels() {
+				h, _ := hv.Get(lv)
+				vj.Series[lv] = histToJSON(h)
+			}
+			if out.HistogramVecs == nil {
+				out.HistogramVecs = make(map[string]histVecJSON)
+			}
+			out.HistogramVecs[name] = vj
 		}
 		r.mu.RUnlock()
 	}
@@ -140,12 +256,30 @@ type HandlerOption func(*handlerOpts)
 
 type handlerOpts struct {
 	admission func() string
+	loadz     func() any
+	pprof     bool
 }
 
 // WithAdmission wires the /healthz endpoint to a live admission-state
 // reader (e.g. the scheduler's AdmissionState().String()).
 func WithAdmission(f func() string) HandlerOption {
 	return func(o *handlerOpts) { o.admission = f }
+}
+
+// WithLoadz serves a structured load snapshot at /loadz: f is called
+// per request and its result marshalled as indented JSON. The serving
+// plane passes a closure returning fleet.LoadSnapshot — the polling
+// surface for placement controllers and menos-top.
+func WithLoadz(f func() any) HandlerOption {
+	return func(o *handlerOpts) { o.loadz = f }
+}
+
+// WithPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// the metrics mux. Off by default (the daemons gate it behind -pprof):
+// profiles expose stack and heap contents, which is more than a
+// metrics scrape should reveal unasked.
+func WithPprof() HandlerOption {
+	return func(o *handlerOpts) { o.pprof = true }
 }
 
 // healthJSON is the /healthz response body.
@@ -189,6 +323,9 @@ func buildDetails() (goVersion, module, rev, vcsTime string) {
 //	               duplicates)
 //	/healthz       liveness as JSON: status, uptime, build info, and —
 //	               when wired via WithAdmission — admission state
+//	/loadz         structured load snapshot (only with WithLoadz): the
+//	               fleet.ServerLoad shape plus the per-client ledger
+//	/debug/pprof/  net/http/pprof (only with WithPprof)
 //
 // Registry or tracer may be nil; the corresponding endpoints serve
 // empty documents.
@@ -217,17 +354,23 @@ func Handler(reg *Registry, tracer *Tracer, opts ...HandlerOption) http.Handler 
 		q := req.URL.Query()
 		var spans []Span
 		switch {
-		case q.Get("since") != "":
+		// q.Has, not q.Get != "": an empty ?since= or ?window= is a
+		// malformed request and must 400, not silently dump everything.
+		case q.Has("since"):
 			seq, err := strconv.ParseUint(q.Get("since"), 10, 64)
 			if err != nil {
 				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
 				return
 			}
 			spans = tracer.SpansSince(seq)
-		case q.Get("window") != "":
+		case q.Has("window"):
 			d, err := time.ParseDuration(q.Get("window"))
 			if err != nil {
 				http.Error(w, "bad window: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			if d <= 0 {
+				http.Error(w, "bad window: must be positive", http.StatusBadRequest)
 				return
 			}
 			spans = tracer.SpansWindow(d)
@@ -240,6 +383,24 @@ func Handler(reg *Registry, tracer *Tracer, opts ...HandlerOption) http.Handler 
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if ho.loadz != nil {
+		mux.HandleFunc("/loadz", func(w http.ResponseWriter, req *http.Request) {
+			data, err := json.MarshalIndent(ho.loadz(), "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(append(data, '\n'))
+		})
+	}
+	if ho.pprof {
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		h := healthJSON{
 			Status:        "ok",

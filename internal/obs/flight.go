@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	"strings"
 	"sync"
 	"time"
 )
@@ -36,6 +38,13 @@ type FlightConfig struct {
 	// simulator passes its virtual clock so snapshots are
 	// deterministic. Nil means wall clock.
 	Clock Clock
+	// CaptureProfiles additionally writes a heap and a goroutine
+	// profile (pprof proto, go-tool-pprof readable) next to the JSONL
+	// on every snapshot, one file per profile kind and reason
+	// (overwritten in place, so disk use stays bounded). Off by
+	// default: profile bytes are inherently nondeterministic, so the
+	// simulator never enables this — the daemons gate it behind -pprof.
+	CaptureProfiles bool
 }
 
 // flightRecord is one JSONL line: why the snapshot fired, when, the
@@ -45,6 +54,10 @@ type flightRecord struct {
 	Reason    string          `json:"reason"`
 	Spans     []flightSpan    `json:"spans"`
 	Metrics   json.RawMessage `json:"metrics,omitempty"`
+	// Profiles lists the heap/goroutine profile files (relative to the
+	// flight dir) captured alongside this record, when
+	// FlightConfig.CaptureProfiles is on.
+	Profiles []string `json:"profiles,omitempty"`
 }
 
 type flightSpan struct {
@@ -258,6 +271,9 @@ func (r *FlightRecorder) snapshotLocked(reason string) error {
 			rec.Metrics = json.RawMessage(bytes.TrimSpace(mb.Bytes()))
 		}
 	}
+	if r.cfg.CaptureProfiles {
+		rec.Profiles = r.captureProfilesLocked(reason)
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("obs: flight record: %w", err)
@@ -275,6 +291,50 @@ func (r *FlightRecorder) snapshotLocked(reason string) error {
 		return fmt.Errorf("obs: flight write: %w", err)
 	}
 	return nil
+}
+
+// captureProfilesLocked writes the current heap and goroutine profiles
+// into the flight dir, named per profile kind and trigger reason so a
+// repeat trigger overwrites its predecessor rather than accumulating.
+// Returns the file names written (relative to the dir). Errors are
+// recorded in lastErr but do not fail the snapshot — the JSONL record
+// is the primary artifact. Caller holds r.mu.
+func (r *FlightRecorder) captureProfilesLocked(reason string) []string {
+	var out []string
+	for _, kind := range []string{"heap", "goroutine"} {
+		prof := pprof.Lookup(kind)
+		if prof == nil {
+			continue
+		}
+		name := kind + "-" + sanitizeReason(reason) + ".pb.gz"
+		f, err := os.Create(filepath.Join(r.cfg.Dir, name))
+		if err != nil {
+			r.lastErr = fmt.Errorf("obs: flight profile: %w", err)
+			continue
+		}
+		err = prof.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			r.lastErr = fmt.Errorf("obs: flight profile: %w", err)
+			continue
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+// sanitizeReason keeps profile file names flat even if a caller passes
+// a reason containing path separators.
+func sanitizeReason(reason string) string {
+	return strings.Map(func(c rune) rune {
+		switch c {
+		case '/', '\\', ':', ' ':
+			return '-'
+		}
+		return c
+	}, reason)
 }
 
 // rotateLocked moves the active file to flight.jsonl.1 (replacing any

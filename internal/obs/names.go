@@ -31,6 +31,22 @@ const (
 	MetricGPUOOM        = "menos_gpu_oom_total"
 	MetricGPUUsedBytes  = "menos_gpu_used_bytes"
 	MetricGPUPeakBytes  = "menos_gpu_peak_bytes"
+	// Per-owner residency: a GaugeVec labeled {owner=...} where owner
+	// is the allocation tag ("persist:<client>", "base-model", ...).
+	MetricGPUOwnerBytes = "menos_gpu_owner_bytes"
+
+	// Per-tenant accounting ledger (obs.Ledger), labeled {client=...}.
+	// Byte-second counters are integer-truncated accruals of
+	// bytes-held × seconds-held; persistent is adapter state pinned by
+	// Reserve, transient is per-iteration grant traffic.
+	MetricGPUPersistentByteSeconds = "menos_gpu_persistent_byte_seconds_total"
+	MetricGPUTransientByteSeconds  = "menos_gpu_transient_byte_seconds_total"
+	MetricGPUClientPersistentBytes = "menos_gpu_persistent_bytes"
+	MetricGPUClientTransientBytes  = "menos_gpu_transient_bytes"
+	MetricServerWireTxBytes        = "menos_server_wire_tx_bytes_total"
+	MetricServerWireRxBytes        = "menos_server_wire_rx_bytes_total"
+	MetricServerShedsTotal         = "menos_server_sheds_total"
+	MetricServerRetriesTotal       = "menos_server_retries_total"
 
 	// Serving plane (internal/server).
 	MetricServerAdmitted       = "menos_server_clients_admitted_total"
@@ -55,6 +71,13 @@ const (
 
 	// Telemetry self-observation (internal/obs).
 	MetricObsSpansDropped = "menos_obs_spans_dropped_total"
+
+	// Go runtime self-observability (obs.StartRuntimeSampler), sampled
+	// from runtime/metrics on a background ticker.
+	MetricGoHeapBytes     = "menos_go_heap_bytes"
+	MetricGoGoroutines    = "menos_go_goroutines"
+	MetricGoGCCycles      = "menos_go_gc_cycles_total"
+	MetricGoGCPauseMicros = "menos_go_gc_pause_micros_total"
 
 	// Fleet control plane (internal/fleet, docs/FLEET.md). Gauges are
 	// integers, so the imbalance ratio is published in thousandths

@@ -18,15 +18,26 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	help     map[string]string
+
+	// Labeled families (vec.go). A family may share a name with an
+	// unlabeled metric of the same kind; the exporters merge them.
+	counterVecs map[string]*CounterVec
+	gaugeVecs   map[string]*GaugeVec
+	histVecs    map[string]*HistogramVec
+	vecCap      int
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		help:     make(map[string]string),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		hists:       make(map[string]*Histogram),
+		help:        make(map[string]string),
+		counterVecs: make(map[string]*CounterVec),
+		gaugeVecs:   make(map[string]*GaugeVec),
+		histVecs:    make(map[string]*HistogramVec),
+		vecCap:      DefaultVecCap,
 	}
 }
 
@@ -98,6 +109,22 @@ func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// unionKeys returns the sorted union of two maps' keys, for exporters
+// merging an unlabeled metric with a same-named labeled family.
+func unionKeys[A, B any](m1 map[string]A, m2 map[string]B) []string {
+	keys := make([]string, 0, len(m1)+len(m2))
+	for k := range m1 {
+		keys = append(keys, k)
+	}
+	for k := range m2 {
+		if _, dup := m1[k]; !dup {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	return keys
@@ -235,6 +262,20 @@ func (h *Histogram) Exemplar() (traceID uint64, v float64, ok bool) {
 		return 0, 0, false
 	}
 	return h.exTrace.Load(), math.Float64frombits(h.exVal.Load()), true
+}
+
+// exemplarInfo returns the exemplar plus the index of the bucket it
+// landed in (len(bounds) = the +Inf bucket), for the text exposition's
+// per-bucket exemplar suffix. Safe on nil.
+func (h *Histogram) exemplarInfo() (bucket int, traceID uint64, v float64, ok bool) {
+	if h == nil {
+		return 0, 0, 0, false
+	}
+	b := h.exBucket.Load()
+	if b == 0 {
+		return 0, 0, 0, false
+	}
+	return int(b - 1), h.exTrace.Load(), math.Float64frombits(h.exVal.Load()), true
 }
 
 // ObserveDuration records a duration in seconds. Safe on nil.

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// RuntimeSamplerConfig configures StartRuntimeSampler.
+type RuntimeSamplerConfig struct {
+	// Interval between samples. <= 0 means 10s.
+	Interval time.Duration
+	// Extra, when set, runs after each sample with the registry — the
+	// hook daemons use to publish process-level gauges the obs package
+	// cannot reach itself (e.g. the tensor worker-pool depth) on the
+	// same cadence.
+	Extra func(*Registry)
+}
+
+// StartRuntimeSampler publishes the menos_go_* self-observability
+// gauges — live heap bytes, goroutine count, GC cycles and cumulative
+// GC pause — from runtime/metrics on a background ticker, so a scrape
+// of /metrics answers "is the server itself healthy" alongside the
+// workload metrics. One synchronous sample runs before returning
+// (gauges are live from the first scrape). The returned stop function
+// halts the sampler and is idempotent. Safe on a nil registry
+// (returns a no-op stop).
+func StartRuntimeSampler(reg *Registry, cfg RuntimeSamplerConfig) (stop func()) {
+	if reg == nil {
+		return func() {}
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Second
+	}
+	heap := reg.Gauge(MetricGoHeapBytes, "Live heap objects, bytes (runtime/metrics).")
+	goroutines := reg.Gauge(MetricGoGoroutines, "Current goroutine count.")
+	cycles := reg.Gauge(MetricGoGCCycles, "Completed GC cycles since process start.")
+	pause := reg.Gauge(MetricGoGCPauseMicros, "Cumulative GC stop-the-world pause, microseconds.")
+	samples := []metrics.Sample{
+		{Name: "/memory/classes/heap/objects:bytes"},
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	u64 := func(s metrics.Sample) int64 {
+		if s.Value.Kind() == metrics.KindUint64 {
+			return int64(s.Value.Uint64())
+		}
+		return 0
+	}
+	sample := func() {
+		metrics.Read(samples)
+		heap.Set(u64(samples[0]))
+		goroutines.Set(u64(samples[1]))
+		cycles.Set(u64(samples[2]))
+		// runtime/metrics exposes pauses only as a distribution;
+		// MemStats carries the exact cumulative total.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		pause.Set(int64(ms.PauseTotalNs / 1000))
+		if cfg.Extra != nil {
+			cfg.Extra(reg)
+		}
+	}
+	sample()
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(quit)
+			<-done
+		})
+	}
+}

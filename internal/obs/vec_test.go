@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestVecBasics(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("menos_test_total", "client")
+	cv.With("a").Add(3)
+	cv.With("b").Inc()
+	cv.With("a").Inc()
+	if got := cv.With("a").Value(); got != 4 {
+		t.Fatalf("a = %d, want 4", got)
+	}
+	if got := cv.Labels(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("labels = %v", got)
+	}
+	if cv.Label() != "client" {
+		t.Fatalf("label key = %q", cv.Label())
+	}
+	// Same name returns the same family.
+	if reg.CounterVec("menos_test_total", "client") != cv {
+		t.Fatal("second registration returned a different family")
+	}
+
+	gv := reg.GaugeVec("menos_test_bytes", "client")
+	gv.With("a").Set(7)
+	gv.With("a").Add(-2)
+	if got := gv.With("a").Value(); got != 5 {
+		t.Fatalf("gauge a = %d, want 5", got)
+	}
+
+	hv := reg.HistogramVec("menos_test_seconds", "client", []float64{1, 10})
+	hv.With("a").Observe(0.5)
+	hv.With("a").Observe(5)
+	if got := hv.With("a").Count(); got != 2 {
+		t.Fatalf("hist count = %d, want 2", got)
+	}
+}
+
+func TestVecOverflow(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("menos_test_total", "client")
+	cv.SetCap(2)
+	cv.With("a").Inc()
+	cv.With("b").Inc()
+	// Past the cap every new label lands on the shared overflow series.
+	cv.With("c").Inc()
+	cv.With("d").Add(2)
+	other, ok := cv.Get(VecOverflowLabel)
+	if !ok || other.Value() != 3 {
+		t.Fatalf("overflow series = %v %d, want 3", ok, other.Value())
+	}
+	if _, ok := cv.Get("c"); ok {
+		t.Fatal("label past cap must not get its own series")
+	}
+	// Existing labels keep resolving to their own series.
+	cv.With("a").Inc()
+	if got := cv.With("a").Value(); got != 2 {
+		t.Fatalf("a = %d, want 2", got)
+	}
+	// Totals stay exact across the overflow boundary.
+	var sum int64
+	for _, lv := range cv.Labels() {
+		c, _ := cv.Get(lv)
+		sum += c.Value()
+	}
+	if sum != 6 {
+		t.Fatalf("sum over series = %d, want 6", sum)
+	}
+}
+
+func TestVecNilSafety(t *testing.T) {
+	var reg *Registry
+	cv := reg.CounterVec("x", "client")
+	gv := reg.GaugeVec("x", "client")
+	hv := reg.HistogramVec("x", "client", nil)
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry must return nil families")
+	}
+	// All methods are no-ops on nil.
+	cv.With("a").Inc()
+	cv.SetCap(1)
+	gv.With("a").Set(1)
+	hv.With("a").Observe(1)
+	if cv.Labels() != nil || gv.Labels() != nil || hv.Labels() != nil {
+		t.Fatal("nil family Labels must be nil")
+	}
+	if _, ok := cv.Get("a"); ok {
+		t.Fatal("nil family Get must miss")
+	}
+}
+
+// TestPrometheusVecMerge pins the merged exposition: an unlabeled
+// metric and a same-named labeled family share one TYPE header, with
+// the unlabeled sample first — the layout the conservation tests
+// scrape.
+func TestPrometheusVecMerge(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("menos_iters_total", "iterations").Add(5)
+	cv := reg.CounterVec("menos_iters_total", "client")
+	cv.With("b").Add(3)
+	cv.With("a").Add(2)
+
+	reg.Histogram("menos_wait_seconds", []float64{1, 10}).Observe(0.5)
+	hv := reg.HistogramVec("menos_wait_seconds", "client", []float64{1, 10})
+	hv.With("a").Observe(0.5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP menos_iters_total iterations
+# TYPE menos_iters_total counter
+menos_iters_total 5
+menos_iters_total{client="a"} 2
+menos_iters_total{client="b"} 3
+# TYPE menos_wait_seconds histogram
+menos_wait_seconds_bucket{le="1"} 1
+menos_wait_seconds_bucket{le="10"} 1
+menos_wait_seconds_bucket{le="+Inf"} 1
+menos_wait_seconds_sum 0.5
+menos_wait_seconds_count 1
+menos_wait_seconds_bucket{client="a",le="1"} 1
+menos_wait_seconds_bucket{client="a",le="10"} 1
+menos_wait_seconds_bucket{client="a",le="+Inf"} 1
+menos_wait_seconds_sum{client="a"} 0.5
+menos_wait_seconds_count{client="a"} 1
+`
+	if b.String() != want {
+		t.Fatalf("merged exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestPrometheusLabelEscaping covers label values containing the three
+// characters the text format escapes, plus the exemplar suffix on the
+// bucket line the exemplar landed in.
+func TestPrometheusLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	cv := reg.CounterVec("menos_esc_total", "client")
+	cv.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantLine := `menos_esc_total{client="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), wantLine+"\n") {
+		t.Fatalf("escaped label line missing:\n%s\nwant %s", b.String(), wantLine)
+	}
+}
+
+func TestPrometheusExemplarSuffix(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("menos_ex_seconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.ObserveExemplar(5, 0xdeadbeef)
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The exemplar observation (5) landed in the le="10" bucket; only
+	// that bucket line carries the OpenMetrics suffix.
+	want := `menos_ex_seconds_bucket{le="10"} 2 # {trace_id="00000000deadbeef"} 5`
+	if !strings.Contains(out, want+"\n") {
+		t.Fatalf("exemplar suffix missing:\n%s\nwant %s", out, want)
+	}
+	if strings.Count(out, "# {") != 1 {
+		t.Fatalf("exemplar suffix must appear exactly once:\n%s", out)
+	}
+
+	// Labeled series carry their own exemplars too.
+	hv := reg.HistogramVec("menos_exv_seconds", "client", []float64{1, 10})
+	hv.With("a").ObserveExemplar(0.5, 0xbeef)
+	b.Reset()
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	wantV := `menos_exv_seconds_bucket{client="a",le="1"} 1 # {trace_id="000000000000beef"} 0.5`
+	if !strings.Contains(b.String(), wantV+"\n") {
+		t.Fatalf("labeled exemplar suffix missing:\n%s\nwant %s", b.String(), wantV)
+	}
+}
+
+func TestJSONVecSections(t *testing.T) {
+	reg := NewRegistry()
+	// No vecs: the sections are omitted entirely (old consumers see an
+	// unchanged document shape).
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "counter_vecs") {
+		t.Fatalf("empty registry must omit vec sections:\n%s", b.String())
+	}
+
+	reg.CounterVec("menos_iters_total", "client").With("a").Add(2)
+	reg.GaugeVec("menos_bytes", "client").With("a").Set(9)
+	reg.HistogramVec("menos_lat_seconds", "client", []float64{1}).With("a").Observe(0.5)
+	b.Reset()
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		CounterVecs map[string]struct {
+			Label  string           `json:"label"`
+			Series map[string]int64 `json:"series"`
+		} `json:"counter_vecs"`
+		GaugeVecs map[string]struct {
+			Label  string           `json:"label"`
+			Series map[string]int64 `json:"series"`
+		} `json:"gauge_vecs"`
+		HistogramVecs map[string]struct {
+			Label  string `json:"label"`
+			Series map[string]struct {
+				Count int64   `json:"count"`
+				Sum   float64 `json:"sum"`
+			} `json:"series"`
+		} `json:"histogram_vecs"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.CounterVecs["menos_iters_total"].Series["a"] != 2 {
+		t.Fatalf("counter vec JSON = %+v", doc.CounterVecs)
+	}
+	if doc.GaugeVecs["menos_bytes"].Label != "client" || doc.GaugeVecs["menos_bytes"].Series["a"] != 9 {
+		t.Fatalf("gauge vec JSON = %+v", doc.GaugeVecs)
+	}
+	hs := doc.HistogramVecs["menos_lat_seconds"].Series["a"]
+	if hs.Count != 1 || hs.Sum != 0.5 {
+		t.Fatalf("hist vec JSON = %+v", doc.HistogramVecs)
+	}
+}

@@ -144,6 +144,12 @@ type Scheduler struct {
 	// the floor below total that queued requests can never use.
 	reserved    int64
 	reservedIDs map[string]struct{}
+
+	// ledger, when non-nil, receives per-tenant accounting events:
+	// grants and reservations as byte holdings (persistent vs transient
+	// via the owner-tag prefix), grant waits, and admission sheds. Pure
+	// bookkeeping — it never feeds back into scheduling decisions.
+	ledger *obs.Ledger
 }
 
 // New creates a scheduler over totalMem bytes of schedulable GPU
@@ -212,6 +218,18 @@ func (s *Scheduler) EnableAdmission(slo SLO, clock obs.Clock) error {
 		s.adm.instrument(s.m.reg)
 	}
 	return nil
+}
+
+// SetLedger attaches a per-tenant accounting ledger. Setup-time only,
+// before the scheduler is shared between goroutines. The scheduler is
+// the single source of GPU byte-second accrual: every grant and
+// reservation opens a holding, every Complete closes it, so persistent
+// ("persist:"/"decode:"-tagged reservations) and transient (plain
+// client grants) residency are attributed without double counting.
+func (s *Scheduler) SetLedger(l *obs.Ledger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ledger = l
 }
 
 // SetAdmissionHook registers f to run on every admission state change
@@ -293,6 +311,7 @@ func (s *Scheduler) Submit(clientID string, kind RequestKind, bytes int64, grant
 		now, _ := s.clockNow()
 		s.adm.evaluate(now, s.headAgeLocked(now))
 		if err := s.adm.admit(clientID); err != nil {
+			s.ledger.Shed(clientID)
 			s.mu.Unlock()
 			s.rejectedInc()
 			return err
@@ -336,6 +355,7 @@ func (s *Scheduler) Complete(clientID string) int64 {
 		if s.m != nil {
 			s.m.completed.Inc()
 		}
+		s.ledger.Release(clientID, reclaimed)
 	}
 	grants := s.schedule()
 	s.mu.Unlock()
@@ -462,6 +482,7 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 		s.stats.Backfilled++
 	}
 	s.resident[r.clientID] = struct{}{}
+	s.ledger.Acquire(r.clientID, r.bytes)
 	if now, ok := s.clockNow(); ok {
 		wait := now - r.at
 		if s.m != nil {
@@ -475,6 +496,10 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 		if s.adm != nil {
 			s.adm.observe(now, wait)
 		}
+		// The ledger's labeled wait family shares the unlabeled
+		// histogram's name and sees the exact same value, so the
+		// per-client series sum back to the aggregate.
+		s.ledger.AddGrantWait(r.clientID, wait.Seconds())
 	}
 	return r.grant
 }
@@ -503,6 +528,7 @@ func (s *Scheduler) Reserve(id string, bytes int64) error {
 	s.reserved += bytes
 	s.reservedIDs[id] = struct{}{}
 	s.resident[id] = struct{}{}
+	s.ledger.Acquire(id, bytes)
 	return nil
 }
 

@@ -73,6 +73,13 @@ type Config struct {
 	// to disk on overload anomalies: admission-state transitions,
 	// sheds, and memory rejections. Nil disables the recorder.
 	Flight *obs.FlightRecorder
+	// ServerID is this server's fleet identity, echoed in /loadz
+	// (LoadSnapshot). A single-server deployment can leave it 0.
+	ServerID int
+	// TenantCap bounds per-client accounting cardinality: ledger
+	// accounts and labeled metric series beyond it aggregate into the
+	// "other" series. 0 means obs.DefaultVecCap.
+	TenantCap int
 }
 
 // Server is a running Menos server.
@@ -81,10 +88,18 @@ type Server struct {
 	store     *share.Store
 	device    *gpu.Device
 	scheduler *sched.Scheduler
+	// clock is the server's telemetry timebase (wall time since
+	// construction); /loadz timestamps read it.
+	clock obs.Clock
+	// ledger is the per-tenant accounting plane (nil when metrics are
+	// disabled). The scheduler feeds it byte holdings and grant waits;
+	// the serving loop feeds it compute, iterations and wire bytes.
+	ledger *obs.Ledger
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
+	sessions  map[string]*session
 	closed    bool
 	wg        sync.WaitGroup
 
@@ -137,11 +152,20 @@ func New(cfg Config) (*Server, error) {
 		store:     cfg.Store,
 		device:    cfg.GPU,
 		scheduler: sched.New(cfg.GPU.Available(), cfg.SchedPolicy),
+		clock:     obs.NewWallClock(),
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
+		sessions:  make(map[string]*session),
 	}
 	if cfg.Metrics != nil {
-		s.scheduler.Instrument(cfg.Metrics, obs.NewWallClock())
+		s.scheduler.Instrument(cfg.Metrics, s.clock)
+		// Per-tenant accounting rides the same clock; the scheduler is
+		// the single source of byte-second holdings (grants and
+		// persistent reservations), the serving loop adds compute,
+		// iterations and wire bytes.
+		s.ledger = obs.NewLedger(obs.LedgerConfig{Clock: s.clock, MaxClients: cfg.TenantCap})
+		s.ledger.Instrument(cfg.Metrics)
+		s.scheduler.SetLedger(s.ledger)
 	}
 	if cfg.SLO.Enabled() {
 		if err := s.scheduler.EnableAdmission(cfg.SLO, obs.NewWallClock()); err != nil {
@@ -294,24 +318,32 @@ type session struct {
 }
 
 // handleConn runs one client's full lifecycle.
-func (s *Server) handleConn(conn net.Conn) {
+func (s *Server) handleConn(rawConn net.Conn) {
 	defer func() {
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, rawConn)
 		s.mu.Unlock()
-		_ = conn.Close()
+		_ = rawConn.Close()
 	}()
+	// All protocol IO goes through the counting wrapper so the ledger
+	// can attribute wire bytes (handshake included) to the client.
+	conn := &countingConn{Conn: rawConn}
 
 	sess, err := s.handshake(conn)
 	if err != nil {
 		s.logf("handshake failed: %v", err)
 		return
 	}
+	s.mu.Lock()
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
 	defer s.teardown(sess)
+	defer s.flushWire(sess, conn)
 	s.logf("client %q admitted (fwd=%d bwd=%d bytes)",
 		sess.id, sess.demands.ForwardBytes, sess.demands.BackwardBytes)
 
 	for {
+		s.flushWire(sess, conn)
 		msg, err := split.ReadMessage(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -411,6 +443,7 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	// hard configuration rejections above.
 	if s.scheduler.AdmissionState() == sched.StateShedding {
 		s.m.rejected.Inc()
+		s.ledger.Shed(hello.ClientID)
 		admitSpan.End()
 		s.cfg.Flight.TriggerAsync(obs.FlightReasonShed)
 		retry := s.retryAfter()
@@ -514,6 +547,11 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 const contextOverheadBytes = 128 << 20
 
 func (s *Server) teardown(sess *session) {
+	s.mu.Lock()
+	if s.sessions[sess.id] == sess {
+		delete(s.sessions, sess.id)
+	}
+	s.mu.Unlock()
 	s.m.active.Add(-1)
 	s.closeDecode(sess)
 	s.scheduler.Complete(sess.id)
@@ -598,7 +636,7 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 		s.scheduler.Complete(sess.id)
 		rel.End()
 	}
-	s.recordIterationHalf(wait, comp, req.TraceID)
+	s.recordIterationHalf(sess, wait, comp, req.TraceID)
 	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp, TraceID: sess.echoTrace(req.TraceID)})
 }
 
@@ -664,10 +702,11 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 	rel := s.cfg.Tracer.BeginT(sess.id, "release", "release", req.TraceID)
 	s.scheduler.Complete(sess.id)
 	rel.End()
-	s.recordIterationHalf(wait, comp, req.TraceID)
+	s.recordIterationHalf(sess, wait, comp, req.TraceID)
 
 	s.stats.iterations.Add(1)
 	s.m.iterations.Inc()
+	s.ledger.AddIteration(sess.id)
 	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs, TraceID: sess.echoTrace(req.TraceID)})
 }
 
@@ -682,10 +721,11 @@ func (sess *session) echoTrace(traceID uint64) uint64 {
 	return traceID
 }
 
-func (s *Server) recordIterationHalf(wait, comp time.Duration, traceID uint64) {
+func (s *Server) recordIterationHalf(sess *session, wait, comp time.Duration, traceID uint64) {
 	s.stats.schedWaitNs.Add(int64(wait))
 	s.stats.computeNs.Add(int64(comp))
 	s.m.compute.ObserveExemplar(comp.Seconds(), traceID)
+	s.ledger.AddCompute(sess.id, comp.Seconds())
 }
 
 func (s *Server) sendError(conn net.Conn, err error) {

@@ -3,6 +3,7 @@ package splitsim
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"menos/internal/costmodel"
@@ -86,6 +87,17 @@ func runMenos(cfg Config) (*Result, error) {
 	mgr := fleet.NewManager(placer)
 	mgr.Instrument(cfg.Metrics)
 
+	// Per-tenant accounting on the virtual clock. One ledger spans the
+	// whole fleet (rows are per client, wherever placed); every method
+	// is nil-receiver safe, so an uninstrumented run pays nothing. The
+	// ledger only observes — it never advances virtual time — so
+	// enabling it cannot perturb the simulation's schedule.
+	var ledger *obs.Ledger
+	if cfg.Metrics != nil {
+		ledger = obs.NewLedger(obs.LedgerConfig{Clock: obs.ClockFunc(kernel.Now)})
+		ledger.Instrument(cfg.Metrics)
+	}
+
 	// One server instance per cfg.Servers (plus any the autoscaler
 	// adds), each with its own shared base copy (sharded over its
 	// GPUs), manager context and scheduler.
@@ -112,6 +124,7 @@ func runMenos(cfg Config) (*Result, error) {
 		// produce).
 		srv.scheduler = sched.New(devices.Available(), cfg.SchedPol)
 		srv.scheduler.Instrument(cfg.Metrics, obs.ClockFunc(kernel.Now))
+		srv.scheduler.SetLedger(ledger)
 		if cfg.SLO.Enabled() {
 			if err := srv.scheduler.EnableAdmission(cfg.SLO, obs.ClockFunc(kernel.Now)); err != nil {
 				return nil, fmt.Errorf("admission control: %w", err)
@@ -370,12 +383,25 @@ func runMenos(cfg Config) (*Result, error) {
 				p.Sleep(d)
 				comp += d
 				cfg.Tracer.RecordT(cl.ID, name, "compute", tid, start, d)
+				// Server-side phases bill the tenant's compute-seconds;
+				// the client-local sections ("client-*") are the
+				// client's own hardware, not shared-server time.
+				if !strings.HasPrefix(name, "client-") {
+					ledger.AddCompute(cl.ID, d.Seconds())
+				}
 			}
 			xfer := func(name string) {
 				start := p.Now()
 				d := link.Transfer(p, transfer)
 				comm += d
 				cfg.Tracer.RecordT(cl.ID, name, "comm", tid, start, d)
+				// Wire accounting from the server's viewpoint: an upload
+				// is bytes the server received, a download bytes it sent.
+				if strings.HasPrefix(name, "upload:") {
+					ledger.AddWire(cl.ID, 0, transfer)
+				} else {
+					ledger.AddWire(cl.ID, transfer, 0)
+				}
 			}
 			grant := func(kind sched.RequestKind, bytes int64) {
 				start := p.Now()
@@ -388,6 +414,7 @@ func runMenos(cfg Config) (*Result, error) {
 					// keyed by client index) so shed clients do not
 					// resubmit in a synchronized herd.
 					rejected++
+					ledger.Retry(cl.ID)
 					if cfg.Flight != nil {
 						cfg.Flight.Trigger(obs.FlightReasonShed)
 					}
@@ -575,6 +602,7 @@ func runMenos(cfg Config) (*Result, error) {
 				sleepComp("client-post", post)
 
 				bd.Add(comm, comp, schedT)
+				ledger.AddIteration(cl.ID)
 			}
 
 			// Autoscaled clients depart when done: persistent state
