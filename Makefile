@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-race bench bench-diff ci verify
+.PHONY: build test test-race bench bench-diff ci verify e2e
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,15 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Multi-process end-to-end: builds menos-server, menos-client and
+# menos-fleetd, launches a two-server fleet plus the control plane on
+# loopback, and asserts one live client migration with zero lost
+# iterations and a bit-identical final loss vs an unmigrated control
+# run. Process logs and flight recordings land in e2e-artifacts/ (CI
+# uploads them on failure).
+e2e:
+	MENOS_E2E_ARTIFACTS=$(CURDIR)/e2e-artifacts $(GO) test -tags e2e -timeout 240s -v ./e2e/
 
 # bench-diff runs the paper-workload benchmark and compares it against
 # the committed baseline; exits non-zero when the server compute-time

@@ -21,12 +21,16 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"menos/internal/adapter"
@@ -57,6 +61,9 @@ func run(args []string) error {
 	lr := fs.Float64("lr", 8e-3, "learning rate")
 	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
 	maxRetries := fs.Int("max-retries", 8, "retries per step when the server sheds load (0 fails fast)")
+	migrate := fs.Bool("migrate", false, "offer live migration: follow server-issued redirects mid-run (docs/FLEET.md)")
+	fleetd := fs.String("fleetd", "", "ask this menos-fleetd control plane (http://host:port) where to connect instead of -addr")
+	finalLossOut := fs.String("final-loss-out", "", "write the final step's loss to this file as float64 bits in hex (determinism pin for e2e)")
 	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics, /metrics.json and /trace on this address (e.g. :9091)")
 	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ on the metrics mux (with -metrics-addr)")
 	if err := fs.Parse(args); err != nil {
@@ -113,7 +120,16 @@ func run(args []string) error {
 		fmt.Printf("menos-client %s: telemetry on http://%s/metrics\n", *id, ml.Addr())
 	}
 
-	c, err := client.Dial(*addr, client.Config{
+	dialAddr := *addr
+	if *fleetd != "" {
+		placed, err := placeViaFleetd(*fleetd, *id, cfg.Name)
+		if err != nil {
+			return fmt.Errorf("fleetd placement: %w", err)
+		}
+		dialAddr = placed
+		fmt.Printf("menos-client %s: fleetd placed us on %s\n", *id, dialAddr)
+	}
+	c, err := client.Dial(dialAddr, client.Config{
 		ClientID:    *id,
 		Model:       cfg,
 		WeightSeed:  *seed,
@@ -124,6 +140,10 @@ func run(args []string) error {
 		Seq:         *seq,
 		Metrics:     reg,
 		Tracer:      tracer,
+		Migrate:     *migrate,
+		OnMigrate: func(target string) {
+			fmt.Printf("menos-client %s: live-migrated to %s\n", *id, target)
+		},
 	})
 	if err != nil {
 		return err
@@ -132,19 +152,62 @@ func run(args []string) error {
 	fwd, bwd := c.Demands()
 	fmt.Printf("menos-client %s: admitted (server profiled fwd=%d bwd=%d bytes)\n", *id, fwd, bwd)
 
+	var finalLoss float64
 	for step := 0; step < *steps; step++ {
 		ids, targets := loader.Next()
 		res, err := stepWithRetry(c, ids, targets, *maxRetries)
 		if err != nil {
 			return fmt.Errorf("step %d: %w", step, err)
 		}
+		finalLoss = res.Loss
 		if step%10 == 0 || step == *steps-1 {
 			fmt.Printf("step %3d  loss %.4f  ppl %8.2f  comm %v  comp %v\n",
 				step, res.Loss, res.Perplexity,
 				res.CommTime.Round(1e6), res.CompTime.Round(1e6))
 		}
 	}
+	if n := c.Migrations(); n > 0 {
+		fmt.Printf("menos-client %s: finished after %d live migration(s)\n", *id, n)
+	}
+	if *finalLossOut != "" {
+		// Bit-exact pin: hex of the float64 bits, not a rounded decimal,
+		// so two runs compare equal iff their losses are identical.
+		pin := fmt.Sprintf("%016x\n", math.Float64bits(finalLoss))
+		if err := os.WriteFile(*finalLossOut, []byte(pin), 0o644); err != nil {
+			return fmt.Errorf("final-loss-out: %w", err)
+		}
+	}
 	return nil
+}
+
+// placedEndpoint is the subset of fleet.Endpoint the client needs
+// from a fleetd POST /place response.
+type placedEndpoint struct {
+	Addr string `json:"addr"`
+}
+
+// placeViaFleetd asks the control plane for a server (the redirect
+// handshake: fleetd picks by policy over live fleet load).
+func placeViaFleetd(base, clientID, model string) (string, error) {
+	body := fmt.Sprintf(`{"ID":%q,"BaseModel":%q}`, clientID, model)
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	resp, err := httpc.Post(strings.TrimRight(base, "/")+"/place", "application/json", strings.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return "", fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var ep placedEndpoint
+	if err := json.NewDecoder(resp.Body).Decode(&ep); err != nil {
+		return "", err
+	}
+	if ep.Addr == "" {
+		return "", fmt.Errorf("fleetd returned an endpoint with no address")
+	}
+	return ep.Addr, nil
 }
 
 // stepWithRetry runs one step, backing off and resubmitting when the

@@ -14,6 +14,8 @@
 // on /metrics (per-tenant {client="..."} series included), JSON on
 // /metrics.json, health as JSON on /healthz, the per-tenant load
 // document on /loadz (the fleet.LoadSnapshot consumed by menos-top),
+// the fleet admin plane (migration orders, snapshot staging — see
+// docs/FLEET.md and menos-fleetd) under /admin/,
 // and a Chrome trace of recent request spans on /trace (pageable with
 // ?since=/?window=; spans are kept in a ring bounded by
 // -trace-buffer-mb). A runtime sampler publishes the menos_go_* gauges
@@ -159,12 +161,23 @@ func run(args []string) error {
 		opts := []obs.HandlerOption{
 			obs.WithAdmission(admission),
 			obs.WithLoadz(func() any { return dep.Server.LoadSnapshot() }),
+			// Fleet identity: /healthz echoes -server-id and the bound
+			// serving address (read per request — the listener binds
+			// after this endpoint starts), so a polling control plane
+			// detects a different process answering on a reused port.
+			obs.WithIdentity(func() (int, string) { return *serverID, dep.Addr() }),
 		}
 		if *pprofFlag {
 			opts = append(opts, obs.WithPprof())
 		}
+		// The admin plane (migration orders, snapshot staging) rides
+		// the metrics listener under /admin/ — both are loopback-scoped
+		// operator surfaces today.
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(reg, tracer, opts...))
+		mux.Handle("/admin/", dep.Server.AdminHandler())
 		go func() {
-			if serr := http.Serve(ml, obs.Handler(reg, tracer, opts...)); serr != nil && logger != nil {
+			if serr := http.Serve(ml, mux); serr != nil && logger != nil {
 				logger.Printf("metrics endpoint: %v", serr)
 			}
 		}()

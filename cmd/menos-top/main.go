@@ -9,6 +9,12 @@
 //
 //	menos-top -servers host1:9090,host2:9090 [-interval 2s] [-once]
 //	          [-top 10]
+//	menos-top -fleetd http://host:9600 [-interval 2s] [-once]
+//
+// With -fleetd, menos-top renders the control plane's aggregated
+// /fleetz view instead of polling servers itself: one request paints
+// every managed server, including endpoints fleetd marked unhealthy
+// or answering with the wrong fleet identity.
 //
 // -once prints a single snapshot and exits (scriptable); otherwise the
 // screen refreshes in place every -interval until interrupted. -top
@@ -43,6 +49,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("menos-top", flag.ContinueOnError)
 	servers := fs.String("servers", "", "comma-separated metrics addresses to poll (host:port or full http://host:port)")
+	fleetd := fs.String("fleetd", "", "render a menos-fleetd control plane's aggregated /fleetz view (http://host:port) instead of polling servers directly")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	once := fs.Bool("once", false, "print one snapshot and exit")
 	top := fs.Int("top", 10, "max per-tenant rows per server (0 = all)")
@@ -51,13 +58,21 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	targets := splitTargets(*servers)
-	if len(targets) == 0 {
-		return fmt.Errorf("no servers: pass -servers host:port[,host:port...]")
+	if len(targets) == 0 && *fleetd == "" {
+		return fmt.Errorf("no servers: pass -servers host:port[,host:port...] or -fleetd URL")
 	}
 	client := &http.Client{Timeout: *timeout}
+	snapshot := func() string { return render(poll(client, targets), *top) }
+	if *fleetd != "" {
+		url := strings.TrimSuffix(strings.TrimSuffix(*fleetd, "/"), "/fleetz") + "/fleetz"
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		snapshot = func() string { return renderFleetd(client, url, *top) }
+	}
 
 	if *once {
-		fmt.Fprint(out, render(poll(client, targets), *top))
+		fmt.Fprint(out, snapshot())
 		return nil
 	}
 
@@ -69,7 +84,7 @@ func run(args []string, out io.Writer) error {
 		// ANSI clear + home keeps the table refreshing in place, the
 		// classic top(1) experience without a terminal library.
 		fmt.Fprint(out, "\x1b[2J\x1b[H")
-		fmt.Fprint(out, render(poll(client, targets), *top))
+		fmt.Fprint(out, snapshot())
 		select {
 		case <-sig:
 			return nil
@@ -120,6 +135,44 @@ func poll(client *http.Client, targets []string) []probe {
 		resp.Body.Close()
 	}
 	return probes
+}
+
+// renderFleetd renders a fleetd's aggregated /fleetz document: the
+// controller already polled every server, so one request paints the
+// whole fleet, including rows the controller flagged unhealthy or
+// answering with the wrong identity.
+func renderFleetd(client *http.Client, url string, top int) string {
+	var snap fleet.FleetSnapshot
+	resp, err := client.Get(url)
+	if err == nil {
+		if resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("%s", resp.Status)
+		} else {
+			err = json.NewDecoder(resp.Body).Decode(&snap)
+		}
+		resp.Body.Close()
+	}
+	if err != nil {
+		return fmt.Sprintf("fleetd %s DOWN: %v\n", url, err)
+	}
+	probes := make([]probe, 0, len(snap.Servers))
+	for _, srv := range snap.Servers {
+		p := probe{target: srv.Endpoint.MetricsURL}
+		switch {
+		case !srv.Polled:
+			p.err = fmt.Errorf("not yet polled")
+		case !srv.Healthy:
+			p.err = fmt.Errorf("%s", srv.Error)
+		default:
+			p.snap = fleet.LoadSnapshot{
+				AtSeconds: srv.AtSeconds,
+				Server:    srv.Load,
+				Clients:   srv.Clients,
+			}
+		}
+		probes = append(probes, p)
+	}
+	return fmt.Sprintf("fleetd %s  policy %s\n\n", url, snap.Policy) + render(probes, top)
 }
 
 // admissionString mirrors sched.AdmissionState.String without linking

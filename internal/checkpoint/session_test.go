@@ -1,0 +1,210 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// stepOnce runs one optimizer step with deterministic synthetic grads.
+func stepOnce(t *testing.T, params []nn.Param, opt nn.Optimizer, seed uint64) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	for _, p := range params {
+		g := tensor.NewNormal(rng, 1, p.Grad.Shape()...)
+		if err := p.Grad.CopyFrom(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := opt.Step(params); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameTensor(a, b *tensor.Tensor) bool {
+	ad, bd := a.Data(), b.Data()
+	if len(ad) != len(bd) {
+		return false
+	}
+	for i := range ad {
+		if ad[i] != bd[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionRoundTripAdam: snapshot mid-training, restore into a
+// fresh replica, and verify the two resume bit-identically — the
+// property live migration depends on.
+func TestSessionRoundTripAdam(t *testing.T) {
+	src := testParams(t, 1)
+	srcOpt := nn.NewAdam(0.01)
+	for i := 0; i < 3; i++ {
+		stepOnce(t, src, srcOpt, uint64(10+i))
+	}
+	// Leave accumulated (unapplied) gradients in place so the snapshot
+	// must carry them.
+	rng := tensor.NewRNG(99)
+	for _, p := range src {
+		if err := p.Grad.CopyFrom(tensor.NewNormal(rng, 1, p.Grad.Shape()...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := EncodeSession(src, srcOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testParams(t, 2)
+	dstOpt := nn.NewAdam(0.01)
+	if err := DecodeSession(data, dst, dstOpt); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dstOpt.StepCount(), srcOpt.StepCount(); got != want {
+		t.Fatalf("restored step count %d, want %d", got, want)
+	}
+	for i := range src {
+		if !sameTensor(src[i].Value, dst[i].Value) {
+			t.Fatalf("param %q value differs after restore", src[i].Name)
+		}
+		if !sameTensor(src[i].Grad, dst[i].Grad) {
+			t.Fatalf("param %q grad differs after restore", src[i].Name)
+		}
+	}
+	// Both replicas apply the pending gradients, then take two more
+	// identical steps; they must stay bit-identical throughout.
+	for i := 0; i < 3; i++ {
+		if err := srcOpt.Step(src); err != nil {
+			t.Fatal(err)
+		}
+		if err := dstOpt.Step(dst); err != nil {
+			t.Fatal(err)
+		}
+		for j := range src {
+			if !sameTensor(src[j].Value, dst[j].Value) {
+				t.Fatalf("step %d: param %q diverged after restore", i, src[j].Name)
+			}
+		}
+		stepOnceBoth(t, src, dst, uint64(40+i))
+	}
+}
+
+// stepOnceBoth loads the same synthetic gradients into both replicas.
+func stepOnceBoth(t *testing.T, a, b []nn.Param, seed uint64) {
+	t.Helper()
+	for _, params := range [][]nn.Param{a, b} {
+		rng := tensor.NewRNG(seed)
+		for _, p := range params {
+			if err := p.Grad.CopyFrom(tensor.NewNormal(rng, 1, p.Grad.Shape()...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSessionRoundTripSGDMomentum(t *testing.T) {
+	src := testParams(t, 1)
+	srcOpt := nn.NewSGD(0.05, 0.9)
+	for i := 0; i < 2; i++ {
+		stepOnce(t, src, srcOpt, uint64(20+i))
+	}
+	data, err := EncodeSession(src, srcOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testParams(t, 2)
+	dstOpt := nn.NewSGD(0.05, 0.9)
+	if err := DecodeSession(data, dst, dstOpt); err != nil {
+		t.Fatal(err)
+	}
+	stepOnceBoth(t, src, dst, 77)
+	if err := srcOpt.Step(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := dstOpt.Step(dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if !sameTensor(src[i].Value, dst[i].Value) {
+			t.Fatalf("param %q diverged after restore", src[i].Name)
+		}
+	}
+}
+
+func TestSessionStatelessOptimizer(t *testing.T) {
+	src := testParams(t, 1)
+	data, err := EncodeSession(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := testParams(t, 2)
+	if err := DecodeSession(data, dst, nn.NewSGD(0.1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if !sameTensor(src[i].Value, dst[i].Value) {
+			t.Fatalf("param %q value differs", src[i].Name)
+		}
+	}
+}
+
+// TestSessionAdamIntoSGD: a snapshot carrying Adam's two moment slots
+// must refuse to restore into momentum-free SGD.
+func TestSessionAdamIntoSGD(t *testing.T) {
+	src := testParams(t, 1)
+	srcOpt := nn.NewAdam(0.01)
+	stepOnce(t, src, srcOpt, 5)
+	data, err := EncodeSession(src, srcOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeSession(data, testParams(t, 2), nn.NewSGD(0.1, 0)); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestSessionShapeMismatch(t *testing.T) {
+	data, err := EncodeSession(testParams(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(3)
+	bad := []nn.Param{
+		nn.NewParam("a.w", tensor.NewNormal(rng, 1, 3, 4)),
+		nn.NewParam("a.b", tensor.NewNormal(rng, 1, 5)), // wrong shape
+		nn.NewParam("b.gamma", tensor.NewNormal(rng, 1, 7)),
+	}
+	if err := DecodeSession(data, bad, nil); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+}
+
+func TestSessionBadMagic(t *testing.T) {
+	data, err := EncodeSession(testParams(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff
+	if err := DecodeSession(data, testParams(t, 1), nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want ErrFormat", err)
+	}
+}
+
+func TestSessionTruncated(t *testing.T) {
+	data, err := EncodeSession(testParams(t, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodeSession(data[:len(data)-7], testParams(t, 1), nil); err == nil {
+		t.Fatal("truncated snapshot decoded without error")
+	}
+	var buf bytes.Buffer
+	buf.Write(data[:6])
+	if err := LoadSession(&buf, testParams(t, 1), nil); err == nil {
+		t.Fatal("header-only snapshot decoded without error")
+	}
+}

@@ -108,6 +108,16 @@ type Config struct {
 	// Dial's compatibility fallback sets this when a legacy server
 	// hangs up on the extended hello.
 	NoTraceContext bool
+	// Migrate offers split.FeatureMigration at handshake: the server
+	// may answer a forward with a redirect to another server, and the
+	// client follows it transparently mid-run — redial, resume the
+	// session from the control plane's snapshot, replay the displaced
+	// forward. The iteration in flight is not lost and the caller only
+	// observes a longer round-trip.
+	Migrate bool
+	// OnMigrate, when set, is called after each completed migration
+	// with the new server's address (telemetry/test hook).
+	OnMigrate func(target string)
 }
 
 func (c *Config) applyDefaults() {
@@ -148,6 +158,13 @@ type Client struct {
 	// traceOK reports that the server acked FeatureTraceContext:
 	// requests may carry trace IDs and responses echo them.
 	traceOK bool
+	// migrateOK reports that the server acked FeatureMigration.
+	migrateOK bool
+	// resumeToken rides the next handshake's Hello (nonzero only
+	// during a migration redial).
+	resumeToken uint64
+	// migrations counts completed mid-run server moves.
+	migrations int
 
 	m clientMetrics
 }
@@ -246,7 +263,8 @@ const AdapterSalt = 0x5f3759df
 // withdrawn, so a new client still interoperates with an old server.
 func Dial(addr string, cfg Config) (*Client, error) {
 	c, err := dialOnce(addr, cfg)
-	if err == nil || cfg.Tracer == nil || cfg.NoTraceContext {
+	offeredExt := (cfg.Tracer != nil && !cfg.NoTraceContext) || cfg.Migrate
+	if err == nil || !offeredExt {
 		return c, err
 	}
 	// Real rejections (config, capacity, overload) come back as
@@ -255,6 +273,7 @@ func Dial(addr string, cfg Config) (*Client, error) {
 		return nil, err
 	}
 	cfg.NoTraceContext = true
+	cfg.Migrate = false
 	return dialOnce(addr, cfg)
 }
 
@@ -285,6 +304,10 @@ func (c *Client) handshake() error {
 	if c.cfg.Tracer != nil && !c.cfg.NoTraceContext {
 		hello.Features = split.FeatureTraceContext
 	}
+	if c.cfg.Migrate {
+		hello.Features |= split.FeatureMigration
+	}
+	hello.ResumeToken = c.resumeToken
 	if err := split.WriteMessage(c.conn, hello); err != nil {
 		return fmt.Errorf("client: send hello: %w", err)
 	}
@@ -307,6 +330,7 @@ func (c *Client) handshake() error {
 	}
 	c.demands = *ack
 	c.traceOK = ack.Features&split.FeatureTraceContext != 0
+	c.migrateOK = ack.Features&split.FeatureMigration != 0
 	return nil
 }
 
@@ -368,13 +392,10 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	// Steps 1-2 (server): send x_c, receive x_s.
 	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "forward-rtt", "comm", tid)
 	t0 = time.Now()
-	if err := split.WriteMessage(c.conn, &split.ForwardReq{
+	xs, err := c.forwardRoundTrip(&split.ForwardReq{
 		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
 		TraceID: c.wireTrace(tid),
-	}); err != nil {
-		return StepResult{}, fmt.Errorf("client: send forward: %w", err)
-	}
-	xs, err := c.expectForwardResp(iter)
+	})
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -466,12 +487,9 @@ func (c *Client) Evaluate(ids, targets []int) (float64, error) {
 	}
 	iter := c.iter
 	c.iter++
-	if err := split.WriteMessage(c.conn, &split.ForwardReq{
+	xs, err := c.forwardRoundTrip(&split.ForwardReq{
 		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
-	}); err != nil {
-		return 0, fmt.Errorf("client: send forward: %w", err)
-	}
-	xs, err := c.expectForwardResp(iter)
+	})
 	if err != nil {
 		return 0, err
 	}
@@ -483,27 +501,96 @@ func (c *Client) Evaluate(ids, targets []int) (float64, error) {
 	return loss, err
 }
 
-func (c *Client) expectForwardResp(iter int) (*tensor.Tensor, error) {
+// forwardRoundTrip sends a ForwardReq and waits for its response,
+// following at most one migration redirect: the redirect displaces
+// the forward, so after redialing the target (which restores the
+// session from the staged snapshot) the same request is replayed
+// there and the iteration completes as if nothing moved.
+func (c *Client) forwardRoundTrip(req *split.ForwardReq) (*tensor.Tensor, error) {
+	for attempt := 0; ; attempt++ {
+		if err := split.WriteMessage(c.conn, req); err != nil {
+			return nil, fmt.Errorf("client: send forward: %w", err)
+		}
+		xs, redirect, err := c.expectForwardResp(req.Iter)
+		if err != nil {
+			return nil, err
+		}
+		if redirect == nil {
+			return xs, nil
+		}
+		if attempt > 0 {
+			return nil, fmt.Errorf("client: second migration redirect in one iteration (to %s)", redirect.Target)
+		}
+		if err := c.followMigration(redirect); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// followMigration redials the redirect's target and resumes the
+// session there with the redirect token. On failure the original
+// connection is already unusable (the source server has torn the
+// session down), so the error is terminal for this client.
+func (c *Client) followMigration(m *split.MigrateMsg) error {
+	conn, err := net.Dial("tcp", m.Target)
+	if err != nil {
+		return fmt.Errorf("client: migration redial %s: %w", m.Target, err)
+	}
+	old := c.conn
+	c.conn = conn
+	c.resumeToken = m.Token
+	err = c.handshake()
+	c.resumeToken = 0
+	if err != nil {
+		c.conn = old
+		_ = conn.Close()
+		return fmt.Errorf("client: migration to %s: %w", m.Target, err)
+	}
+	_ = old.Close()
+	c.migrations++
+	if c.cfg.OnMigrate != nil {
+		c.cfg.OnMigrate(m.Target)
+	}
+	return nil
+}
+
+// Migrations reports how many times this client has been moved to
+// another server mid-run.
+func (c *Client) Migrations() int { return c.migrations }
+
+// MigrateNegotiated reports whether the server accepted the migration
+// feature at handshake.
+func (c *Client) MigrateNegotiated() bool { return c.migrateOK }
+
+func (c *Client) expectForwardResp(iter int) (*tensor.Tensor, *split.MigrateMsg, error) {
 	msg, err := split.ReadMessage(c.conn)
 	if err != nil {
-		return nil, fmt.Errorf("client: read forward response: %w", err)
+		return nil, nil, fmt.Errorf("client: read forward response: %w", err)
 	}
 	switch m := msg.(type) {
+	case *split.MigrateMsg:
+		if !c.migrateOK {
+			return nil, nil, fmt.Errorf("client: unexpected migration redirect (feature not negotiated)")
+		}
+		if m.Target == "" || m.Token == 0 {
+			return nil, nil, fmt.Errorf("client: malformed migration redirect (target %q)", m.Target)
+		}
+		return nil, m, nil
 	case *split.ForwardResp:
 		if m.Iter != iter || m.Activations == nil {
-			return nil, fmt.Errorf("client: bad forward response (iter %d)", m.Iter)
+			return nil, nil, fmt.Errorf("client: bad forward response (iter %d)", m.Iter)
 		}
-		return m.Activations, nil
+		return m.Activations, nil, nil
 	case *split.ErrorMsg:
 		if m.Retryable {
-			return nil, &RetryableError{
+			return nil, nil, &RetryableError{
 				RetryAfter: time.Duration(m.RetryAfterMs) * time.Millisecond,
 				Reason:     m.Reason,
 			}
 		}
-		return nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
+		return nil, nil, fmt.Errorf("%w: %s", ErrRemote, m.Reason)
 	default:
-		return nil, fmt.Errorf("client: unexpected %v", msg.MsgType())
+		return nil, nil, fmt.Errorf("client: unexpected %v", msg.MsgType())
 	}
 }
 

@@ -38,12 +38,9 @@ func (c *Client) Generate(rng *tensor.RNG, prompt []int, maxNew int, temperature
 		}
 		iter := c.iter
 		c.iter++
-		if err := split.WriteMessage(c.conn, &split.ForwardReq{
+		xs, err := c.forwardRoundTrip(&split.ForwardReq{
 			Iter: iter, Batch: 1, Seq: len(window), Activations: xc,
-		}); err != nil {
-			return nil, fmt.Errorf("client: generate send: %w", err)
-		}
-		xs, err := c.expectForwardResp(iter)
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"menos/internal/adapter"
+	"menos/internal/client"
+	"menos/internal/fleet"
+	"menos/internal/model"
+	"menos/internal/tensor"
+)
+
+// migBatch generates the deterministic id/target stream the migration
+// tests feed both the migrated and the control client.
+func migBatch(r *tensor.RNG, n int) (ids, targets []int) {
+	ids = make([]int, n)
+	targets = make([]int, n)
+	vocab := model.OPTTiny().Vocab
+	for i := range ids {
+		ids[i] = r.Intn(vocab)
+		targets[i] = r.Intn(vocab)
+	}
+	return ids, targets
+}
+
+func migClientConfig(id string) client.Config {
+	return client.Config{
+		ClientID:    id,
+		Model:       model.OPTTiny(),
+		WeightSeed:  5,
+		Adapter:     adapter.LoRASpec(adapter.DefaultLoRA()),
+		AdapterSeed: 3,
+		Batch:       1,
+		Seq:         8,
+		Migrate:     true,
+	}
+}
+
+// runMigSteps drives the micro-step schedule both clients share:
+// pairs of accumulate-then-apply, so a migration can land
+// mid-accumulation and the snapshot must carry unapplied gradients.
+// start is the absolute iteration index — the apply cadence must not
+// reset when a run is driven in two segments around a migration.
+func runMigSteps(t *testing.T, c *client.Client, data *tensor.RNG, start, steps int) []uint64 {
+	t.Helper()
+	losses := make([]uint64, 0, steps)
+	for i := start; i < start+steps; i++ {
+		ids, targets := migBatch(data, 8)
+		res, err := c.MicroStep(ids, targets, i%2 == 1)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		losses = append(losses, math.Float64bits(res.Loss))
+	}
+	return losses
+}
+
+// TestLiveMigrationDeterminism is the correctness pin for the whole
+// migration plane: a client moved from server A to server B mid-run
+// (mid gradient accumulation, even) must produce bitwise-identical
+// losses to a client that never moved, and no iteration may be lost.
+func TestLiveMigrationDeterminism(t *testing.T) {
+	depA, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depA.Close()
+	depB, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depB.Close()
+	addrA, err := depA.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := depB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminA := httptest.NewServer(depA.Server.AdminHandler())
+	defer adminA.Close()
+	adminB := httptest.NewServer(depB.Server.AdminHandler())
+	defer adminB.Close()
+
+	var moves []string
+	cfg := migClientConfig("mig")
+	cfg.OnMigrate = func(target string) { moves = append(moves, target) }
+	c, err := client.Dial(addrA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.MigrateNegotiated() {
+		t.Fatal("migration feature not negotiated")
+	}
+
+	const pre, post = 3, 5
+	data := tensor.NewRNG(11)
+	losses := runMigSteps(t, c, data, 0, pre)
+
+	// Order the migration: A snapshots at the next forward boundary
+	// (we are mid-accumulation after 3 micro-steps), stages at B, and
+	// redirects the client.
+	order, _ := json.Marshal(fleet.MigrateOrder{
+		ClientID:    "mig",
+		TargetAddr:  addrB,
+		TargetAdmin: adminB.URL,
+		Token:       42,
+	})
+	resp, err := http.Post(adminA.URL+"/admin/migrate", "application/json", bytes.NewReader(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("migrate order: %s", resp.Status)
+	}
+
+	losses = append(losses, runMigSteps(t, c, data, pre, post)...)
+	if c.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1", c.Migrations())
+	}
+	if len(moves) != 1 || moves[0] != addrB {
+		t.Fatalf("moves = %v, want [%s]", moves, addrB)
+	}
+
+	// Zero lost iterations: every micro-step was served exactly once,
+	// split across the two servers.
+	itersA := depA.Server.Stats().Iterations
+	itersB := depB.Server.Stats().Iterations
+	if itersA+itersB != pre+post {
+		t.Fatalf("iterations A=%d B=%d, want total %d", itersA, itersB, pre+post)
+	}
+	if itersB == 0 {
+		t.Fatal("no iterations served by the target server")
+	}
+
+	// Control: the same schedule against a single server, bit-compared.
+	depC, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depC.Close()
+	addrC, err := depC.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := client.Dial(addrC, migClientConfig("mig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	want := runMigSteps(t, ctrl, tensor.NewRNG(11), 0, pre+post)
+	for i := range want {
+		if losses[i] != want[i] {
+			t.Fatalf("loss %d diverged after migration: %x vs control %x", i, losses[i], want[i])
+		}
+	}
+}
+
+// TestMigrationAbortKeepsServing: an order whose snapshot transfer
+// fails (unreachable target admin) must not kill the session — the
+// client keeps training on the source, still bit-identical to an
+// undisturbed run.
+func TestMigrationAbortKeepsServing(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	addr, err := dep.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(dep.Server.AdminHandler())
+	defer admin.Close()
+
+	c, err := client.Dial(addr, migClientConfig("mig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	data := tensor.NewRNG(11)
+	losses := runMigSteps(t, c, data, 0, 2)
+
+	order, _ := json.Marshal(fleet.MigrateOrder{
+		ClientID:    "mig",
+		TargetAddr:  "127.0.0.1:1",
+		TargetAdmin: "http://127.0.0.1:1", // nothing listens here
+		Token:       7,
+	})
+	resp, err := http.Post(admin.URL+"/admin/migrate", "application/json", bytes.NewReader(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("migrate order: %s", resp.Status)
+	}
+
+	losses = append(losses, runMigSteps(t, c, data, 2, 2)...)
+	if c.Migrations() != 0 {
+		t.Fatalf("migrations = %d, want 0 (aborted)", c.Migrations())
+	}
+
+	depC, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depC.Close()
+	addrC, err := depC.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := client.Dial(addrC, migClientConfig("mig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+	want := runMigSteps(t, ctrl, tensor.NewRNG(11), 0, 4)
+	for i := range want {
+		if losses[i] != want[i] {
+			t.Fatalf("loss %d diverged after aborted migration: %x vs %x", i, losses[i], want[i])
+		}
+	}
+}
+
+// TestMigrationRejectsUnknownSession: ordering a migration for a
+// client that is not resident is a 404, and a stale resume token is
+// rejected at handshake.
+func TestMigrationOrderValidation(t *testing.T) {
+	dep, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	if _, err := dep.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	admin := httptest.NewServer(dep.Server.AdminHandler())
+	defer admin.Close()
+
+	order, _ := json.Marshal(fleet.MigrateOrder{
+		ClientID: "ghost", TargetAddr: "x", TargetAdmin: "http://x", Token: 1,
+	})
+	resp, err := http.Post(admin.URL+"/admin/migrate", "application/json", bytes.NewReader(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost order: %s, want 404", resp.Status)
+	}
+
+	// Missing fields are a 400.
+	resp, err = http.Post(admin.URL+"/admin/migrate", "application/json", bytes.NewReader([]byte(`{}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty order: %s, want 400", resp.Status)
+	}
+}

@@ -1,0 +1,432 @@
+// Controller is the polling control plane behind menos-fleetd: it
+// scrapes N real servers' /healthz and /loadz endpoints into the same
+// ServerLoad rows a Placer consumes, hands arriving clients a server
+// (redirect placement), and drives live migrations through the
+// servers' admin plane. It is the wall-clock counterpart of Manager:
+// where Manager owns authoritative bookkeeping inside one process,
+// the Controller treats the servers themselves as the source of truth
+// and rebuilds its world every PollOnce.
+//
+// Like the rest of the package, the Controller has no goroutines and
+// no time source: PollOnce and RebalanceOnce are explicit ticks the
+// daemon (or a test) calls, so the decision sequence is replayable.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"menos/internal/obs"
+	"menos/internal/split"
+)
+
+// Endpoint names one server the Controller manages.
+type Endpoint struct {
+	// ID is the fleet identity the server was started with
+	// (-server-id); /healthz must echo it back.
+	ID int `json:"id"`
+	// Addr is the split-protocol address clients dial.
+	Addr string `json:"addr"`
+	// MetricsURL is the base URL serving /healthz and /loadz.
+	MetricsURL string `json:"metrics_url"`
+	// AdminURL is the base URL serving /admin/*.
+	AdminURL string `json:"admin_url"`
+}
+
+// ControllerConfig configures a Controller.
+type ControllerConfig struct {
+	Endpoints []Endpoint
+	// Placer decides placements and rebalance targets; nil means
+	// DefaultPolicy().
+	Placer Placer
+	// HTTP is the polling client; nil means a 5-second timeout.
+	HTTP *http.Client
+	// Metrics receives the menos_fleetd_* families (nil-safe).
+	Metrics *obs.Registry
+	// TokenSeed randomizes resume tokens so a restarted fleetd does
+	// not mint tokens colliding with snapshots staged by its previous
+	// life. Zero means 1.
+	TokenSeed uint64
+	// Logf receives orchestration logs (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// endpointState is the Controller's last observation of one server.
+type endpointState struct {
+	ep           Endpoint
+	polled       bool
+	healthy      bool
+	lastErr      string
+	reportedID   int
+	reportedAddr string
+	atSeconds    float64
+	load         ServerLoad
+	clients      []obs.ClientUsage
+	draining     bool
+}
+
+// Controller polls a fixed set of server endpoints and makes
+// placement and migration decisions over what it saw.
+type Controller struct {
+	placer Placer
+	http   *http.Client
+	logf   func(string, ...any)
+
+	mu        sync.Mutex
+	eps       map[int]*endpointState
+	order     []int
+	nextToken uint64
+
+	mPolls       *obs.Counter
+	mPollErrors  *obs.Counter
+	mHealthy     *obs.Gauge
+	mPlacements  *obs.Counter
+	mMigrations  *obs.Counter
+	mMigFailures *obs.Counter
+	mIdentity    *obs.Counter
+}
+
+// NewController builds a Controller. Endpoint IDs must be unique.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	c := &Controller{
+		placer:    cfg.Placer,
+		http:      cfg.HTTP,
+		logf:      cfg.Logf,
+		eps:       make(map[int]*endpointState, len(cfg.Endpoints)),
+		nextToken: cfg.TokenSeed,
+	}
+	if c.placer == nil {
+		c.placer = DefaultPolicy()
+	}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: 5 * time.Second}
+	}
+	if c.logf == nil {
+		c.logf = func(string, ...any) {}
+	}
+	if c.nextToken == 0 {
+		c.nextToken = 1
+	}
+	for _, ep := range cfg.Endpoints {
+		if _, dup := c.eps[ep.ID]; dup {
+			return nil, fmt.Errorf("fleet: duplicate endpoint ID %d", ep.ID)
+		}
+		c.eps[ep.ID] = &endpointState{ep: ep}
+		c.order = append(c.order, ep.ID)
+	}
+	sort.Ints(c.order)
+	if reg := cfg.Metrics; reg != nil {
+		c.mPolls = reg.Counter(obs.MetricFleetdPolls, "server endpoint polls")
+		c.mPollErrors = reg.Counter(obs.MetricFleetdPollErrors, "failed endpoint polls")
+		c.mHealthy = reg.Gauge(obs.MetricFleetdServersHealthy, "endpoints whose last poll succeeded with matching identity")
+		c.mPlacements = reg.Counter(obs.MetricFleetdPlacements, "redirect placements handed to arriving clients")
+		c.mMigrations = reg.Counter(obs.MetricFleetdMigrations, "live migrations ordered successfully")
+		c.mMigFailures = reg.Counter(obs.MetricFleetdMigrationFailures, "migration orders the source server rejected")
+		c.mIdentity = reg.Counter(obs.MetricFleetdIdentityMismatch, "polls answered by a server other than the configured identity")
+	}
+	return c, nil
+}
+
+// healthzDoc is the subset of the /healthz body the Controller reads.
+type healthzDoc struct {
+	Status   string `json:"status"`
+	ServerID *int   `json:"server_id"`
+	Addr     string `json:"addr"`
+}
+
+// PollOnce scrapes every endpoint's /healthz and /loadz, in ID order.
+// A server is healthy when both answer and /healthz echoes the
+// configured identity; anything else marks it unhealthy until the
+// next poll (placements and migrations skip unhealthy servers). It
+// returns the number of healthy endpoints.
+func (c *Controller) PollOnce() int {
+	healthy := 0
+	for _, id := range c.order {
+		c.mu.Lock()
+		st := c.eps[id]
+		ep := st.ep
+		c.mu.Unlock()
+
+		ok, errStr, h, snap := c.pollEndpoint(ep)
+		c.mPolls.Inc()
+		if !ok {
+			c.mPollErrors.Inc()
+		}
+
+		c.mu.Lock()
+		st.polled = true
+		st.healthy = ok
+		st.lastErr = errStr
+		if h != nil {
+			if h.ServerID != nil {
+				st.reportedID = *h.ServerID
+			}
+			st.reportedAddr = h.Addr
+		}
+		if snap != nil {
+			st.atSeconds = snap.AtSeconds
+			st.load = snap.Server
+			st.load.ID = ep.ID
+			st.load.Draining = st.draining
+			st.clients = snap.Clients
+		}
+		if ok {
+			healthy++
+		}
+		c.mu.Unlock()
+		if !ok {
+			c.logf("poll server %d (%s): %s", ep.ID, ep.MetricsURL, errStr)
+		}
+	}
+	c.mHealthy.Set(int64(healthy))
+	return healthy
+}
+
+// pollEndpoint fetches one server's health and load documents.
+func (c *Controller) pollEndpoint(ep Endpoint) (ok bool, errStr string, h *healthzDoc, snap *LoadSnapshot) {
+	h = &healthzDoc{}
+	if err := c.getJSON(ep.MetricsURL+"/healthz", h); err != nil {
+		return false, "healthz: " + err.Error(), nil, nil
+	}
+	if h.Status != "ok" {
+		return false, "healthz status " + h.Status, h, nil
+	}
+	if h.ServerID == nil || *h.ServerID != ep.ID {
+		got := "absent"
+		if h.ServerID != nil {
+			got = fmt.Sprint(*h.ServerID)
+		}
+		c.mIdentity.Inc()
+		return false, fmt.Sprintf("identity mismatch: configured server %d, endpoint reports %s", ep.ID, got), h, nil
+	}
+	snap = &LoadSnapshot{}
+	if err := c.getJSON(ep.MetricsURL+"/loadz", snap); err != nil {
+		return false, "loadz: " + err.Error(), h, nil
+	}
+	return true, "", h, snap
+}
+
+func (c *Controller) getJSON(url string, into any) error {
+	resp, err := c.http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(into)
+}
+
+// Loads returns the last-polled ServerLoad rows of healthy endpoints,
+// in ID order — the candidate set for placement.
+func (c *Controller) Loads() []ServerLoad {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	loads := make([]ServerLoad, 0, len(c.order))
+	for _, id := range c.order {
+		if st := c.eps[id]; st.healthy {
+			loads = append(loads, st.load)
+		}
+	}
+	return loads
+}
+
+// Endpoint returns the configured endpoint for server id.
+func (c *Controller) Endpoint(id int) (Endpoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.eps[id]
+	if !ok {
+		return Endpoint{}, false
+	}
+	return st.ep, true
+}
+
+// PlaceClient picks a healthy server for an arriving client and
+// returns its endpoint — the address the client should dial. The
+// decision is advisory (the Controller keeps no assignment table);
+// the chosen server's own /loadz reflects the placement once the
+// client connects, closing the loop at the next poll.
+func (c *Controller) PlaceClient(ci ClientInfo) (Endpoint, error) {
+	id, err := c.placer.Place(ci, c.Loads())
+	if err != nil {
+		return Endpoint{}, err
+	}
+	ep, ok := c.Endpoint(id)
+	if !ok {
+		return Endpoint{}, fmt.Errorf("fleet: placer %s chose unknown server %d", c.placer.Name(), id)
+	}
+	c.mPlacements.Inc()
+	c.logf("placed client %q on server %d (%s)", ci.ID, id, ep.Addr)
+	return ep, nil
+}
+
+// Drain marks an endpoint as draining: it stops being a placement
+// candidate and RebalanceOnce evacuates its clients. Drain is fleetd
+// intent, not server state — the server keeps serving until its
+// clients have been migrated away.
+func (c *Controller) Drain(id int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.eps[id]
+	if !ok {
+		return fmt.Errorf("fleet: drain: unknown server %d", id)
+	}
+	st.draining = true
+	st.load.Draining = true
+	return nil
+}
+
+// MigrateClient orders the live migration of clientID from server src
+// to server dst: it mints a resume token and POSTs a MigrateOrder to
+// src's admin plane. The servers execute the actual transfer at the
+// client's next iteration boundary.
+func (c *Controller) MigrateClient(clientID string, src, dst int) error {
+	c.mu.Lock()
+	srcSt, okSrc := c.eps[src]
+	dstSt, okDst := c.eps[dst]
+	token := c.nextToken
+	c.nextToken++
+	c.mu.Unlock()
+	if !okSrc || !okDst {
+		return fmt.Errorf("fleet: migrate %q: unknown server pair %d -> %d", clientID, src, dst)
+	}
+	ord, err := json.Marshal(MigrateOrder{
+		ClientID:    clientID,
+		TargetAddr:  dstSt.ep.Addr,
+		TargetAdmin: dstSt.ep.AdminURL,
+		Token:       token,
+	})
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Post(strings.TrimRight(srcSt.ep.AdminURL, "/")+"/admin/migrate",
+		"application/json", bytes.NewReader(ord))
+	if err != nil {
+		c.mMigFailures.Inc()
+		return fmt.Errorf("fleet: migrate %q: %w", clientID, err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		c.mMigFailures.Inc()
+		return fmt.Errorf("fleet: migrate %q: server %d said %s: %s",
+			clientID, src, resp.Status, strings.TrimSpace(string(body)))
+	}
+	c.mMigrations.Inc()
+	c.logf("ordered migration of %q: server %d -> %d (token %d)", clientID, src, dst, token)
+	return nil
+}
+
+// RebalanceOnce makes at most one migration decision over the last
+// poll: evacuate a draining server, or move one client from the most
+// to the least crowded server when the move is a strict improvement
+// (the target must end up with fewer clients than the source has now,
+// which damps oscillation). Only clients that negotiated the
+// migration feature are candidates. It returns whether an order was
+// issued.
+func (c *Controller) RebalanceOnce() (bool, error) {
+	c.mu.Lock()
+	var src, dst *endpointState
+	for _, id := range c.order {
+		st := c.eps[id]
+		if !st.healthy {
+			continue
+		}
+		if st.draining {
+			if st.load.Clients > 0 && src == nil {
+				src = st
+			}
+			continue
+		}
+		if src == nil || (!src.draining && st.load.Clients > src.load.Clients) {
+			if st.load.Clients > 0 {
+				src = st
+			}
+		}
+		if dst == nil || st.load.Clients < dst.load.Clients {
+			dst = st
+		}
+	}
+	c.mu.Unlock()
+	if src == nil || dst == nil || src.ep.ID == dst.ep.ID {
+		return false, nil
+	}
+	if !src.draining && dst.load.Clients+1 >= src.load.Clients {
+		return false, nil
+	}
+
+	// Pick the migratable session with the lowest client ID —
+	// deterministic given the same polled state.
+	var sessions []SessionInfo
+	if err := c.getJSON(strings.TrimRight(src.ep.AdminURL, "/")+"/admin/sessions", &sessions); err != nil {
+		return false, fmt.Errorf("fleet: rebalance: sessions of server %d: %w", src.ep.ID, err)
+	}
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ClientID < sessions[j].ClientID })
+	for _, s := range sessions {
+		if s.Migrating || s.Features&split.FeatureMigration == 0 {
+			continue
+		}
+		if err := c.MigrateClient(s.ClientID, src.ep.ID, dst.ep.ID); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// FleetServer is one server's row in a FleetSnapshot.
+type FleetServer struct {
+	Endpoint     Endpoint          `json:"endpoint"`
+	Polled       bool              `json:"polled"`
+	Healthy      bool              `json:"healthy"`
+	Error        string            `json:"error,omitempty"`
+	ReportedID   int               `json:"reported_id"`
+	ReportedAddr string            `json:"reported_addr,omitempty"`
+	Draining     bool              `json:"draining,omitempty"`
+	AtSeconds    float64           `json:"at_seconds"`
+	Load         ServerLoad        `json:"load"`
+	Clients      []obs.ClientUsage `json:"clients,omitempty"`
+}
+
+// FleetSnapshot is the document menos-fleetd serves at /fleetz: the
+// whole fleet as the controller last saw it. menos-top -fleetd renders
+// it; the JSON tags are its wire schema.
+type FleetSnapshot struct {
+	Policy  string        `json:"policy"`
+	Servers []FleetServer `json:"servers"`
+}
+
+// Snapshot assembles the /fleetz document.
+func (c *Controller) Snapshot() FleetSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := FleetSnapshot{Policy: c.placer.Name()}
+	if p, ok := c.placer.(*PolicyPlacer); ok {
+		snap.Policy = p.Describe()
+	}
+	for _, id := range c.order {
+		st := c.eps[id]
+		snap.Servers = append(snap.Servers, FleetServer{
+			Endpoint:     st.ep,
+			Polled:       st.polled,
+			Healthy:      st.healthy,
+			Error:        st.lastErr,
+			ReportedID:   st.reportedID,
+			ReportedAddr: st.reportedAddr,
+			Draining:     st.draining,
+			AtSeconds:    st.atSeconds,
+			Load:         st.load,
+			Clients:      st.clients,
+		})
+	}
+	return snap
+}

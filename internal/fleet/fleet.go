@@ -248,6 +248,8 @@ func PlacerByName(name string) (Placer, error) {
 		return NewLeastLoaded(), nil
 	case "memory-best-fit":
 		return NewMemoryBestFit(), nil
+	case "policy":
+		return DefaultPolicy(), nil
 	default:
 		return nil, fmt.Errorf("fleet: unknown placer %q", name)
 	}

@@ -18,15 +18,39 @@ type Optimizer interface {
 	StateBytes() int64
 }
 
+// SnapshottableOptimizer exposes the per-parameter state an optimizer
+// keeps between steps, so a checkpoint (or a live migration) can carry
+// the full training state: a restored session must resume bit-exactly,
+// which for Adam means both moment buffers and the bias-correction
+// step count travel with the adapter weights.
+type SnapshottableOptimizer interface {
+	Optimizer
+	// StateSlots returns the optimizer's state tensors for p in a fixed
+	// order (Adam: first and second moments; SGD: velocity when
+	// momentum is enabled). Absent slots are created zeroed — identical
+	// to the lazy initialization Step performs — so a restore can write
+	// into them before the first step.
+	StateSlots(p Param) []*tensor.Tensor
+	// StepCount is the number of Step calls applied so far (Adam bias
+	// correction depends on it; SGD reports it for symmetry).
+	StepCount() int64
+	// SetStepCount overwrites the step counter during a restore.
+	SetStepCount(n int64)
+}
+
 // SGD is plain stochastic gradient descent with optional momentum.
 type SGD struct {
 	LR       float64
 	Momentum float64
 
+	step     int64
 	velocity map[*tensor.Tensor]*tensor.Tensor
 }
 
-var _ Optimizer = (*SGD)(nil)
+var (
+	_ Optimizer              = (*SGD)(nil)
+	_ SnapshottableOptimizer = (*SGD)(nil)
+)
 
 // NewSGD creates an SGD optimizer.
 func NewSGD(lr, momentum float64) *SGD {
@@ -39,6 +63,7 @@ func NewSGD(lr, momentum float64) *SGD {
 
 // Step applies v = mu*v + g; p -= lr*v (or p -= lr*g without momentum).
 func (o *SGD) Step(params []Param) error {
+	o.step++
 	for _, p := range params {
 		if p.Value == nil || p.Grad == nil {
 			return fmt.Errorf("sgd: parameter %q has nil value or grad", p.Name)
@@ -73,6 +98,26 @@ func (o *SGD) StateBytes() int64 {
 	return b
 }
 
+// StateSlots implements SnapshottableOptimizer: the velocity buffer
+// when momentum is enabled, nothing otherwise.
+func (o *SGD) StateSlots(p Param) []*tensor.Tensor {
+	if o.Momentum == 0 || p.Value == nil {
+		return nil
+	}
+	v, ok := o.velocity[p.Value]
+	if !ok {
+		v = tensor.New(p.Value.Shape()...)
+		o.velocity[p.Value] = v
+	}
+	return []*tensor.Tensor{v}
+}
+
+// StepCount implements SnapshottableOptimizer.
+func (o *SGD) StepCount() int64 { return o.step }
+
+// SetStepCount implements SnapshottableOptimizer.
+func (o *SGD) SetStepCount(n int64) { o.step = n }
+
 // Adam implements the Adam optimizer with bias correction; the default
 // hyperparameters match PyTorch's.
 type Adam struct {
@@ -82,12 +127,15 @@ type Adam struct {
 	Eps         float64
 	WeightDecay float64 // decoupled (AdamW-style) when non-zero
 
-	step int
+	step int64
 	m    map[*tensor.Tensor]*tensor.Tensor
 	v    map[*tensor.Tensor]*tensor.Tensor
 }
 
-var _ Optimizer = (*Adam)(nil)
+var (
+	_ Optimizer              = (*Adam)(nil)
+	_ SnapshottableOptimizer = (*Adam)(nil)
+)
 
 // NewAdam creates an Adam optimizer with standard betas (0.9, 0.999).
 func NewAdam(lr float64) *Adam {
@@ -134,6 +182,27 @@ func (o *Adam) Step(params []Param) error {
 	}
 	return nil
 }
+
+// StateSlots implements SnapshottableOptimizer: the first and second
+// moment buffers, in that order.
+func (o *Adam) StateSlots(p Param) []*tensor.Tensor {
+	if p.Value == nil {
+		return nil
+	}
+	m, ok := o.m[p.Value]
+	if !ok {
+		m = tensor.New(p.Value.Shape()...)
+		o.m[p.Value] = m
+		o.v[p.Value] = tensor.New(p.Value.Shape()...)
+	}
+	return []*tensor.Tensor{m, o.v[p.Value]}
+}
+
+// StepCount implements SnapshottableOptimizer.
+func (o *Adam) StepCount() int64 { return o.step }
+
+// SetStepCount implements SnapshottableOptimizer.
+func (o *Adam) SetStepCount(n int64) { o.step = n }
 
 // StateBytes reports first+second moment buffer bytes (the 𝕆 term).
 func (o *Adam) StateBytes() int64 {

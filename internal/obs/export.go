@@ -257,6 +257,7 @@ type HandlerOption func(*handlerOpts)
 type handlerOpts struct {
 	admission func() string
 	loadz     func() any
+	identity  func() (id int, addr string)
 	pprof     bool
 }
 
@@ -272,6 +273,17 @@ func WithAdmission(f func() string) HandlerOption {
 // surface for placement controllers and menos-top.
 func WithLoadz(f func() any) HandlerOption {
 	return func(o *handlerOpts) { o.loadz = f }
+}
+
+// WithIdentity stamps /healthz with the process's fleet identity —
+// its ServerID and listen address. A control plane polling health
+// through a fixed port uses these to detect that a *different* server
+// now answers there (a restart lost all sessions; a port remap points
+// at another instance entirely) instead of trusting "status: ok" from
+// a stranger. f is called per request: the listen address is only
+// known after the listener binds.
+func WithIdentity(f func() (id int, addr string)) HandlerOption {
+	return func(o *handlerOpts) { o.identity = f }
 }
 
 // WithPprof mounts the net/http/pprof handlers under /debug/pprof/ on
@@ -291,6 +303,8 @@ type healthJSON struct {
 	VCSRevision    string  `json:"vcs_revision,omitempty"`
 	VCSTime        string  `json:"vcs_time,omitempty"`
 	AdmissionState string  `json:"admission_state,omitempty"`
+	ServerID       *int    `json:"server_id,omitempty"`
+	Addr           string  `json:"addr,omitempty"`
 }
 
 // buildDetails reads the binary's build metadata once at handler
@@ -412,6 +426,11 @@ func Handler(reg *Registry, tracer *Tracer, opts ...HandlerOption) http.Handler 
 		}
 		if ho.admission != nil {
 			h.AdmissionState = ho.admission()
+		}
+		if ho.identity != nil {
+			id, addr := ho.identity()
+			h.ServerID = &id
+			h.Addr = addr
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(h)

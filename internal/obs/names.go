@@ -56,6 +56,15 @@ const (
 	MetricServerWaitSeconds    = "menos_server_sched_wait_seconds"
 	MetricServerActiveClients  = "menos_server_active_clients"
 
+	// Live migration (internal/server admin plane, docs/FLEET.md).
+	// "Out" counts sessions this server snapshotted and redirected
+	// away; "in" counts sessions resumed here from a staged snapshot;
+	// "aborted" counts orders that failed mid-flight (the session keeps
+	// serving where it is).
+	MetricServerMigrationsOut     = "menos_server_migrations_out_total"
+	MetricServerMigrationsIn      = "menos_server_migrations_in_total"
+	MetricServerMigrationsAborted = "menos_server_migrations_aborted_total"
+
 	// Client plane (internal/client).
 	MetricClientIterations  = "menos_client_iterations_total"
 	MetricClientCommSeconds = "menos_client_comm_seconds"
@@ -87,4 +96,17 @@ const (
 	MetricFleetServers     = "menos_fleet_servers"
 	MetricFleetScaleEvents = "menos_fleet_scale_events_total"
 	MetricFleetImbalance   = "menos_fleet_imbalance_ratio"
+
+	// Control-plane daemon (cmd/menos-fleetd, docs/FLEET.md). The
+	// daemon re-exports its embedded fleet.Manager's menos_fleet_*
+	// families and adds its own orchestration counters: poll outcomes,
+	// redirect placements handed to arriving clients, and live
+	// migrations it drove to completion (or lost).
+	MetricFleetdPolls             = "menos_fleetd_polls_total"
+	MetricFleetdPollErrors        = "menos_fleetd_poll_errors_total"
+	MetricFleetdServersHealthy    = "menos_fleetd_servers_healthy"
+	MetricFleetdPlacements        = "menos_fleetd_placements_total"
+	MetricFleetdMigrations        = "menos_fleetd_migrations_total"
+	MetricFleetdMigrationFailures = "menos_fleetd_migration_failures_total"
+	MetricFleetdIdentityMismatch  = "menos_fleetd_identity_mismatches_total"
 )

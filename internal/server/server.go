@@ -16,6 +16,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"menos/internal/checkpoint"
+	"menos/internal/fleet"
 	"menos/internal/gpu"
 	"menos/internal/model"
 	"menos/internal/nn"
@@ -100,8 +102,16 @@ type Server struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	sessions  map[string]*session
-	closed    bool
-	wg        sync.WaitGroup
+	// pendingMig holds migration orders accepted by the admin plane,
+	// keyed by client; the serving goroutine claims its order at the
+	// next ForwardReq boundary.
+	pendingMig map[string]fleet.MigrateOrder
+	// staged holds session snapshots parked here by a source server
+	// (POST /admin/prepare), keyed by resume token, until the migrated
+	// client redials.
+	staged map[uint64]*stagedSession
+	closed bool
+	wg     sync.WaitGroup
 
 	// stats are atomics rather than a second mutex: serving goroutines
 	// update them while holding no locks, so there is no lock ordering
@@ -120,12 +130,15 @@ type Server struct {
 // serverMetrics are the serving plane's telemetry handles; the zero
 // value (nil handles) is valid and free.
 type serverMetrics struct {
-	admitted   *obs.Counter
-	rejected   *obs.Counter
-	iterations *obs.Counter
-	compute    *obs.Histogram
-	schedWait  *obs.Histogram
-	active     *obs.Gauge
+	admitted          *obs.Counter
+	rejected          *obs.Counter
+	iterations        *obs.Counter
+	compute           *obs.Histogram
+	schedWait         *obs.Histogram
+	active            *obs.Gauge
+	migrationsOut     *obs.Counter
+	migrationsIn      *obs.Counter
+	migrationsAborted *obs.Counter
 }
 
 // New creates a server over the shared store. The store's base
@@ -148,14 +161,16 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: loading base model: %w", err)
 	}
 	s := &Server{
-		cfg:       cfg,
-		store:     cfg.Store,
-		device:    cfg.GPU,
-		scheduler: sched.New(cfg.GPU.Available(), cfg.SchedPolicy),
-		clock:     obs.NewWallClock(),
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
-		sessions:  make(map[string]*session),
+		cfg:        cfg,
+		store:      cfg.Store,
+		device:     cfg.GPU,
+		scheduler:  sched.New(cfg.GPU.Available(), cfg.SchedPolicy),
+		clock:      obs.NewWallClock(),
+		listeners:  make(map[net.Listener]struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		sessions:   make(map[string]*session),
+		pendingMig: make(map[string]fleet.MigrateOrder),
+		staged:     make(map[uint64]*stagedSession),
 	}
 	if cfg.Metrics != nil {
 		s.scheduler.Instrument(cfg.Metrics, s.clock)
@@ -187,6 +202,10 @@ func New(cfg Config) (*Server, error) {
 			compute:    cfg.Metrics.Histogram(obs.MetricServerComputeSeconds, obs.DurationBuckets(), "server-side compute per request"),
 			schedWait:  cfg.Metrics.Histogram(obs.MetricServerWaitSeconds, obs.DurationBuckets(), "scheduler grant wait per request"),
 			active:     cfg.Metrics.Gauge(obs.MetricServerActiveClients, "clients currently connected and admitted"),
+
+			migrationsOut:     cfg.Metrics.Counter(obs.MetricServerMigrationsOut, "sessions snapshotted and redirected to another server"),
+			migrationsIn:      cfg.Metrics.Counter(obs.MetricServerMigrationsIn, "sessions resumed here from a staged snapshot"),
+			migrationsAborted: cfg.Metrics.Counter(obs.MetricServerMigrationsAborted, "migration orders that failed mid-flight"),
 		}
 		cfg.Metrics.Gauge(obs.MetricTensorPoolWorkers, "tensor worker-pool parallelism").Set(int64(tensor.Parallelism()))
 	}
@@ -353,6 +372,19 @@ func (s *Server) handleConn(rawConn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case *split.ForwardReq:
+			// A pending migration order executes here, at the clean
+			// iteration boundary: the previous backward has been applied
+			// and this forward has not been served, so the client can
+			// replay it against the target without losing an iteration.
+			if ord, ok := s.takePendingMigration(sess); ok {
+				if err := s.executeMigration(conn, sess, ord); err != nil {
+					s.m.migrationsAborted.Inc()
+					s.logf("client %q: migration to %s aborted: %v", sess.id, ord.TargetAddr, err)
+					// Fall through: the session keeps serving here.
+				} else {
+					return
+				}
+			}
 			if err := s.serveForward(conn, sess, m); err != nil {
 				var ov *sched.OverloadError
 				if errors.As(err, &ov) {
@@ -467,10 +499,28 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	}
 	// Feature negotiation: accept the intersection of the client's
 	// offer and what this server supports. Trace context is only
-	// useful (and only acked) when a tracer is wired.
+	// useful (and only acked) when a tracer is wired; migration is
+	// always supported (the admin plane may simply never order one).
 	var features uint64
 	if s.cfg.Tracer != nil {
 		features = hello.Features & split.FeatureTraceContext
+	}
+	features |= hello.Features & split.FeatureMigration
+
+	// A resuming redial must find its staged snapshot before any state
+	// is built; claiming it early also keeps a bad token from leaking
+	// an instance.
+	var staged *stagedSession
+	if hello.ResumeToken != 0 {
+		staged = s.takeStaged(hello.ResumeToken)
+		if staged == nil {
+			cleanup()
+			return reject(fmt.Sprintf("unknown resume token %d", hello.ResumeToken))
+		}
+		if staged.clientID != hello.ClientID {
+			cleanup()
+			return reject(fmt.Sprintf("resume token %d was staged for another client", hello.ResumeToken))
+		}
 	}
 	sess := &session{
 		id:       hello.ClientID,
@@ -525,6 +575,20 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 			demands.BackwardBytes, s.scheduler.Available()+persistent))
 	}
 
+	// Restore a migrated session after profiling: MeasureBody leaves
+	// zeroed gradients behind, so the snapshot's values, grads,
+	// optimizer slots and step count land on a clean slate and the
+	// client resumes bit-exactly where the source server left off.
+	if staged != nil {
+		if err := checkpoint.DecodeSession(staged.data, sess.params, sess.optimizer); err != nil {
+			releaseReservation()
+			cleanup()
+			return reject(fmt.Sprintf("resume restore failed: %v", err))
+		}
+		s.m.migrationsIn.Inc()
+		s.logf("client %q: session resumed from snapshot (%d bytes)", sess.id, len(staged.data))
+	}
+
 	if err := split.WriteMessage(conn, &split.HelloAck{
 		OK:            true,
 		ForwardBytes:  demands.ForwardBytes,
@@ -550,6 +614,8 @@ func (s *Server) teardown(sess *session) {
 	s.mu.Lock()
 	if s.sessions[sess.id] == sess {
 		delete(s.sessions, sess.id)
+		// An unexecuted migration order dies with the session.
+		delete(s.pendingMig, sess.id)
 	}
 	s.mu.Unlock()
 	s.m.active.Add(-1)

@@ -30,6 +30,14 @@ type Hello struct {
 	// a VersionExt tail, so it is only on the wire when nonzero; an
 	// old server never sees it and an old client never sends it.
 	Features uint64
+
+	// ResumeToken resumes a migrated session: it carries the token from
+	// the Migrate redirect so the target server can match this dial to
+	// the session snapshot the control plane staged for it. Appended to
+	// the ext tail only when nonzero — a fresh dial's Hello stays
+	// byte-identical to its pre-migration form, and only servers that
+	// advertise FeatureMigration ever receive one.
+	ResumeToken uint64
 }
 
 // MsgType implements Message.
@@ -59,9 +67,23 @@ func (m *Hello) decode(d *decoder) {
 	m.AdapterSeed = d.u64()
 }
 
-func (m *Hello) extPresent() bool     { return m.Features != 0 }
-func (m *Hello) encodeExt(e *encoder) { e.u64(m.Features) }
-func (m *Hello) decodeExt(d *decoder) { m.Features = d.u64() }
+func (m *Hello) extPresent() bool { return m.Features != 0 || m.ResumeToken != 0 }
+
+func (m *Hello) encodeExt(e *encoder) {
+	e.u64(m.Features)
+	if m.ResumeToken != 0 {
+		e.u64(m.ResumeToken)
+	}
+}
+
+func (m *Hello) decodeExt(d *decoder) {
+	m.Features = d.u64()
+	// ResumeToken was appended to the ext tail after Features shipped;
+	// decode it only when bytes remain so older frames stay valid.
+	if d.err == nil && d.off < len(d.buf) {
+		m.ResumeToken = d.u64()
+	}
+}
 
 func encodeSpec(e *encoder, s adapter.Spec) {
 	e.u8(uint8(s.Kind))
@@ -314,6 +336,34 @@ var (
 	_ extMessage = (*BackwardReq)(nil)
 	_ extMessage = (*BackwardResp)(nil)
 )
+
+// MigrateMsg redirects the client to another server. Sent in place of
+// a ForwardResp when the control plane has moved the session (the
+// displaced ForwardReq is replayed against the target, so the
+// iteration is not lost), and only on sessions that negotiated
+// FeatureMigration. Target is the new server's dial address; Token
+// must be presented in the redial's Hello.ResumeToken so the target
+// can match the connection to the staged session snapshot.
+type MigrateMsg struct {
+	Target string
+	Token  uint64
+}
+
+// MsgType implements Message.
+func (*MigrateMsg) MsgType() MsgType { return TypeMigrate }
+
+func (m *MigrateMsg) encode(e *encoder) {
+	e.str(m.Target)
+	e.u64(m.Token)
+}
+
+func (m *MigrateMsg) decode(d *decoder) {
+	m.Target = d.str()
+	m.Token = d.u64()
+}
+
+// Interface conformance.
+var _ Message = (*MigrateMsg)(nil)
 
 // DecodeOpen starts an incremental (KV-cached) split decoding session
 // for up to Capacity positions. The server reserves the body-side KV

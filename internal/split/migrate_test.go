@@ -1,0 +1,79 @@
+package split
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMigrateMsgRoundTrip(t *testing.T) {
+	m := &MigrateMsg{Target: "127.0.0.1:7411", Token: 0xdeadbeefcafe}
+	got, ok := roundTrip(t, m).(*MigrateMsg)
+	if !ok {
+		t.Fatalf("round trip returned %T", got)
+	}
+	if got.Target != m.Target || got.Token != m.Token {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+// TestHelloResumeTokenRoundTrip: a redial Hello carries the migration
+// token in its ext tail and survives the trip.
+func TestHelloResumeTokenRoundTrip(t *testing.T) {
+	m := &Hello{
+		ClientID:    "c1",
+		ModelName:   "m",
+		Features:    FeatureTraceContext | FeatureMigration,
+		ResumeToken: 0xabc123,
+	}
+	raw := encodeFrame(t, m)
+	if raw[2] != VersionExt {
+		t.Fatalf("version byte %d, want %d", raw[2], VersionExt)
+	}
+	got, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := got.(*Hello)
+	if h.Features != m.Features || h.ResumeToken != m.ResumeToken {
+		t.Fatalf("got features=%x token=%x, want %x/%x",
+			h.Features, h.ResumeToken, m.Features, m.ResumeToken)
+	}
+}
+
+// TestHelloResumeTokenWithoutFeatures: the token alone forces the ext
+// tail (Features rides along as zero).
+func TestHelloResumeTokenWithoutFeatures(t *testing.T) {
+	m := &Hello{ClientID: "c1", ModelName: "m", ResumeToken: 7}
+	raw := encodeFrame(t, m)
+	if raw[2] != VersionExt {
+		t.Fatalf("version byte %d, want %d", raw[2], VersionExt)
+	}
+	h := mustRead(t, raw).(*Hello)
+	if h.Features != 0 || h.ResumeToken != 7 {
+		t.Fatalf("got features=%x token=%x, want 0/7", h.Features, h.ResumeToken)
+	}
+}
+
+// TestHelloShortExtTailStillDecodes is the interop pin for the tail
+// extension: a Hello whose ext carries only Features (the pre-
+// migration wire form) must still decode, with ResumeToken zero. This
+// is what a build from before the migration feature puts on the wire.
+func TestHelloShortExtTailStillDecodes(t *testing.T) {
+	// Build the old-style frame by hand: base payload + 8-byte tail.
+	m := &Hello{ClientID: "c1", ModelName: "m", Features: FeatureTraceContext}
+	raw := encodeFrame(t, m) // encoder omits ResumeToken when zero — the old form
+	h := mustRead(t, raw).(*Hello)
+	if h.Features != FeatureTraceContext || h.ResumeToken != 0 {
+		t.Fatalf("got features=%x token=%x, want %x/0",
+			h.Features, h.ResumeToken, FeatureTraceContext)
+	}
+}
+
+func mustRead(t *testing.T, raw []byte) Message {
+	t.Helper()
+	m, err := ReadMessage(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -47,6 +47,14 @@ const (
 	// span buffers share IDs (docs/OBSERVABILITY.md, "Distributed
 	// tracing").
 	FeatureTraceContext uint64 = 1 << 0
+
+	// FeatureMigration: the server may answer a ForwardReq with a
+	// Migrate frame redirecting the client to another server. The
+	// client's session state travels out of band over the control
+	// plane; the client redials the target with the Migrate token in
+	// Hello.ResumeToken and replays the forward the redirect displaced,
+	// so no iteration is lost (docs/FLEET.md, "Live migration").
+	FeatureMigration uint64 = 1 << 1
 )
 
 // Errors reported by the codec.
@@ -74,6 +82,7 @@ const (
 	TypeDecodeReq
 	TypeDecodeResp
 	TypeDecodeClose
+	TypeMigrate
 )
 
 // String returns the message type name.
@@ -105,6 +114,8 @@ func (t MsgType) String() string {
 		return "decode-resp"
 	case TypeDecodeClose:
 		return "decode-close"
+	case TypeMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("type(%d)", int(t))
 	}
@@ -230,6 +241,8 @@ func newMessage(t MsgType) (Message, error) {
 		return &DecodeResp{}, nil
 	case TypeDecodeClose:
 		return &DecodeClose{}, nil
+	case TypeMigrate:
+		return &MigrateMsg{}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrBadFrame, int(t))
 	}
