@@ -12,10 +12,10 @@ test:
 # tensor worker pool and scratch arena, the model plane that hammers
 # them from concurrent training loops, the metrics registry and ring
 # tracer, the wire protocol (version interop), the scheduler (including
-# admission-control state flips), the fleet manager, the TCP serving
-# loop and the simulator that drives them.
+# admission-control state flips), the batch-formation engine, the fleet
+# manager, the TCP serving loop and the simulator that drives them.
 test-race:
-	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/fleet ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/batch ./internal/fleet ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,14 +8,17 @@
 //
 // -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
 // fig8, fig9, fig10, table1, table2, table3, ablations, extensions,
-// overload, fleet. By default all run except overload and fleet, which
-// deliberately saturate the scheduler (docs/ADMISSION.md,
-// docs/FLEET.md) and must be requested explicitly.
+// overload, fleet, multilora. By default all run except overload and
+// fleet, which deliberately saturate the scheduler (docs/ADMISSION.md,
+// docs/FLEET.md), and multilora, which sweeps batched multi-LoRA
+// serving (docs/BATCHING.md); all three must be requested explicitly.
 //
 // -trace-out runs one traced Menos simulation and writes its spans as
 // Chrome trace-event JSON (load in chrome://tracing or Perfetto); span
 // timestamps are virtual time. It also prints the parity check between
-// span category totals and the run's Breakdown.
+// span category totals and the run's Breakdown. Combined with
+// -only multilora the traced run uses the batched serving path, so the
+// dump shows batch formation (CI archives it when the smoke fails).
 package main
 
 import (
@@ -30,6 +33,8 @@ import (
 	"menos/internal/experiments"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
+	"menos/internal/sched"
+	"menos/internal/simnet"
 	"menos/internal/splitsim"
 	"menos/internal/trace"
 )
@@ -217,6 +222,19 @@ func run(args []string) error {
 		}
 	}
 
+	// The multi-LoRA batching sweep is opt-in (-only multilora): it runs
+	// clients×caps cells of batched serving (docs/BATCHING.md) to locate
+	// the batch-size-vs-latency knee, which the default artifact set
+	// does not need.
+	if *only == "multilora" {
+		ran = true
+		ml, err := experiments.MultiLoRASweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ml.Render())
+	}
+
 	// The fleet sweep is opt-in (-only fleet) for the same reason: it
 	// runs multi-server fleets past saturation to compare placement
 	// policies and the autoscaler (docs/FLEET.md).
@@ -231,7 +249,11 @@ func run(args []string) error {
 
 	if *traceOut != "" {
 		ran = true
-		if err := dumpTrace(*traceOut, opts); err != nil {
+		var pol *sched.BatchPolicy
+		if strings.EqualFold(*only, "multilora") {
+			pol = &sched.BatchPolicy{MaxSize: 8, MaxHold: experiments.MultiLoRAHold}
+		}
+		if err := dumpTrace(*traceOut, opts, pol); err != nil {
 			return err
 		}
 	}
@@ -245,15 +267,23 @@ func run(args []string) error {
 
 // dumpTrace runs one traced Menos simulation (the paper's OPT setup at
 // 6 clients), writes the spans as Chrome trace JSON, and prints the
-// span-vs-breakdown parity so the dump is self-validating.
-func dumpTrace(path string, opts experiments.Options) error {
+// span-vs-breakdown parity so the dump is self-validating. A non-nil
+// batch policy switches the run to batched serving on the multi-LoRA
+// sweep's server shape (docs/BATCHING.md).
+func dumpTrace(path string, opts experiments.Options, pol *sched.BatchPolicy) error {
 	tracer := obs.NewTracer(nil) // sim records spans with explicit virtual times
-	res, err := splitsim.Run(splitsim.Config{
+	cfg := splitsim.Config{
 		Mode:       splitsim.ModeMenos,
 		Clients:    splitsim.HomogeneousClients(6, memmodel.PaperOPTWorkload(), costmodel.ClientGPUPerf()),
 		Iterations: opts.Iterations,
 		Tracer:     tracer,
-	})
+	}
+	if pol != nil {
+		cfg.Batch = pol
+		cfg.GPUs = 4
+		cfg.LinkPreset = simnet.LANPreset
+	}
+	res, err := splitsim.Run(cfg)
 	if err != nil {
 		return fmt.Errorf("traced run: %w", err)
 	}

@@ -46,6 +46,8 @@ import (
 	"menos/internal/model"
 	"menos/internal/nn"
 	"menos/internal/obs"
+	"menos/internal/sched"
+	"menos/internal/simnet"
 	"menos/internal/splitsim"
 	"menos/internal/tensor"
 )
@@ -203,6 +205,16 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	}
 	rep.Metrics["train_step_seconds"] = stepSec
 	rep.Metrics["tensor_pool_workers"] = float64(tensor.Parallelism())
+	// Informational (never gated): one batched body step over 4 stacked
+	// LoRA tenants (docs/BATCHING.md) — the kernel path batched serving
+	// runs instead of 4 serial steps. Compare against 4×
+	// train_step_seconds within a runner class to see what per-row
+	// dispatch saves on this machine.
+	batchedSec, err := batchedStepSeconds(4)
+	if err != nil {
+		return Report{}, fmt.Errorf("batched-step benchmark: %w", err)
+	}
+	rep.Metrics["train_step_batched4_seconds"] = batchedSec
 
 	simReg := obs.NewRegistry()
 	sim, err := splitsim.Run(splitsim.Config{
@@ -218,6 +230,27 @@ func runBench(sha string, clients, steps int) (Report, error) {
 	rep.Metrics["sim_sched_wait_seconds_p50"] = wait.Quantile(0.50)
 	rep.Metrics["sim_time_seconds"] = sim.SimulatedTime.Seconds()
 	rep.Metrics["sim_avg_iteration_seconds"] = sim.AvgIterationTime().Seconds()
+
+	// Informational (never gated): batched-mode virtual-time run — 8
+	// lockstep tenants under a MaxSize-8 policy. batch_occupancy is the
+	// last dispatched batch's fill of the cap (1.0 = full); a drop means
+	// batch formation stopped coalescing, which shows up here before it
+	// shows up as lost throughput in the multilora sweep.
+	batchSimReg := obs.NewRegistry()
+	batchSim, err := splitsim.Run(splitsim.Config{
+		Mode:       splitsim.ModeMenos,
+		Clients:    splitsim.HomogeneousClients(8, memmodel.PaperOPTWorkload(), costmodel.ClientGPUPerf()),
+		Iterations: 8,
+		GPUs:       4,
+		LinkPreset: simnet.LANPreset,
+		Batch:      &sched.BatchPolicy{MaxSize: 8, MaxHold: 100 * time.Millisecond},
+		Metrics:    batchSimReg,
+	})
+	if err != nil {
+		return Report{}, fmt.Errorf("batched virtual-time benchmark: %w", err)
+	}
+	rep.Metrics["batch_occupancy"] = float64(batchSimReg.Gauge(obs.MetricBatchOccupancy).Value()) / 1000
+	rep.Metrics["sim_batched_time_seconds"] = batchSim.SimulatedTime.Seconds()
 	return rep, nil
 }
 
@@ -268,6 +301,74 @@ func trainStepSeconds() (float64, error) {
 			return 0, err
 		}
 		nn.ZeroGrads(params)
+		if step > 0 { // step 0 is the warm-up
+			elapsed += time.Since(start)
+		}
+	}
+	return elapsed.Seconds() / timedSteps, nil
+}
+
+// batchedStepSeconds times one batched body step — forward with grad,
+// backward, per-member Adam updates — over members stacked LoRA
+// tenants sharing one frozen opt-tiny base through per-row dispatch,
+// averaged like trainStepSeconds (one warm-up, then timed steps).
+func batchedStepSeconds(members int) (float64, error) {
+	m, err := model.New(tensor.NewRNG(7), model.OPTTiny())
+	if err != nil {
+		return 0, err
+	}
+	m.SetFrozenBase(true)
+	cfg := adapter.DefaultLoRA()
+	memberLayers := make([][]*adapter.LoRALinear, members)
+	params := make([][]nn.Param, members)
+	opts := make([]nn.Optimizer, members)
+	rows := make([]int, members)
+	inputs := make([]*tensor.Tensor, members)
+	dys := make([]*tensor.Tensor, members)
+	const batch, seq = 1, 16
+	for k := 0; k < members; k++ {
+		blocks := model.ShallowCloneBlocks(m.Blocks)
+		ad, err := adapter.InjectLoRA(tensor.NewRNG(uint64(40+k)), blocks, cfg)
+		if err != nil {
+			return 0, err
+		}
+		memberLayers[k] = ad.Layers()
+		params[k] = ad.Params()
+		opts[k] = nn.NewAdam(1e-3)
+		rows[k] = batch * seq
+		inputs[k] = tensor.NewNormal(tensor.NewRNG(uint64(50+k)), 1, rows[k], m.Cfg.Dim)
+		dys[k] = tensor.NewNormal(tensor.NewRNG(uint64(60+k)), 1, rows[k], m.Cfg.Dim)
+	}
+	blocks := model.ShallowCloneBlocks(m.Blocks)
+	if _, err := adapter.InjectMultiLoRA(blocks, cfg.Targets, memberLayers, rows); err != nil {
+		return 0, err
+	}
+	body := model.Body(blocks)
+	x, err := tensor.StackRows(inputs)
+	if err != nil {
+		return 0, err
+	}
+	dy, err := tensor.StackRows(dys)
+	if err != nil {
+		return 0, err
+	}
+	const timedSteps = 3
+	var elapsed time.Duration
+	for step := 0; step < timedSteps+1; step++ {
+		start := time.Now()
+		_, cache, err := body.Forward(x, batch*members, seq, true)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := body.Backward(cache, dy); err != nil {
+			return 0, err
+		}
+		for k := 0; k < members; k++ {
+			if err := opts[k].Step(params[k]); err != nil {
+				return 0, err
+			}
+			nn.ZeroGrads(params[k])
+		}
 		if step > 0 { // step 0 is the warm-up
 			elapsed += time.Since(start)
 		}

@@ -184,9 +184,9 @@ func run(args []string) error {
 		if *rebalance {
 			if moved, err := ctrl.RebalanceOnce(); err != nil {
 				logf("rebalance: %v", err)
-			} else if moved {
+			} else if moved > 0 {
 				// Re-poll soon: the fleet is in motion.
-				logf("rebalance: migration ordered")
+				logf("rebalance: %d migration(s) ordered", moved)
 			}
 		}
 		select {

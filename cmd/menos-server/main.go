@@ -7,8 +7,16 @@
 //
 //	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
 //	             [-gpu-gb 32] [-preserve] [-quiet]
+//	             [-batch-size N] [-batch-hold 2ms]
 //	             [-metrics-addr :9090] [-trace-buffer-mb 8]
 //	             [-flight-dir DIR] [-pprof] [-server-id 0]
+//
+// -batch-size enables cross-client batch formation: up to N compatible
+// LoRA iteration requests coalesce into one batched kernel invocation
+// over the shared base, each client keeping its own adapter via
+// per-row dispatch (docs/BATCHING.md). Results are bit-identical to
+// serial execution; -batch-hold bounds how long a partial batch waits
+// for co-tenants.
 //
 // With -metrics-addr set, a telemetry endpoint serves Prometheus text
 // on /metrics (per-tenant {client="..."} series included), JSON on
@@ -72,6 +80,8 @@ func run(args []string) error {
 	tenantCap := fs.Int("tenant-cap", 0, "max per-client metric series before aggregating into {client=\"other\"} (0 = default)")
 	sloP99 := fs.Duration("slo-p99", 0, "grant-wait p99 target enabling adaptive admission control (0 disables; see docs/ADMISSION.md)")
 	sloWindow := fs.Duration("slo-window", 0, "admission-control sliding window (default 8x the p99 target)")
+	batchSize := fs.Int("batch-size", 0, "coalesce up to this many compatible LoRA requests per kernel invocation (0 disables; incompatible with -preserve; see docs/BATCHING.md)")
+	batchHold := fs.Duration("batch-hold", 0, "how long batch formation waits for co-tenants to join (default sched.DefaultMaxHold)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +150,7 @@ func run(args []string) error {
 		WeightsFile:    *weights,
 		BaseQuant:      prec,
 		SLO:            sched.SLO{TargetP99: *sloP99, Window: *sloWindow},
+		Batch:          sched.BatchPolicy{MaxSize: *batchSize, MaxHold: *batchHold},
 		Logger:         logger,
 		Metrics:        reg,
 		Tracer:         tracer,

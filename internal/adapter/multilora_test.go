@@ -1,0 +1,293 @@
+package adapter
+
+import (
+	"fmt"
+	"testing"
+
+	"menos/internal/model"
+	"menos/internal/nn"
+	"menos/internal/tensor"
+)
+
+// multiFixture is K clients' serial bodies plus the shared master.
+type multiFixture struct {
+	master  *model.Transformer
+	cfg     LoRAConfig
+	adapter []*LoRAAdapter
+	body    []*model.BodySection
+	batch   []int
+	seq     int
+	dim     int
+}
+
+func newMultiFixture(t *testing.T, batches []int) *multiFixture {
+	t.Helper()
+	f := &multiFixture{
+		master: tinyModel(t, model.FamilyOPT),
+		cfg:    LoRAConfig{Rank: 2, Alpha: 4, Targets: []Target{TargetQ, TargetV}},
+		batch:  batches,
+		seq:    4,
+	}
+	f.dim = f.master.Cfg.Dim
+	f.master.SetFrozenBase(true)
+	for k := range batches {
+		blocks := model.ShallowCloneBlocks(f.master.Blocks)
+		ad, err := InjectLoRA(tensor.NewRNG(uint64(100+k)), blocks, f.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.adapter = append(f.adapter, ad)
+		f.body = append(f.body, model.Body(blocks))
+	}
+	return f
+}
+
+// layersOf collects the fixture's member layer lists for injection.
+func (f *multiFixture) layersOf() [][]*LoRALinear {
+	out := make([][]*LoRALinear, len(f.adapter))
+	for k, ad := range f.adapter {
+		out[k] = ad.Layers()
+	}
+	return out
+}
+
+// inputs builds each client's input and upstream gradient.
+func (f *multiFixture) inputs() (xs, dys []*tensor.Tensor) {
+	for k, b := range f.batch {
+		rows := b * f.seq
+		xs = append(xs, tensor.NewNormal(tensor.NewRNG(uint64(200+k)), 1, rows, f.dim))
+		dys = append(dys, tensor.NewNormal(tensor.NewRNG(uint64(300+k)), 1, rows, f.dim))
+	}
+	return xs, dys
+}
+
+// stackRows concatenates tensors row-wise.
+func stackRows(t *testing.T, parts []*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := tensor.StackRows(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func bitEqual(a, b *tensor.Tensor) bool {
+	da, db := a.Data(), b.Data()
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMultiLoRABitIdenticalToSerial is the determinism pin at the
+// model-section level: one batched forward/backward over K clients'
+// stacked microbatches must produce bit-identical outputs, input
+// gradients, adapter gradients, and (after one optimizer step)
+// adapter weights compared to K serial passes — at serial and at
+// full pool parallelism. Client losses are a pure function of the
+// body output and the client-held head, so output bit-equality is
+// loss bit-equality.
+func TestMultiLoRABitIdenticalToSerial(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism=%d", workers), func(t *testing.T) {
+			prev := tensor.Parallelism()
+			tensor.SetParallelism(workers)
+			defer tensor.SetParallelism(prev)
+
+			f := newMultiFixture(t, []int{1, 2, 1})
+			xs, dys := f.inputs()
+
+			// Serial reference: each client alone through its own body.
+			var serialY, serialDX []*tensor.Tensor
+			var serialGrads, serialWeights [][]*tensor.Tensor
+			for k, body := range f.body {
+				y, cache, err := body.Forward(xs[k], f.batch[k], f.seq, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dx, err := body.Backward(cache, dys[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				serialY = append(serialY, y.Clone())
+				serialDX = append(serialDX, dx.Clone())
+				params := f.adapter[k].Params()
+				var grads []*tensor.Tensor
+				for _, p := range params {
+					grads = append(grads, p.Grad.Clone())
+				}
+				serialGrads = append(serialGrads, grads)
+				opt := nn.NewAdam(1e-2)
+				if err := opt.Step(params); err != nil {
+					t.Fatal(err)
+				}
+				var weights []*tensor.Tensor
+				for _, p := range params {
+					weights = append(weights, p.Value.Clone())
+				}
+				serialWeights = append(serialWeights, weights)
+			}
+
+			// Rewind: fresh fixture with identical seeds, then one
+			// batched pass over the stacked rows.
+			f = newMultiFixture(t, []int{1, 2, 1})
+			xs, dys = f.inputs()
+			rows := make([]int, len(f.batch))
+			totalBatch := 0
+			for k, b := range f.batch {
+				rows[k] = b * f.seq
+				totalBatch += b
+			}
+			blocks := model.ShallowCloneBlocks(f.master.Blocks)
+			mad, err := InjectMultiLoRA(blocks, f.cfg.Targets, f.layersOf(), rows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mbody := model.Body(blocks)
+			y, cache, err := mbody.Forward(stackRows(t, xs), totalBatch, f.seq, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dx, err := mbody.Backward(cache, stackRows(t, dys))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			lo := 0
+			for k := range f.body {
+				hi := lo + rows[k]
+				ySeg, err := y.Slice2D(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitEqual(ySeg, serialY[k]) {
+					t.Errorf("client %d: batched output differs from serial", k)
+				}
+				dxSeg, err := dx.Slice2D(lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitEqual(dxSeg, serialDX[k]) {
+					t.Errorf("client %d: batched input gradient differs from serial", k)
+				}
+				params := f.adapter[k].Params()
+				for i, p := range params {
+					if !bitEqual(p.Grad, serialGrads[k][i]) {
+						t.Errorf("client %d param %d: batched adapter gradient differs from serial", k, i)
+					}
+				}
+				opt := nn.NewAdam(1e-2)
+				if err := opt.Step(params); err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range params {
+					if !bitEqual(p.Value, serialWeights[k][i]) {
+						t.Errorf("client %d param %d: adapter weights diverge after optimizer step", k, i)
+					}
+				}
+				lo = hi
+			}
+			mad.Remove()
+		})
+	}
+}
+
+// TestMultiLoRASingleSegmentMatchesLoRALinear: with one segment the
+// batched op degenerates to the serial LoRALinear, bit for bit.
+func TestMultiLoRASingleSegmentMatchesLoRALinear(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	base := nn.NewLinear(rng, 6, 5, true)
+	base.Frozen = true
+	serial := NewLoRALinear(tensor.NewRNG(12), base, 6, 5, 3, 6)
+	x := tensor.NewNormal(tensor.NewRNG(13), 1, 7, 6)
+	dy := tensor.NewNormal(tensor.NewRNG(14), 1, 7, 5)
+
+	ySerial, cSerial, err := serial.Apply(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxSerial, err := serial.Grad(cSerial, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gradA, gradB := serial.A.Grad.Clone(), serial.B.Grad.Clone()
+	serial.A.Grad.Zero()
+	serial.B.Grad.Zero()
+
+	ml, err := NewMultiLoRALinear(base, 6, 5, []Segment{{Rows: 7, Layer: serial}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	yBatch, cBatch, err := ml.Apply(x, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dxBatch, err := ml.Grad(cBatch, dy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitEqual(yBatch, ySerial) {
+		t.Error("single-segment output differs")
+	}
+	if !bitEqual(dxBatch, dxSerial) {
+		t.Error("single-segment input gradient differs")
+	}
+	if !bitEqual(serial.A.Grad, gradA) || !bitEqual(serial.B.Grad, gradB) {
+		t.Error("single-segment adapter gradients differ")
+	}
+}
+
+// TestInjectMultiLoRAValidation covers the structural error paths.
+func TestInjectMultiLoRAValidation(t *testing.T) {
+	m := tinyModel(t, model.FamilyOPT)
+	cfg := LoRAConfig{Rank: 2, Alpha: 4, Targets: []Target{TargetQ, TargetV}}
+	blocks := model.ShallowCloneBlocks(m.Blocks)
+	ad, err := InjectLoRA(tensor.NewRNG(1), blocks, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := [][]*LoRALinear{ad.Layers()}
+
+	if _, err := InjectMultiLoRA(model.ShallowCloneBlocks(m.Blocks), nil, member, []int{4}); err == nil {
+		t.Error("no targets accepted")
+	}
+	if _, err := InjectMultiLoRA(model.ShallowCloneBlocks(m.Blocks), cfg.Targets, nil, nil); err == nil {
+		t.Error("no members accepted")
+	}
+	if _, err := InjectMultiLoRA(model.ShallowCloneBlocks(m.Blocks), cfg.Targets, member, []int{4, 8}); err == nil {
+		t.Error("mismatched rows accepted")
+	}
+	if _, err := InjectMultiLoRA(model.ShallowCloneBlocks(m.Blocks), cfg.Targets, member, []int{0}); err == nil {
+		t.Error("zero rows accepted")
+	}
+	short := [][]*LoRALinear{ad.Layers()[:1]}
+	if _, err := InjectMultiLoRA(model.ShallowCloneBlocks(m.Blocks), cfg.Targets, short, []int{4}); err == nil {
+		t.Error("short member layer list accepted")
+	}
+	// Injecting over already-adapted slots must fail.
+	if _, err := InjectMultiLoRA(blocks, cfg.Targets, member, []int{4}); err == nil {
+		t.Error("injection over adapted slots accepted")
+	}
+
+	// A valid injection is removable: the clone's slots revert to the
+	// shared base projections.
+	clean := model.ShallowCloneBlocks(m.Blocks)
+	mad, err := InjectMultiLoRA(clean, cfg.Targets, member, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mad.Layers()) != len(m.Blocks)*len(cfg.Targets) {
+		t.Fatalf("injected %d layers, want %d", len(mad.Layers()), len(m.Blocks)*len(cfg.Targets))
+	}
+	mad.Remove()
+	for i, b := range clean {
+		if b.Attn.Q != m.Blocks[i].Attn.Q || b.Attn.V != m.Blocks[i].Attn.V {
+			t.Fatalf("block %d slots not restored", i)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package batch is the batch-formation engine of docs/BATCHING.md: it
+// coalesces compatible iteration requests — same cut point, sequence
+// length, phase, and adapter shape — from concurrently served clients
+// into one batched kernel invocation over the shared frozen base, with
+// per-row adapter dispatch (adapter.MultiLoRALinear).
+//
+// The engine only decides WHO runs together; the caller's executor
+// decides what running means (the TCP server stacks activations and
+// drives one model pass; tests count items). Dispatch fires when a
+// group reaches the policy's max size, when admitting one more member
+// would blow the byte budget, or when the hold timer expires on a
+// partial group — the batch-size-vs-latency knob the multilora sweep
+// measures. The simulator does not use this engine (goroutine timing
+// would break determinism); it forms batches in virtual time with the
+// same policy and the same metrics publisher.
+package batch
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"menos/internal/sched"
+)
+
+// ErrClosed is returned by Join after Close.
+var ErrClosed = errors.New("batch: engine closed")
+
+// Key is the compatibility class: only items with equal keys may share
+// a batched kernel invocation. Cut and Seq shape the stacked tensor;
+// Sig fingerprints the adapter structure (targets, block span) that
+// per-row dispatch requires to be common.
+type Key struct {
+	Cut  int
+	Seq  int
+	Kind sched.RequestKind
+	Sig  string
+}
+
+// Item is one client's share of a batch. The caller fills the
+// identity, sizing, and Payload fields; the executor fills Result and
+// Err for every item it receives.
+type Item struct {
+	Client  string
+	Rows    int   // stacked activation rows this client contributes
+	Bytes   int64 // scheduler bytes this client's share needs
+	Payload any
+
+	Result any
+	Err    error
+
+	done chan struct{}
+}
+
+// Exec runs one formed batch. Items arrive in join order (ascending
+// row position in the stack); the executor must set Result or Err on
+// every item before returning.
+type Exec func(key Key, items []*Item)
+
+// Config configures an Engine.
+type Config struct {
+	// Policy is the formation policy; a disabled policy makes New fail
+	// (callers should bypass the engine entirely).
+	Policy sched.BatchPolicy
+	// Exec runs each formed batch.
+	Exec Exec
+	// MaxBytes, when non-nil, returns the byte budget one batch may
+	// request (typically Scheduler.Schedulable): a join that would push
+	// the group past it dispatches the group early and starts a fresh
+	// one.
+	MaxBytes func() int64
+	// Metrics, when non-nil, records dispatched batches.
+	Metrics *Metrics
+}
+
+// group is one forming batch.
+type group struct {
+	key    Key
+	items  []*Item
+	bytes  int64
+	opened time.Time
+	timer  *time.Timer
+	sealed bool
+}
+
+// Engine forms batches from concurrent Join calls.
+type Engine struct {
+	cfg Config
+
+	mu     sync.Mutex
+	groups map[Key]*group
+	closed bool
+	seq    int64
+}
+
+// New builds an engine. The policy must be enabled and valid.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Policy.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Policy.Enabled() {
+		return nil, errors.New("batch: policy disabled (MaxSize 0)")
+	}
+	if cfg.Exec == nil {
+		return nil, errors.New("batch: no executor")
+	}
+	cfg.Policy = cfg.Policy.WithDefaults()
+	return &Engine{cfg: cfg, groups: make(map[Key]*group)}, nil
+}
+
+// Join adds it to the forming group for key and blocks until the
+// group's batch has executed; it returns it.Err (the per-item verdict,
+// not the call's own failure — a nil return with it.Err set means the
+// batch ran and this member's share failed). The calling goroutine is
+// the client's serving goroutine: blocking here is what holds the
+// client's reply until its batch completes.
+func (e *Engine) Join(key Key, it *Item) error {
+	if it.Rows <= 0 {
+		return fmt.Errorf("batch: item for %q has %d rows", it.Client, it.Rows)
+	}
+	it.done = make(chan struct{})
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	g := e.groups[key]
+	// Byte budget: admitting this member would overflow one grant, so
+	// the current group dispatches early and a fresh one forms.
+	if g != nil && e.cfg.MaxBytes != nil && g.bytes+it.Bytes > e.cfg.MaxBytes() {
+		e.sealLocked(g)
+		go e.dispatch(g)
+		g = nil
+	}
+	if g == nil {
+		g = &group{key: key, opened: time.Now()}
+		e.groups[key] = g
+		hold := e.cfg.Policy.MaxHold
+		gg := g
+		g.timer = time.AfterFunc(hold, func() { e.flushExpired(gg) })
+	}
+	g.items = append(g.items, it)
+	g.bytes += it.Bytes
+	var full *group
+	if len(g.items) >= e.cfg.Policy.MaxSize {
+		e.sealLocked(g)
+		full = g
+	}
+	e.mu.Unlock()
+
+	if full != nil {
+		go e.dispatch(full)
+	}
+	<-it.done
+	return it.Err
+}
+
+// sealLocked removes g from the forming set so no further member can
+// join it. Caller holds e.mu.
+func (e *Engine) sealLocked(g *group) {
+	if g.sealed {
+		return
+	}
+	g.sealed = true
+	if e.groups[g.key] == g {
+		delete(e.groups, g.key)
+	}
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+}
+
+// flushExpired dispatches g when its hold timer fires before the group
+// filled.
+func (e *Engine) flushExpired(g *group) {
+	e.mu.Lock()
+	if g.sealed {
+		e.mu.Unlock()
+		return
+	}
+	e.sealLocked(g)
+	e.mu.Unlock()
+	e.dispatch(g)
+}
+
+// dispatch runs one sealed group through the executor and releases its
+// members. Never called with e.mu held.
+func (e *Engine) dispatch(g *group) {
+	hold := time.Since(g.opened)
+	e.cfg.Exec(g.key, g.items)
+	members := make([]MemberRows, len(g.items))
+	for i, it := range g.items {
+		members[i] = MemberRows{Client: it.Client, Rows: int64(it.Rows)}
+	}
+	e.cfg.Metrics.Record(members, hold.Seconds())
+	for _, it := range g.items {
+		close(it.done)
+	}
+}
+
+// Close flushes every forming group and fails future joins.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	var pending []*group
+	for _, g := range e.groups {
+		e.sealLocked(g)
+		pending = append(pending, g)
+	}
+	e.mu.Unlock()
+	for _, g := range pending {
+		e.dispatch(g)
+	}
+}

@@ -1,0 +1,73 @@
+package batch
+
+import (
+	"menos/internal/obs"
+)
+
+// SizeBuckets are the batch-size histogram bounds: powers of two up to
+// the largest tenancy the sweeps exercise.
+func SizeBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64}
+}
+
+// Metrics publishes the menos_batch_* family (docs/OBSERVABILITY.md)
+// and bills each member's row share through the ledger. The labeled
+// menos_batch_rows_total{client} series the ledger maintains are fed
+// the exact per-member values the unlabeled rows counter sums, so
+// Σ{client=*} reproduces the aggregate. Both the wall-clock engine
+// (internal/batch.Engine) and the simulator's virtual-time batcher
+// publish through this one type; all methods are nil-safe.
+type Metrics struct {
+	maxSize   int
+	formed    *obs.Counter
+	size      *obs.Histogram
+	occupancy *obs.Gauge
+	hold      *obs.Histogram
+	rows      *obs.Counter
+	ledger    *obs.Ledger
+}
+
+// NewMetrics wires the batch families into reg. maxSize scales the
+// occupancy gauge; ledger (optional) receives per-member row billing.
+// Either argument may be nil.
+func NewMetrics(reg *obs.Registry, ledger *obs.Ledger, maxSize int) *Metrics {
+	if maxSize <= 0 {
+		maxSize = 1
+	}
+	m := &Metrics{maxSize: maxSize, ledger: ledger}
+	if reg != nil {
+		m.formed = reg.Counter(obs.MetricBatchFormed, "batched kernel invocations dispatched")
+		m.size = reg.Histogram(obs.MetricBatchSize, SizeBuckets(), "members per dispatched batch")
+		m.occupancy = reg.Gauge(obs.MetricBatchOccupancy, "last batch's fill of the configured max size, thousandths (1000 = full)")
+		m.hold = reg.Histogram(obs.MetricBatchHold, obs.DurationBuckets(), "batch formation hold time, first join to dispatch")
+		m.rows = reg.Counter(obs.MetricBatchRows, "microbatch rows carried by dispatched batches")
+	}
+	return m
+}
+
+// MemberRows is one client's row contribution to a dispatched batch.
+type MemberRows struct {
+	Client string
+	Rows   int64
+}
+
+// Record accounts one dispatched batch: its member count, per-member
+// rows, and the hold time between the first join and dispatch. Safe on
+// nil.
+func (m *Metrics) Record(members []MemberRows, holdSeconds float64) {
+	if m == nil || len(members) == 0 {
+		return
+	}
+	var rows int64
+	for _, mm := range members {
+		rows += mm.Rows
+		m.ledger.AddBatchRows(mm.Client, mm.Rows)
+	}
+	if m.formed != nil {
+		m.formed.Inc()
+		m.size.Observe(float64(len(members)))
+		m.occupancy.Set(int64(len(members)) * 1000 / int64(m.maxSize))
+		m.hold.Observe(holdSeconds)
+		m.rows.Add(rows)
+	}
+}

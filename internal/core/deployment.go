@@ -52,6 +52,11 @@ type DeploymentConfig struct {
 	// server's scheduler (docs/ADMISSION.md); the zero value keeps the
 	// plain Algorithm-2 behaviour.
 	SLO sched.SLO
+	// Batch, when enabled, coalesces compatible LoRA iteration
+	// requests into batched kernel invocations over the shared base
+	// (docs/BATCHING.md). Requires on-demand serving; the zero value
+	// keeps per-request execution.
+	Batch sched.BatchPolicy
 	// Logger receives server events; nil silences them.
 	Logger *log.Logger
 	// Metrics, when set, instruments the server's scheduler, GPU and
@@ -116,6 +121,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		SchedPolicy: cfg.SchedPolicy,
 		OnDemand:    !cfg.PreserveMemory,
 		SLO:         cfg.SLO,
+		Batch:       cfg.Batch,
 		Logger:      cfg.Logger,
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,

@@ -129,6 +129,30 @@ func (m *Model) ReleaseOverhead(concurrentClients int) time.Duration {
 	return m.relIntercept + time.Duration(concurrentClients-1)*m.relSlope
 }
 
+// batchSerialFraction is the α of the batched-kernel cost model: the
+// fraction of a member's serial compute that stays serial when K
+// members share one kernel invocation (per-row adapter matmuls,
+// segment bookkeeping), while (1−α) amortizes across the batch (the
+// frozen-base GEMMs, read once per batch instead of once per client).
+// 0.3 matches the ASPEN/m-LoRA observation that multi-adapter batching
+// yields ~3× per-client throughput at moderate batch sizes rather
+// than the ideal K×.
+const batchSerialFraction = 0.3
+
+// BatchedTime scales one member's serial duration to the duration of a
+// batched invocation carrying size members:
+//
+//	T(K) = T(1) · (α·K + (1−α))
+//
+// so T(1) = T(1) (a size-1 batch is exactly the serial path) and the
+// per-client share T(K)/K approaches α·T(1) as the batch grows.
+func BatchedTime(serial time.Duration, size int) time.Duration {
+	if size <= 1 {
+		return serial
+	}
+	return time.Duration(float64(serial) * (batchSerialFraction*float64(size) + (1 - batchSerialFraction)))
+}
+
 // SwapTime is the host↔device transfer time for task-level swapping.
 func (m *Model) SwapTime(bytes int64) time.Duration {
 	return secs(float64(bytes) / m.Server.SwapBytesPerSecond)

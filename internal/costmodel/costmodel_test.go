@@ -7,6 +7,40 @@ import (
 	"menos/internal/memmodel"
 )
 
+// TestBatchedTimeScaling pins the batched-kernel cost model: a size-1
+// batch is exactly the serial path, the total grows sublinearly in K,
+// and the per-client share shrinks monotonically — the property the
+// multilora sweep's ≥2× throughput claim rests on.
+func TestBatchedTimeScaling(t *testing.T) {
+	serial := 450 * time.Millisecond
+	if got := BatchedTime(serial, 1); got != serial {
+		t.Fatalf("BatchedTime(.., 1) = %v, want %v", got, serial)
+	}
+	if got := BatchedTime(serial, 0); got != serial {
+		t.Fatalf("BatchedTime(.., 0) = %v, want %v", got, serial)
+	}
+	prevShare := float64(serial)
+	for k := 2; k <= 32; k *= 2 {
+		total := BatchedTime(serial, k)
+		if total >= time.Duration(k)*serial {
+			t.Errorf("K=%d: batched %v not cheaper than %d serial runs", k, total, k)
+		}
+		if total <= serial {
+			t.Errorf("K=%d: batched %v not dearer than one serial run", k, total)
+		}
+		share := float64(total) / float64(k)
+		if share >= prevShare {
+			t.Errorf("K=%d: per-client share %.3fms did not shrink", k, share/1e6)
+		}
+		prevShare = share
+	}
+	// At K=16 the per-client speedup must clear the sweep's 2× bar
+	// with margin.
+	if speedup := float64(16*serial) / float64(BatchedTime(serial, 16)); speedup < 2 {
+		t.Errorf("K=16 speedup %.2f < 2", speedup)
+	}
+}
+
 func TestVanillaComputeTimesMatchPaper(t *testing.T) {
 	// Paper Table 2, vanilla: OPT ≈0.41–0.54 s, Llama ≈0.46–0.55 s.
 	tests := []struct {

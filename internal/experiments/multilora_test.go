@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"menos/internal/memmodel"
+)
+
+// TestMultiLoRAKneeAcceptance is the PR's acceptance bar at sweep
+// granularity: at 16 clients, cap-16 batching delivers at least 2× the
+// per-client throughput of the cap-1 serialized baseline.
+func TestMultiLoRAKneeAcceptance(t *testing.T) {
+	w := memmodel.PaperOPTWorkload()
+	serial, err := runMultiLoRA(w, 16, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := runMultiLoRA(w, 16, 16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(serial.SimulatedTime) / float64(batched.SimulatedTime)
+	if speedup < 2 {
+		t.Errorf("cap-16 speedup = %.2f×, want ≥ 2× (serial %v, batched %v)",
+			speedup, serial.SimulatedTime, batched.SimulatedTime)
+	}
+}
+
+// TestMultiLoRASweepRenders runs a reduced sweep end to end and checks
+// the knee table carries every tenancy row.
+func TestMultiLoRASweepRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	tbl, err := MultiLoRASweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"clients", "knee", "32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

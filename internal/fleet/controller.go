@@ -54,6 +54,9 @@ type ControllerConfig struct {
 	// not mint tokens colliding with snapshots staged by its previous
 	// life. Zero means 1.
 	TokenSeed uint64
+	// MaxMovesPerTick caps the migration orders one RebalanceOnce call
+	// may issue. Zero means DefaultMaxMovesPerTick.
+	MaxMovesPerTick int
 	// Logf receives orchestration logs (nil discards).
 	Logf func(format string, args ...any)
 }
@@ -72,12 +75,18 @@ type endpointState struct {
 	draining     bool
 }
 
+// DefaultMaxMovesPerTick bounds RebalanceOnce when the config does not:
+// enough to drain a small server in one tick without stampeding the
+// fleet before the next poll confirms the moves landed.
+const DefaultMaxMovesPerTick = 4
+
 // Controller polls a fixed set of server endpoints and makes
 // placement and migration decisions over what it saw.
 type Controller struct {
-	placer Placer
-	http   *http.Client
-	logf   func(string, ...any)
+	placer   Placer
+	http     *http.Client
+	logf     func(string, ...any)
+	maxMoves int
 
 	mu        sync.Mutex
 	eps       map[int]*endpointState
@@ -99,8 +108,12 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		placer:    cfg.Placer,
 		http:      cfg.HTTP,
 		logf:      cfg.Logf,
+		maxMoves:  cfg.MaxMovesPerTick,
 		eps:       make(map[int]*endpointState, len(cfg.Endpoints)),
 		nextToken: cfg.TokenSeed,
+	}
+	if c.maxMoves <= 0 {
+		c.maxMoves = DefaultMaxMovesPerTick
 	}
 	if c.placer == nil {
 		c.placer = DefaultPolicy()
@@ -326,61 +339,99 @@ func (c *Controller) MigrateClient(clientID string, src, dst int) error {
 	return nil
 }
 
-// RebalanceOnce makes at most one migration decision over the last
-// poll: evacuate a draining server, or move one client from the most
-// to the least crowded server when the move is a strict improvement
-// (the target must end up with fewer clients than the source has now,
-// which damps oscillation). Only clients that negotiated the
-// migration feature are candidates. It returns whether an order was
-// issued.
-func (c *Controller) RebalanceOnce() (bool, error) {
+// RebalanceOnce makes up to MaxMovesPerTick migration decisions over
+// the last poll. Each decision evacuates a client from a draining
+// server, or moves one client from the most to the least crowded
+// server when the move is a strict improvement (the target must end up
+// with fewer clients than the source has now, which damps
+// oscillation). Between decisions the controller updates its own
+// pending counts — the orders it just issued have not landed in any
+// /loadz yet — and re-evaluates, so one tick can drain a whole server
+// without flooding a single target. Only clients that negotiated the
+// migration feature are candidates. It returns the number of orders
+// issued; on error, the orders issued before the failure stand.
+func (c *Controller) RebalanceOnce() (int, error) {
+	// Local working copy of the healthy fleet: client counts here
+	// include the moves ordered this tick, which no poll has seen yet.
+	type node struct {
+		id       int
+		clients  int
+		draining bool
+	}
 	c.mu.Lock()
-	var src, dst *endpointState
+	nodes := make([]*node, 0, len(c.order))
 	for _, id := range c.order {
 		st := c.eps[id]
 		if !st.healthy {
 			continue
 		}
-		if st.draining {
-			if st.load.Clients > 0 && src == nil {
-				src = st
-			}
-			continue
-		}
-		if src == nil || (!src.draining && st.load.Clients > src.load.Clients) {
-			if st.load.Clients > 0 {
-				src = st
-			}
-		}
-		if dst == nil || st.load.Clients < dst.load.Clients {
-			dst = st
-		}
+		nodes = append(nodes, &node{id: id, clients: st.load.Clients, draining: st.draining})
 	}
 	c.mu.Unlock()
-	if src == nil || dst == nil || src.ep.ID == dst.ep.ID {
-		return false, nil
-	}
-	if !src.draining && dst.load.Clients+1 >= src.load.Clients {
-		return false, nil
-	}
 
-	// Pick the migratable session with the lowest client ID —
-	// deterministic given the same polled state.
-	var sessions []SessionInfo
-	if err := c.getJSON(strings.TrimRight(src.ep.AdminURL, "/")+"/admin/sessions", &sessions); err != nil {
-		return false, fmt.Errorf("fleet: rebalance: sessions of server %d: %w", src.ep.ID, err)
-	}
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i].ClientID < sessions[j].ClientID })
-	for _, s := range sessions {
-		if s.Migrating || s.Features&split.FeatureMigration == 0 {
+	moves := 0
+	// exhausted marks sources whose session list held no further
+	// migratable client this tick; sessions and ordered keep one fetch
+	// per source honest across multiple moves.
+	exhausted := make(map[int]bool)
+	sessCache := make(map[int][]SessionInfo)
+	ordered := make(map[string]bool)
+	for moves < c.maxMoves {
+		var src, dst *node
+		for _, n := range nodes {
+			if n.draining {
+				if n.clients > 0 && !exhausted[n.id] && src == nil {
+					src = n
+				}
+				continue
+			}
+			if n.clients > 0 && !exhausted[n.id] &&
+				(src == nil || (!src.draining && n.clients > src.clients)) {
+				src = n
+			}
+			if dst == nil || n.clients < dst.clients {
+				dst = n
+			}
+		}
+		if src == nil || dst == nil || src.id == dst.id {
+			break
+		}
+		if !src.draining && dst.clients+1 >= src.clients {
+			break
+		}
+
+		sessions, ok := sessCache[src.id]
+		if !ok {
+			ep, _ := c.Endpoint(src.id)
+			if err := c.getJSON(strings.TrimRight(ep.AdminURL, "/")+"/admin/sessions", &sessions); err != nil {
+				return moves, fmt.Errorf("fleet: rebalance: sessions of server %d: %w", src.id, err)
+			}
+			// Lowest client ID first — deterministic given the same
+			// polled state.
+			sort.Slice(sessions, func(i, j int) bool { return sessions[i].ClientID < sessions[j].ClientID })
+			sessCache[src.id] = sessions
+		}
+		pick := ""
+		for _, s := range sessions {
+			if s.Migrating || ordered[s.ClientID] || s.Features&split.FeatureMigration == 0 {
+				continue
+			}
+			pick = s.ClientID
+			break
+		}
+		if pick == "" {
+			exhausted[src.id] = true
 			continue
 		}
-		if err := c.MigrateClient(s.ClientID, src.ep.ID, dst.ep.ID); err != nil {
-			return false, err
+		if err := c.MigrateClient(pick, src.id, dst.id); err != nil {
+			return moves, err
 		}
-		return true, nil
+		ordered[pick] = true
+		src.clients--
+		dst.clients++
+		moves++
 	}
-	return false, nil
+	return moves, nil
 }
 
 // FleetServer is one server's row in a FleetSnapshot.

@@ -176,8 +176,8 @@ func TestControllerRebalanceEvacuatesDraining(t *testing.T) {
 	c.PollOnce()
 
 	// Balanced fleet: no move.
-	if moved, err := c.RebalanceOnce(); err != nil || moved {
-		t.Fatalf("balanced fleet moved=%v err=%v, want no-op", moved, err)
+	if moved, err := c.RebalanceOnce(); err != nil || moved != 0 {
+		t.Fatalf("balanced fleet moved=%d err=%v, want no-op", moved, err)
 	}
 
 	if err := c.Drain(1); err != nil {
@@ -187,23 +187,73 @@ func TestControllerRebalanceEvacuatesDraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !moved {
-		t.Fatal("draining server with clients must trigger a migration")
+	// One tick evacuates the whole draining server: both sessions move.
+	if moved != 2 {
+		t.Fatalf("moved = %d, want both sessions off the draining server", moved)
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if len(a.orders) != 1 {
-		t.Fatalf("orders = %+v, want exactly one", a.orders)
+	if len(a.orders) != 2 {
+		t.Fatalf("orders = %+v, want exactly two", a.orders)
 	}
-	ord := a.orders[0]
-	if ord.ClientID != "alpha" {
-		t.Fatalf("migrated %q, want lowest client ID alpha", ord.ClientID)
+	if a.orders[0].ClientID != "alpha" || a.orders[1].ClientID != "zeta" {
+		t.Fatalf("orders = %+v, want lowest client ID alpha first then zeta", a.orders)
 	}
-	if ord.TargetAddr != b.addr || ord.TargetAdmin != b.admin.URL || ord.Token == 0 {
-		t.Fatalf("order = %+v, want target server 2 with a nonzero token", ord)
+	for _, ord := range a.orders {
+		if ord.TargetAddr != b.addr || ord.TargetAdmin != b.admin.URL || ord.Token == 0 {
+			t.Fatalf("order = %+v, want target server 2 with a nonzero token", ord)
+		}
 	}
-	if got := counterValue(t, reg, obs.MetricFleetdMigrations); got != 1 {
-		t.Fatalf("migrations counter = %d, want 1", got)
+	if a.orders[0].Token == a.orders[1].Token {
+		t.Fatalf("orders share token %d, want distinct resume tokens", a.orders[0].Token)
+	}
+	if got := counterValue(t, reg, obs.MetricFleetdMigrations); got != 2 {
+		t.Fatalf("migrations counter = %d, want 2", got)
+	}
+}
+
+// TestControllerRebalanceTwoMovesOneTick drains a server holding two
+// migratable sessions with two idle targets available: one
+// RebalanceOnce tick must order both moves, and the controller's
+// pending-count bookkeeping must spread them across both targets
+// rather than stacking the second move onto the first target.
+func TestControllerRebalanceTwoMovesOneTick(t *testing.T) {
+	a := newFakeServer(t, 1, 2)
+	a.sessions = []SessionInfo{
+		{ClientID: "c1", Features: split.FeatureMigration},
+		{ClientID: "c2", Features: split.FeatureMigration},
+	}
+	b := newFakeServer(t, 2, 0)
+	d := newFakeServer(t, 3, 0)
+	reg := obs.NewRegistry()
+	c := newTestController(t, reg, a, b, d)
+	c.PollOnce()
+	if err := c.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := c.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2 {
+		t.Fatalf("moved = %d, want 2 in a single tick", moved)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.orders) != 2 {
+		t.Fatalf("orders = %+v, want exactly two", a.orders)
+	}
+	if a.orders[0].ClientID != "c1" || a.orders[1].ClientID != "c2" {
+		t.Fatalf("orders = %+v, want c1 then c2 in client-ID order", a.orders)
+	}
+	if a.orders[0].TargetAddr != b.addr {
+		t.Fatalf("first order targets %q, want emptiest (lowest-ID) server 2", a.orders[0].TargetAddr)
+	}
+	if a.orders[1].TargetAddr != d.addr {
+		t.Fatalf("second order targets %q, want server 3 after server 2's pending move", a.orders[1].TargetAddr)
+	}
+	if got := counterValue(t, reg, obs.MetricFleetdMigrations); got != 2 {
+		t.Fatalf("migrations counter = %d, want 2", got)
 	}
 }
 
@@ -220,7 +270,7 @@ func TestControllerRebalanceSkipsNonMigratable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if moved {
+	if moved != 0 {
 		t.Fatal("a session without the migration feature must not be ordered to move")
 	}
 }
@@ -232,8 +282,8 @@ func TestControllerRebalanceStrictImprovement(t *testing.T) {
 	c := newTestController(t, obs.NewRegistry(), a, b)
 	c.PollOnce()
 	// 2 vs 1: moving makes it 1 vs 2 — no improvement, no move.
-	if moved, err := c.RebalanceOnce(); err != nil || moved {
-		t.Fatalf("moved=%v err=%v, want no-op on a non-improving move", moved, err)
+	if moved, err := c.RebalanceOnce(); err != nil || moved != 0 {
+		t.Fatalf("moved=%d err=%v, want no-op on a non-improving move", moved, err)
 	}
 }
 

@@ -24,6 +24,7 @@ type ClientUsage struct {
 	WireTxBytes           int64   `json:"wire_tx_bytes"`
 	WireRxBytes           int64   `json:"wire_rx_bytes"`
 	Iterations            int64   `json:"iterations"`
+	BatchRows             int64   `json:"batch_rows,omitempty"`
 	Sheds                 int64   `json:"sheds"`
 	Retries               int64   `json:"retries"`
 }
@@ -66,6 +67,7 @@ type ledgerMetrics struct {
 	wireRx    *CounterVec
 	sheds     *CounterVec
 	retries   *CounterVec
+	batchRows *CounterVec
 }
 
 // Ledger is the per-tenant accounting plane: every grant, reservation,
@@ -130,6 +132,8 @@ func (l *Ledger) Instrument(reg *Registry) {
 			"Submissions shed by admission control."),
 		retries: reg.CounterVec(MetricServerRetriesTotal, "client",
 			"Resubmissions after a shed."),
+		batchRows: reg.CounterVec(MetricBatchRows, "client",
+			"Microbatch rows this client contributed to batched kernel invocations."),
 	}
 	// Families share the ledger's account cap so per-metric overflow
 	// kicks in at the same cardinality as the accounts themselves.
@@ -144,6 +148,7 @@ func (l *Ledger) Instrument(reg *Registry) {
 	l.m.wireRx.SetCap(l.max)
 	l.m.sheds.SetCap(l.max)
 	l.m.retries.SetCap(l.max)
+	l.m.batchRows.SetCap(l.max)
 }
 
 // SplitOwner maps a memory-owner tag to the client it bills to and the
@@ -302,6 +307,26 @@ func (l *Ledger) AddIteration(client string) {
 	l.mu.Unlock()
 	if m != nil {
 		m.iters.With(id).Inc()
+	}
+}
+
+// AddBatchRows bills rows microbatch rows that client contributed to a
+// batched kernel invocation. The labeled family shares its name with
+// the batch plane's unlabeled menos_batch_rows_total counter and is
+// fed the same per-member values, so Σ over {client=*} reproduces the
+// aggregate. Safe on nil.
+func (l *Ledger) AddBatchRows(client string, rows int64) {
+	if l == nil || rows <= 0 {
+		return
+	}
+	l.mu.Lock()
+	a := l.accountFor(client)
+	a.u.BatchRows += rows
+	m := l.m
+	id := a.u.ID
+	l.mu.Unlock()
+	if m != nil {
+		m.batchRows.With(id).Add(rows)
 	}
 }
 

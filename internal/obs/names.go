@@ -48,6 +48,18 @@ const (
 	MetricServerShedsTotal         = "menos_server_sheds_total"
 	MetricServerRetriesTotal       = "menos_server_retries_total"
 
+	// Batch formation (internal/batch, docs/BATCHING.md). One "batch"
+	// is a single kernel invocation over the shared frozen base that
+	// carries several clients' microbatches stacked row-wise. The
+	// occupancy gauge is integer thousandths of the configured max
+	// batch size (1000 = every slot filled); rows_total also exists as
+	// a {client=...} family billed through the ledger.
+	MetricBatchFormed    = "menos_batch_formed_total"
+	MetricBatchSize      = "menos_batch_size"
+	MetricBatchOccupancy = "menos_batch_occupancy_ratio"
+	MetricBatchHold      = "menos_batch_hold_seconds"
+	MetricBatchRows      = "menos_batch_rows_total"
+
 	// Serving plane (internal/server).
 	MetricServerAdmitted       = "menos_server_clients_admitted_total"
 	MetricServerRejected       = "menos_server_clients_rejected_total"

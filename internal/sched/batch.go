@@ -1,0 +1,163 @@
+// Batch-aware grants: a batch former (internal/batch for the TCP
+// server, splitsim's virtual-time batcher for the simulator) coalesces
+// several clients' compatible forward/backward requests and submits
+// them as ONE aggregate scheduling request, so the whole batch is
+// granted — and its kernel launched — atomically. The scheduler stays
+// the single source of per-tenant accounting truth: every member is
+// billed its own byte share and grant wait through the ledger, and the
+// unlabeled wait histogram sees one observation per member so the
+// labeled families still sum back to the aggregate (the conservation
+// contract from docs/OBSERVABILITY.md).
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// BatchPolicy configures cross-client batch formation
+// (docs/BATCHING.md). The zero value disables batching entirely.
+type BatchPolicy struct {
+	// MaxSize is the most member requests one batch may carry. 1 is
+	// the degenerate "serial" policy — batches always hold a single
+	// client — which is the baseline the multilora sweep compares
+	// against. 0 disables batching.
+	MaxSize int
+	// MaxHold bounds how long the first member of a partial batch
+	// waits for company before the batch dispatches anyway. Zero
+	// means DefaultMaxHold.
+	MaxHold time.Duration
+}
+
+// DefaultMaxHold is the hold-time knob's default: long enough for
+// lockstep clients to coalesce, short enough to be invisible next to a
+// training step.
+const DefaultMaxHold = 2 * time.Millisecond
+
+// Enabled reports whether this policy activates batch formation.
+func (p BatchPolicy) Enabled() bool { return p.MaxSize > 0 }
+
+// WithDefaults fills unset knobs.
+func (p BatchPolicy) WithDefaults() BatchPolicy {
+	if p.MaxHold <= 0 {
+		p.MaxHold = DefaultMaxHold
+	}
+	return p
+}
+
+// Validate rejects nonsensical policies.
+func (p BatchPolicy) Validate() error {
+	if p.MaxSize < 0 {
+		return fmt.Errorf("sched: batch MaxSize %d < 0", p.MaxSize)
+	}
+	if p.MaxHold < 0 {
+		return fmt.Errorf("sched: batch MaxHold %v < 0", p.MaxHold)
+	}
+	return nil
+}
+
+// BatchMember is one client's share of an aggregate batch request.
+type BatchMember struct {
+	ClientID string
+	Bytes    int64
+}
+
+// SubmitBatch registers one aggregate request for Σ member bytes under
+// batchID; grant is invoked (possibly synchronously, under no lock)
+// when the whole batch is scheduled. Each member is billed its own
+// Bytes and its own grant wait in the ledger, and each member counts
+// as one observation in the unlabeled wait histogram, so per-client
+// series still sum to the aggregate. Members must not hold transient
+// allocations or queued requests of their own ("persist:"-prefixed
+// reservations are separate identities and fine). Admission control
+// treats the batch as one submission; a shed is billed to every
+// member.
+func (s *Scheduler) SubmitBatch(batchID string, kind RequestKind, members []BatchMember, grant func()) error {
+	if len(members) == 0 {
+		return fmt.Errorf("sched: batch %q has no members", batchID)
+	}
+	var total int64
+	seen := make(map[string]struct{}, len(members))
+	for _, m := range members {
+		if _, dup := seen[m.ClientID]; dup {
+			return fmt.Errorf("%w: %q appears twice in batch %q", ErrOutstanding, m.ClientID, batchID)
+		}
+		seen[m.ClientID] = struct{}{}
+		total += m.Bytes
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.rejectedInc()
+		return ErrClosed
+	}
+	if total > s.total-s.reserved {
+		s.mu.Unlock()
+		s.rejectedInc()
+		return fmt.Errorf("%w: batch needs %d, schedulable %d (total %d, %d reserved) (batch %q, %d members)",
+			ErrNeverFits, total, s.total-s.reserved, s.total, s.reserved, batchID, len(members))
+	}
+	if err := s.outstandingLocked(batchID); err != nil {
+		s.mu.Unlock()
+		s.rejectedInc()
+		return err
+	}
+	for _, m := range members {
+		if err := s.outstandingLocked(m.ClientID); err != nil {
+			s.mu.Unlock()
+			s.rejectedInc()
+			return fmt.Errorf("batch %q member: %w", batchID, err)
+		}
+	}
+	if s.adm != nil {
+		now, _ := s.clockNow()
+		s.adm.evaluate(now, s.headAgeLocked(now))
+		if err := s.adm.admit(batchID); err != nil {
+			for _, m := range members {
+				s.ledger.Shed(m.ClientID)
+			}
+			s.mu.Unlock()
+			s.rejectedInc()
+			return err
+		}
+	}
+	req := &request{clientID: batchID, kind: kind, bytes: total, grant: grant, members: members}
+	if now, ok := s.clockNow(); ok {
+		req.at = now
+	}
+	if s.m != nil {
+		s.m.submitted.Inc()
+	}
+	s.waiting = append(s.waiting, req)
+	s.stats.Submitted++
+	if len(s.waiting) > s.stats.MaxQueueDepth {
+		s.stats.MaxQueueDepth = len(s.waiting)
+	}
+	s.observeQueueDepth()
+	grants := s.schedule()
+	s.mu.Unlock()
+	for _, g := range grants {
+		g()
+	}
+	return nil
+}
+
+// outstandingLocked reports ErrOutstanding when id holds an allocation,
+// is queued on its own, or is a member of a queued batch. Caller holds
+// s.mu.
+func (s *Scheduler) outstandingLocked(id string) error {
+	if _, ok := s.alloc[id]; ok {
+		return fmt.Errorf("%w: %q holds an allocation", ErrOutstanding, id)
+	}
+	for _, r := range s.waiting {
+		if r.clientID == id {
+			return fmt.Errorf("%w: %q is queued", ErrOutstanding, id)
+		}
+		for _, m := range r.members {
+			if m.ClientID == id {
+				return fmt.Errorf("%w: %q is queued in batch %q", ErrOutstanding, id, r.clientID)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"menos/internal/obs"
+)
+
+// TestSubmitBatchGrantsAndBills: an aggregate batch request is granted
+// atomically, every member is billed its own byte share and grant
+// wait, and the unlabeled wait histogram sees one observation per
+// member so Σ{client=*} still reproduces it.
+func TestSubmitBatchGrantsAndBills(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := &fakeClock{}
+	s := New(100, PolicyFCFSBackfill)
+	s.Instrument(reg, clk)
+	led := obs.NewLedger(obs.LedgerConfig{Clock: clk})
+	led.Instrument(reg)
+	s.SetLedger(led)
+
+	var c collector
+	mustSubmit(t, s, "hog", KindBackward, 90, c.grant("hog"))
+	members := []BatchMember{{"a", 20}, {"b", 30}, {"c", 10}}
+	if err := s.SubmitBatch("batch-1", KindBackward, members, c.grant("batch-1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.got(); len(got) != 1 {
+		t.Fatalf("batch granted before memory freed: %v", got)
+	}
+
+	clk.now = 4 * time.Second
+	s.Complete("hog")
+	if got := c.got(); len(got) != 2 || got[1] != "batch-1" {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Allocated("batch-1") != 60 {
+		t.Fatalf("batch allocation = %d, want 60", s.Allocated("batch-1"))
+	}
+	for _, m := range members {
+		u, ok := led.Usage(m.ClientID)
+		if !ok {
+			t.Fatalf("no ledger account for member %q", m.ClientID)
+		}
+		if u.TransientBytes != m.Bytes {
+			t.Errorf("%s transient bytes = %d, want %d", m.ClientID, u.TransientBytes, m.Bytes)
+		}
+		if math.Abs(u.GrantWaitSeconds-4) > 1e-12 {
+			t.Errorf("%s grant wait = %v, want 4s", m.ClientID, u.GrantWaitSeconds)
+		}
+	}
+
+	// One unlabeled wait observation per member plus one for hog, and
+	// the labeled family sums back to the aggregate (conservation).
+	agg := reg.Histogram(obs.MetricSchedWaitSeconds, nil).Snapshot()
+	if agg.Count != 4 {
+		t.Fatalf("unlabeled wait count = %d, want 4", agg.Count)
+	}
+	hv := reg.HistogramVec(obs.MetricSchedWaitSeconds, "client", obs.DurationBuckets())
+	var count int64
+	var sum float64
+	for _, l := range hv.Labels() {
+		h, ok := hv.Get(l)
+		if !ok {
+			t.Fatalf("label %q listed but not gettable", l)
+		}
+		snap := h.Snapshot()
+		count += snap.Count
+		sum += snap.Sum
+	}
+	if count != agg.Count {
+		t.Errorf("labeled wait count %d != unlabeled %d", count, agg.Count)
+	}
+	if math.Abs(sum-agg.Sum) > 1e-9*math.Max(1, math.Abs(agg.Sum)) {
+		t.Errorf("labeled wait sum %.12f != unlabeled %.12f", sum, agg.Sum)
+	}
+
+	// Completing the batch releases every member's share.
+	if reclaimed := s.Complete("batch-1"); reclaimed != 60 {
+		t.Fatalf("reclaimed = %d, want 60", reclaimed)
+	}
+	for _, m := range members {
+		if u, _ := led.Usage(m.ClientID); u.TransientBytes != 0 {
+			t.Errorf("%s transient bytes after complete = %d", m.ClientID, u.TransientBytes)
+		}
+	}
+	if s.Available() != 100 {
+		t.Fatalf("available = %d, want 100", s.Available())
+	}
+}
+
+// TestSubmitBatchRejections covers the batch-specific reject paths.
+func TestSubmitBatchRejections(t *testing.T) {
+	s := New(100, PolicyFCFS)
+	var c collector
+
+	if err := s.SubmitBatch("b0", KindForward, nil, c.grant("b0")); err == nil {
+		t.Error("empty batch accepted")
+	}
+	err := s.SubmitBatch("b1", KindForward, []BatchMember{{"a", 60}, {"b", 60}}, c.grant("b1"))
+	if !errors.Is(err, ErrNeverFits) {
+		t.Errorf("oversized batch: err = %v, want ErrNeverFits", err)
+	}
+	err = s.SubmitBatch("b2", KindForward, []BatchMember{{"x", 5}, {"x", 5}}, c.grant("b2"))
+	if !errors.Is(err, ErrOutstanding) {
+		t.Errorf("duplicate member: err = %v, want ErrOutstanding", err)
+	}
+
+	mustSubmit(t, s, "a", KindForward, 10, c.grant("a"))
+	err = s.SubmitBatch("b3", KindForward, []BatchMember{{"a", 5}}, c.grant("b3"))
+	if !errors.Is(err, ErrOutstanding) {
+		t.Errorf("member with live allocation: err = %v, want ErrOutstanding", err)
+	}
+	s.Complete("a")
+
+	// Fill memory, queue a batch carrying x, then try to queue x again
+	// in a second batch: the member-in-queued-batch check must fire.
+	mustSubmit(t, s, "hog", KindBackward, 100, c.grant("hog"))
+	if err := s.SubmitBatch("b4", KindForward, []BatchMember{{"x", 20}}, c.grant("b4")); err != nil {
+		t.Fatal(err)
+	}
+	err = s.SubmitBatch("b5", KindForward, []BatchMember{{"x", 5}}, c.grant("b5"))
+	if !errors.Is(err, ErrOutstanding) {
+		t.Errorf("member queued in another batch: err = %v, want ErrOutstanding", err)
+	}
+}
+
+// TestBatchPolicyValidate pins the knob defaults.
+func TestBatchPolicyValidate(t *testing.T) {
+	if (BatchPolicy{}).Enabled() {
+		t.Error("zero policy must be disabled")
+	}
+	if !(BatchPolicy{MaxSize: 1}).Enabled() {
+		t.Error("MaxSize 1 (serial batching) must count as enabled")
+	}
+	if err := (BatchPolicy{MaxSize: -1}).Validate(); err == nil {
+		t.Error("negative MaxSize validated")
+	}
+	if err := (BatchPolicy{MaxSize: 8, MaxHold: -time.Second}).Validate(); err == nil {
+		t.Error("negative MaxHold validated")
+	}
+	if p := (BatchPolicy{MaxSize: 8}).WithDefaults(); p.MaxHold != DefaultMaxHold {
+		t.Errorf("default MaxHold = %v, want %v", p.MaxHold, DefaultMaxHold)
+	}
+}

@@ -78,13 +78,16 @@ func (p Policy) String() string {
 	}
 }
 
-// request is a queued scheduling request.
+// request is a queued scheduling request. A batch request (SubmitBatch)
+// carries the member shares that sum to bytes; clientID is then the
+// batch ID and each member is billed individually at grant time.
 type request struct {
 	clientID string
 	kind     RequestKind
 	bytes    int64
 	grant    func()
 	at       time.Duration // submit time on the telemetry clock
+	members  []BatchMember // nil for plain Submit requests
 }
 
 // schedMetrics holds the scheduler's resolved telemetry handles. All
@@ -145,6 +148,11 @@ type Scheduler struct {
 	reserved    int64
 	reservedIDs map[string]struct{}
 
+	// batchMembers remembers the member shares of live batch
+	// allocations so Complete(batchID) can release each member's bytes
+	// in the ledger.
+	batchMembers map[string][]BatchMember
+
 	// ledger, when non-nil, receives per-tenant accounting events:
 	// grants and reservations as byte holdings (persistent vs transient
 	// via the owner-tag prefix), grant waits, and admission sheds. Pure
@@ -156,12 +164,13 @@ type Scheduler struct {
 // memory.
 func New(totalMem int64, policy Policy) *Scheduler {
 	return &Scheduler{
-		policy:      policy,
-		avail:       totalMem,
-		total:       totalMem,
-		alloc:       make(map[string]int64),
-		resident:    make(map[string]struct{}),
-		reservedIDs: make(map[string]struct{}),
+		policy:       policy,
+		avail:        totalMem,
+		total:        totalMem,
+		alloc:        make(map[string]int64),
+		resident:     make(map[string]struct{}),
+		reservedIDs:  make(map[string]struct{}),
+		batchMembers: make(map[string][]BatchMember),
 	}
 }
 
@@ -355,7 +364,14 @@ func (s *Scheduler) Complete(clientID string) int64 {
 		if s.m != nil {
 			s.m.completed.Inc()
 		}
-		s.ledger.Release(clientID, reclaimed)
+		if members, ok := s.batchMembers[clientID]; ok {
+			for _, m := range members {
+				s.ledger.Release(m.ClientID, m.Bytes)
+			}
+			delete(s.batchMembers, clientID)
+		} else {
+			s.ledger.Release(clientID, reclaimed)
+		}
 	}
 	grants := s.schedule()
 	s.mu.Unlock()
@@ -482,7 +498,18 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 		s.stats.Backfilled++
 	}
 	s.resident[r.clientID] = struct{}{}
-	s.ledger.Acquire(r.clientID, r.bytes)
+	if len(r.members) == 0 {
+		s.ledger.Acquire(r.clientID, r.bytes)
+	} else {
+		// Batch grant: each member is billed its own byte share, and
+		// the member list is kept so Complete(batchID) can release the
+		// same shares.
+		for _, m := range r.members {
+			s.resident[m.ClientID] = struct{}{}
+			s.ledger.Acquire(m.ClientID, m.Bytes)
+		}
+		s.batchMembers[r.clientID] = r.members
+	}
 	if now, ok := s.clockNow(); ok {
 		wait := now - r.at
 		if s.m != nil {
@@ -490,7 +517,12 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 			if backfilled {
 				s.m.backfilled.Inc()
 			}
-			s.m.wait.Observe(wait.Seconds())
+			// One wait observation per member (a plain request counts
+			// as one member), so the unlabeled histogram matches the
+			// per-member observations the ledger records below.
+			for range max(len(r.members), 1) {
+				s.m.wait.Observe(wait.Seconds())
+			}
 			s.observeQueueDepth()
 		}
 		if s.adm != nil {
@@ -499,7 +531,13 @@ func (s *Scheduler) grantAt(i int, backfilled bool) func() {
 		// The ledger's labeled wait family shares the unlabeled
 		// histogram's name and sees the exact same value, so the
 		// per-client series sum back to the aggregate.
-		s.ledger.AddGrantWait(r.clientID, wait.Seconds())
+		if len(r.members) == 0 {
+			s.ledger.AddGrantWait(r.clientID, wait.Seconds())
+		} else {
+			for _, m := range r.members {
+				s.ledger.AddGrantWait(m.ClientID, wait.Seconds())
+			}
+		}
 	}
 	return r.grant
 }

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"menos/internal/batch"
 	"menos/internal/checkpoint"
 	"menos/internal/fleet"
 	"menos/internal/gpu"
@@ -75,6 +76,13 @@ type Config struct {
 	// to disk on overload anomalies: admission-state transitions,
 	// sheds, and memory rejections. Nil disables the recorder.
 	Flight *obs.FlightRecorder
+	// Batch, when enabled (MaxSize > 1), coalesces compatible
+	// forward/backward requests from concurrent LoRA clients into one
+	// batched kernel invocation with per-row adapter dispatch
+	// (docs/BATCHING.md). Requires OnDemand: the batched executor runs
+	// the no-grad-forward / re-forward-backward protocol. The zero
+	// value serves every request serially.
+	Batch sched.BatchPolicy
 	// ServerID is this server's fleet identity, echoed in /loadz
 	// (LoadSnapshot). A single-server deployment can leave it 0.
 	ServerID int
@@ -97,6 +105,10 @@ type Server struct {
 	// disabled). The scheduler feeds it byte holdings and grant waits;
 	// the serving loop feeds it compute, iterations and wire bytes.
 	ledger *obs.Ledger
+	// engine forms batched kernel invocations (nil when Config.Batch is
+	// disabled); batchSeq names them for the scheduler.
+	engine   *batch.Engine
+	batchSeq atomic.Int64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -181,6 +193,24 @@ func New(cfg Config) (*Server, error) {
 		s.ledger = obs.NewLedger(obs.LedgerConfig{Clock: s.clock, MaxClients: cfg.TenantCap})
 		s.ledger.Instrument(cfg.Metrics)
 		s.scheduler.SetLedger(s.ledger)
+	}
+	if cfg.Batch.Enabled() {
+		if !cfg.OnDemand {
+			return nil, errors.New("server: batching requires OnDemand serving")
+		}
+		pol := cfg.Batch.WithDefaults()
+		engine, err := batch.New(batch.Config{
+			Policy:   pol,
+			Exec:     s.execBatch,
+			MaxBytes: s.scheduler.Schedulable,
+			Metrics:  batch.NewMetrics(cfg.Metrics, s.ledger, pol.MaxSize),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: batch engine: %w", err)
+		}
+		s.engine = engine
+	} else if err := cfg.Batch.Validate(); err != nil {
+		return nil, fmt.Errorf("server: batch policy: %w", err)
 	}
 	if cfg.SLO.Enabled() {
 		if err := s.scheduler.EnableAdmission(cfg.SLO, obs.NewWallClock()); err != nil {
@@ -293,6 +323,12 @@ func (s *Server) Close() error {
 		_ = c.Close()
 	}
 	s.mu.Unlock()
+	// Flush forming batches before the scheduler dies: a pending group
+	// still needs a (failing or succeeding) grant to release its
+	// members' serving goroutines.
+	if s.engine != nil {
+		s.engine.Close()
+	}
 	s.scheduler.Close()
 	s.wg.Wait()
 	return nil
@@ -660,6 +696,9 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 		return fmt.Errorf("geometry (%d,%d) exceeds profiled (%d,%d)",
 			req.Batch, req.Seq, sess.batch, sess.seq)
 	}
+	if la, ok := s.batchable(sess); ok {
+		return s.serveForwardBatched(conn, sess, req, batchKey(sess, la, sched.KindForward, req.Seq))
+	}
 	wait, err := s.acquire(sess, sched.KindForward, sess.demands.ForwardBytes, req.TraceID)
 	if err != nil {
 		return err
@@ -713,6 +752,9 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 	}
 	if req.Iter != sess.cachedIter {
 		return fmt.Errorf("backward for iteration %d, but forward was %d", req.Iter, sess.cachedIter)
+	}
+	if la, ok := s.batchable(sess); ok {
+		return s.serveBackwardBatched(conn, sess, req, batchKey(sess, la, sched.KindBackward, sess.cachedSeq))
 	}
 
 	var wait time.Duration

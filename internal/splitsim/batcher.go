@@ -1,0 +1,262 @@
+package splitsim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"menos/internal/batch"
+	"menos/internal/costmodel"
+	"menos/internal/sched"
+	"menos/internal/sim"
+)
+
+// simBatcher forms batched kernel invocations in virtual time, the
+// simulation counterpart of internal/batch.Engine (which forms them on
+// the wall clock and therefore cannot run under the deterministic
+// kernel). The policy, the compatibility key, and the published
+// menos_batch_* metrics are shared with the real engine; only the
+// clockwork differs.
+//
+// Batched mode also changes the compute model: where the serial
+// simulation time-shares GPU compute freely (each client sleeps its own
+// duration, overlapped), a batched kernel invocation owns the device —
+// one invocation runs at a time per server, serialized through a
+// sim.Resource, and costs costmodel.BatchedTime(maxMemberDur, K). That
+// is what makes the batch-size-vs-latency knee measurable: a size-1
+// policy serializes K clients' kernels end to end, while a size-K
+// policy amortizes the shared frozen base across one invocation.
+type simBatcher struct {
+	kernel  *sim.Kernel
+	pol     sched.BatchPolicy
+	metrics *batch.Metrics
+	// onShed mirrors the serial path's shed bookkeeping (rejected
+	// counter, ledger retries, flight snapshot) for a whole group.
+	onShed func(members []*simMember)
+	// onMem samples the transient-memory timeline after grants and
+	// completes, like the serial grant()/release() closures do.
+	onMem func(at time.Duration)
+
+	seq    int
+	groups map[simBatchKey]*simGroup
+	gpus   map[*serverSim]*sim.Resource
+}
+
+// simBatchKey is the compatibility class of a forming group: one
+// server, one phase, one stacked-tensor shape (batch.Key's Sig is
+// irrelevant here — the analytic model has no adapter structure).
+type simBatchKey struct {
+	srv  *serverSim
+	kind sched.RequestKind
+	cut  int
+	seq  int
+}
+
+// simMember is one client's share of a forming group. The joining
+// process fills the request half and parks; the leader fills the
+// outcome half and fires sig.
+type simMember struct {
+	id      string
+	bytes   int64
+	rows    int64
+	dur     time.Duration // this member's serial kernel duration
+	release time.Duration // release/re-collect overhead (backward only)
+
+	joined time.Duration
+	sig    *sim.Signal
+	done   bool
+	err    error
+	// Outcome accounting, all on the virtual clock: the grant wait
+	// (including the fixed decision cost, like waitGrant), the billed
+	// compute share (Σ shares == batch duration), and the residency
+	// stall (time inside the batch beyond the member's own share —
+	// waiting for co-members' rows and for the device).
+	wait    time.Duration
+	compute time.Duration
+	stall   time.Duration
+}
+
+// simGroup is one forming batch.
+type simGroup struct {
+	key     simBatchKey
+	id      string
+	jitter  int
+	members []*simMember
+	bytes   int64
+	opened  time.Duration
+	sealed  bool
+}
+
+func newSimBatcher(kernel *sim.Kernel, pol sched.BatchPolicy, metrics *batch.Metrics,
+	onShed func([]*simMember), onMem func(time.Duration)) *simBatcher {
+	return &simBatcher{
+		kernel:  kernel,
+		pol:     pol.WithDefaults(),
+		metrics: metrics,
+		onShed:  onShed,
+		onMem:   onMem,
+		groups:  make(map[simBatchKey]*simGroup),
+		gpus:    make(map[*serverSim]*sim.Resource),
+	}
+}
+
+// gpu returns srv's kernel-invocation slot: one batched invocation
+// owns the device at a time.
+func (b *simBatcher) gpu(srv *serverSim) *sim.Resource {
+	r := b.gpus[srv]
+	if r == nil {
+		r = b.kernel.NewResource(fmt.Sprintf("gpu:%d", srv.id), 1)
+		b.gpus[srv] = r
+	}
+	return r
+}
+
+// run joins m to the forming group for key and parks p until the
+// group's batch has executed. It returns m.err (nil unless the batch
+// could never be scheduled). On return m's wait/compute/stall fields
+// hold the member's share of the batch for the caller to bill.
+func (b *simBatcher) run(p *sim.Proc, key simBatchKey, m *simMember) error {
+	m.joined = p.Now()
+	m.sig = b.kernel.NewSignal()
+	g := b.groups[key]
+	// Byte budget: one batch becomes one scheduler grant, so a member
+	// that would push the group past what the scheduler could ever
+	// grant seals the group early and opens a fresh one.
+	if g != nil && g.bytes+m.bytes > key.srv.scheduler.Schedulable() {
+		b.seal(g)
+		g = nil
+	}
+	if g == nil {
+		b.seq++
+		g = &simGroup{
+			key:    key,
+			id:     fmt.Sprintf("batch-%d", b.seq),
+			jitter: b.seq % 8,
+			opened: p.Now(),
+		}
+		b.groups[key] = g
+		gg := g
+		// The hold timer runs outside process context; sealing spawns
+		// the leader, which is a process, so the callback never sleeps.
+		b.kernel.After(b.pol.MaxHold, func() { b.seal(gg) })
+	}
+	g.members = append(g.members, m)
+	g.bytes += m.bytes
+	if len(g.members) >= b.pol.MaxSize {
+		b.seal(g)
+	}
+	for !m.done {
+		m.sig.Wait(p, "batch "+g.id)
+	}
+	return m.err
+}
+
+// seal closes g to new members and spawns its leader process. Safe to
+// call from member process context and from After callbacks; idempotent
+// so a size-full seal and a later hold-timer expiry cannot double-fire.
+func (b *simBatcher) seal(g *simGroup) {
+	if g.sealed {
+		return
+	}
+	g.sealed = true
+	if b.groups[g.key] == g {
+		delete(b.groups, g.key)
+	}
+	b.kernel.Spawn(g.id, func(p *sim.Proc) { b.lead(p, g) })
+}
+
+// lead drives one sealed group: submit the batched grant, serialize on
+// the device, sleep the batched kernel duration, release, bill each
+// member its row share, and wake everyone.
+func (b *simBatcher) lead(p *sim.Proc, g *simGroup) {
+	hold := p.Now() - g.opened
+	srv := g.key.srv
+	members := make([]sched.BatchMember, len(g.members))
+	var maxDur, maxRel, totalDur time.Duration
+	for i, m := range g.members {
+		members[i] = sched.BatchMember{ClientID: m.id, Bytes: m.bytes}
+		if m.dur > maxDur {
+			maxDur = m.dur
+		}
+		if m.release > maxRel {
+			maxRel = m.release
+		}
+		totalDur += m.dur
+	}
+
+	// Submit with the serial path's shed semantics: back off for the
+	// controller's hint (jittered deterministically per group) and
+	// resubmit; members stay parked, so their recorded wait spans all
+	// attempts. Errors other than overload can never be granted — fail
+	// the members rather than deadlocking the kernel.
+	granted := false
+	sig := b.kernel.NewSignal()
+	for {
+		err := srv.scheduler.SubmitBatch(g.id, g.key.kind, members, func() {
+			granted = true
+			sig.Fire()
+		})
+		if err == nil {
+			break
+		}
+		var ov *sched.OverloadError
+		if !errors.As(err, &ov) {
+			for _, m := range g.members {
+				m.err = fmt.Errorf("batch %s: %w", g.id, err)
+				m.done = true
+				m.sig.Fire()
+			}
+			return
+		}
+		b.onShed(g.members)
+		p.Sleep(ov.RetryAfter + ov.RetryAfter*time.Duration(g.jitter)/8)
+	}
+	for !granted {
+		sig.Wait(p, "batch grant "+g.id)
+	}
+	grantAt := p.Now()
+	b.onMem(grantAt)
+
+	// One batched kernel invocation owns the device; the grant is held
+	// across the sleep exactly like a serial client's.
+	dev := b.gpu(srv)
+	dev.Acquire(p)
+	busy := costmodel.BatchedTime(maxDur, len(g.members))
+	p.Sleep(busy)
+	dev.Release()
+	srv.scheduler.Complete(g.id)
+	b.onMem(p.Now())
+	// One release/re-collection cycle per batch — the batched path's
+	// core saving over per-client release (Table 2's per-client cost).
+	if maxRel > 0 {
+		p.Sleep(maxRel)
+	}
+	doneAt := p.Now()
+
+	// Bill each member its share of the device time, proportional to
+	// its serial duration so heterogeneous members split the batch the
+	// way the row-partitioned kernel actually spends it. Integer
+	// remainders go to the last member, keeping Σ shares exact.
+	total := doneAt - grantAt
+	var billed time.Duration
+	rows := make([]batch.MemberRows, len(g.members))
+	for i, m := range g.members {
+		share := total
+		if totalDur > 0 {
+			share = time.Duration(float64(total) * (float64(m.dur) / float64(totalDur)))
+		}
+		if i == len(g.members)-1 {
+			share = total - billed
+		}
+		billed += share
+		m.wait = grantAt - m.joined + costmodel.SchedulerDecisionTime
+		m.compute = share
+		m.stall = doneAt - grantAt - share
+		rows[i] = batch.MemberRows{Client: m.id, Rows: m.rows}
+	}
+	b.metrics.Record(rows, hold.Seconds())
+	for _, m := range g.members {
+		m.done = true
+		m.sig.Fire()
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"menos/internal/batch"
 	"menos/internal/costmodel"
 	"menos/internal/fleet"
 	"menos/internal/gpu"
@@ -281,6 +282,28 @@ func runMenos(cfg Config) (*Result, error) {
 		}
 	}
 
+	// Batched server phases (docs/BATCHING.md): compatible forward and
+	// backward requests coalesce into one kernel invocation, formed in
+	// virtual time under the same policy and metrics the wall-clock
+	// engine (internal/batch) uses. Nil when batching is disabled, which
+	// leaves the serial path — and its virtual-time trace — untouched.
+	var batcher *simBatcher
+	if cfg.Batch != nil && cfg.Batch.Enabled() {
+		pol := cfg.Batch.WithDefaults()
+		bm := batch.NewMetrics(cfg.Metrics, ledger, pol.MaxSize)
+		batcher = newSimBatcher(kernel, pol, bm,
+			func(members []*simMember) {
+				rejected += int64(len(members))
+				for _, m := range members {
+					ledger.Retry(m.id)
+				}
+				if cfg.Flight != nil {
+					cfg.Flight.Trigger(obs.FlightReasonShed)
+				}
+			},
+			sampleMem)
+	}
+
 	// Fleet dynamics state (autoscaled runs only). The kernel is
 	// single-threaded, so plain variables suffice.
 	remaining := len(cfg.Clients)
@@ -437,6 +460,39 @@ func runMenos(cfg Config) (*Result, error) {
 				scheduler.Complete(cl.ID)
 				sampleMem(p.Now())
 			}
+			// batchPhase runs one server phase through the batcher
+			// instead of grant/sleep/release: the member parks until its
+			// batch executes, then bills its share — grant wait and
+			// residency stall into the sched bucket, its row share of the
+			// batched kernel into compute (so Σ clients' compute equals
+			// the device time actually spent). Returns false on a fatal
+			// scheduling error.
+			batchPhase := func(kind sched.RequestKind, name string, bytes int64, dur, rel time.Duration) bool {
+				start := p.Now()
+				m := &simMember{
+					id:      cl.ID,
+					bytes:   bytes,
+					rows:    int64(cl.Workload.Batch),
+					dur:     dur,
+					release: rel,
+				}
+				key := simBatchKey{srv: srv, kind: kind, cut: cl.Workload.Cut, seq: cl.Workload.Seq}
+				if err := batcher.run(p, key, m); err != nil {
+					failFleet(fmt.Errorf("client %q: %v", cl.ID, err))
+					return false
+				}
+				recordWait(kind, m.wait)
+				schedT += m.wait + m.stall
+				comp += m.compute
+				cfg.Tracer.RecordT(cl.ID, "wait:"+kind.String(), "sched", tid, start, m.wait)
+				grantAt := start + m.wait - costmodel.SchedulerDecisionTime
+				cfg.Tracer.RecordT(cl.ID, name, "compute", tid, grantAt, m.compute)
+				if m.stall > 0 {
+					cfg.Tracer.RecordT(cl.ID, "batch-stall", "sched", tid, grantAt+m.compute, m.stall)
+				}
+				ledger.AddCompute(cl.ID, m.compute.Seconds())
+				return true
+			}
 			if cl.StartDelay > 0 {
 				p.Sleep(cl.StartDelay)
 			}
@@ -559,9 +615,16 @@ func runMenos(cfg Config) (*Result, error) {
 					// PolicyPreserve: memory stays allocated through
 					// the gradient wait.
 				default: // PolicyOnDemand, Fig. 3(d)
-					grant(sched.KindForward, demand.fwd)
-					sleepComp("forward", cost.NoGradForwardTime(cl.Workload))
-					release()
+					if batcher != nil {
+						if !batchPhase(sched.KindForward, "forward", demand.fwd,
+							cost.NoGradForwardTime(cl.Workload), 0) {
+							return
+						}
+					} else {
+						grant(sched.KindForward, demand.fwd)
+						sleepComp("forward", cost.NoGradForwardTime(cl.Workload))
+						release()
+					}
 				}
 
 				// Server returns x_s; client runs the output section,
@@ -584,15 +647,25 @@ func runMenos(cfg Config) (*Result, error) {
 					release()
 					sleepComp("release", releaseCost/2)
 				default: // PolicyOnDemand
-					grant(sched.KindBackward, demand.bwd)
-					// Re-forward + backward.
-					sleepComp("re-forward+backward",
-						cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload))
-					release()
-					// Releasing and re-collecting fragmented memory
-					// happens after the grant is returned (Table 2's
-					// growing overhead).
-					sleepComp("release", releaseCost)
+					if batcher != nil {
+						// Re-forward + backward, batched; the release/
+						// re-collection cycle happens once per batch
+						// inside the leader, not once per client.
+						if !batchPhase(sched.KindBackward, "re-forward+backward", demand.bwd,
+							cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload), releaseCost) {
+							return
+						}
+					} else {
+						grant(sched.KindBackward, demand.bwd)
+						// Re-forward + backward.
+						sleepComp("re-forward+backward",
+							cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload))
+						release()
+						// Releasing and re-collecting fragmented memory
+						// happens after the grant is returned (Table 2's
+						// growing overhead).
+						sleepComp("release", releaseCost)
+					}
 				}
 				sleepComp("optimizer", costmodel.OptimizerStepTime)
 

@@ -124,7 +124,15 @@ type Config struct {
 	// from queue-depth and admission signals, and clients on draining
 	// servers migrate at iteration boundaries (paying the transfer
 	// cost for their persistent state). Nil keeps the fleet static.
-	Autoscale  *fleet.AutoscaleConfig
+	Autoscale *fleet.AutoscaleConfig
+	// Batch, when set and enabled, coalesces compatible server phases
+	// (same server, request kind, cut and sequence length) into batched
+	// kernel invocations formed in virtual time under the policy's
+	// size/hold/byte limits (docs/BATCHING.md). Batched mode models the
+	// device as owned by one invocation at a time, so a MaxSize-1
+	// policy is the serialized baseline the multilora sweep compares
+	// against. Menos mode with PolicyOnDemand and a static fleet only.
+	Batch      *sched.BatchPolicy
 	ServerPerf costmodel.Perf
 	Clients    []ClientSpec
 	Iterations int
@@ -200,6 +208,22 @@ func (c *Config) validate() error {
 		if c.Servers < norm.Min || c.Servers > norm.Max {
 			return fmt.Errorf("%w: autoscale: starting Servers=%d outside [Min=%d, Max=%d]",
 				ErrConfig, c.Servers, norm.Min, norm.Max)
+		}
+	}
+	if c.Batch != nil {
+		if err := c.Batch.Validate(); err != nil {
+			return fmt.Errorf("%w: batch: %v", ErrConfig, err)
+		}
+		if c.Batch.Enabled() {
+			if c.Mode != ModeMenos {
+				return fmt.Errorf("%w: batching requires Menos mode", ErrConfig)
+			}
+			if c.Policy != PolicyOnDemand {
+				return fmt.Errorf("%w: batching requires the on-demand policy (got %v)", ErrConfig, c.Policy)
+			}
+			if c.Autoscale != nil {
+				return fmt.Errorf("%w: batching requires a static fleet", ErrConfig)
+			}
 		}
 	}
 	for i, cl := range c.Clients {

@@ -1,0 +1,33 @@
+package tensor
+
+import "fmt"
+
+// StackRows concatenates 2-D tensors row-wise into a freshly allocated
+// tensor: the batch former's stacking primitive (docs/BATCHING.md).
+// Every part must be rank 2 with the same column count; parts keep
+// their internal row order, so per-row results of row-local kernels
+// over the stack are bit-identical to running each part alone.
+func StackRows(parts []*Tensor) (*Tensor, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: stack of zero tensors", ErrShape)
+	}
+	cols := 0
+	rows := 0
+	for i, p := range parts {
+		if p.Rank() != 2 {
+			return nil, fmt.Errorf("%w: part %d has rank %d, want 2", ErrShape, i, p.Rank())
+		}
+		if i == 0 {
+			cols = p.Dim(1)
+		} else if p.Dim(1) != cols {
+			return nil, fmt.Errorf("%w: part %d has %d columns, part 0 has %d", ErrShape, i, p.Dim(1), cols)
+		}
+		rows += p.Dim(0)
+	}
+	out := New(rows, cols)
+	off := 0
+	for _, p := range parts {
+		off += copy(out.data[off:], p.data)
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStackRows(t *testing.T) {
+	a := MustFromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := MustFromSlice([]float32{5, 6}, 1, 2)
+	out, err := StackRows([]*Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Dim(0) != 3 || out.Dim(1) != 2 {
+		t.Fatalf("shape = %v, want [3 2]", out.Shape())
+	}
+	want := []float32{1, 2, 3, 4, 5, 6}
+	for i, v := range out.Data() {
+		if v != want[i] {
+			t.Fatalf("data = %v, want %v", out.Data(), want)
+		}
+	}
+	// The stack owns its storage: segment views of it must not alias
+	// the parts.
+	out.Data()[0] = 99
+	if a.Data()[0] != 1 {
+		t.Fatal("stack aliases its parts")
+	}
+}
+
+func TestStackRowsShapeErrors(t *testing.T) {
+	if _, err := StackRows(nil); !errors.Is(err, ErrShape) {
+		t.Errorf("empty stack: err = %v", err)
+	}
+	a := MustFromSlice([]float32{1, 2}, 1, 2)
+	c := MustFromSlice([]float32{1, 2, 3}, 1, 3)
+	if _, err := StackRows([]*Tensor{a, c}); !errors.Is(err, ErrShape) {
+		t.Errorf("column mismatch: err = %v", err)
+	}
+	d := MustFromSlice([]float32{1, 2}, 2)
+	if _, err := StackRows([]*Tensor{a, d}); !errors.Is(err, ErrShape) {
+		t.Errorf("rank mismatch: err = %v", err)
+	}
+}
+
+// TestStackRowsRoundTripSlice2D: slicing the stack back out returns
+// bit-identical views of each part's rows.
+func TestStackRowsRoundTripSlice2D(t *testing.T) {
+	rng := NewRNG(5)
+	parts := []*Tensor{
+		NewNormal(rng, 1, 3, 4),
+		NewNormal(rng, 1, 1, 4),
+		NewNormal(rng, 1, 2, 4),
+	}
+	out, err := StackRows(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := 0
+	for i, p := range parts {
+		hi := lo + p.Dim(0)
+		seg, err := out.Slice2D(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, v := range seg.Data() {
+			if v != p.Data()[j] {
+				t.Fatalf("part %d differs at %d", i, j)
+			}
+		}
+		lo = hi
+	}
+}
