@@ -13,19 +13,24 @@ test:
 # them from concurrent training loops, the metrics registry and ring
 # tracer, the wire protocol (version interop), the scheduler (including
 # admission-control state flips), the batch-formation engine, the fleet
-# manager, the TCP serving loop and the simulator that drives them.
+# manager (concurrent scrape ingestion), the federated time-series
+# store, the alert engine, the TCP serving loop and the simulator that
+# drives them.
 test-race:
-	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/batch ./internal/fleet ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/batch ./internal/fleet ./internal/tsdb ./internal/alert ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Multi-process end-to-end: builds menos-server, menos-client and
 # menos-fleetd, launches a two-server fleet plus the control plane on
-# loopback, and asserts one live client migration with zero lost
-# iterations and a bit-identical final loss vs an unmigrated control
-# run. Process logs and flight recordings land in e2e-artifacts/ (CI
-# uploads them on failure).
+# loopback (alerting and trace federation enabled), and asserts one
+# live client migration with zero lost iterations, a bit-identical
+# final loss vs an unmigrated control run, a merged fleet trace with
+# the migrated iteration stitched across both server processes, and
+# zero alerts fired over the healthy run. Process logs, flight
+# recordings and the alertz/fleet-trace documents land in
+# e2e-artifacts/ (CI uploads them on failure).
 e2e:
 	MENOS_E2E_ARTIFACTS=$(CURDIR)/e2e-artifacts $(GO) test -tags e2e -timeout 240s -v ./e2e/
 

@@ -21,17 +21,40 @@
 // reused port) marks the endpoint unhealthy instead of trusting a
 // stranger's "ok".
 //
+// Each poll tick additionally scrapes every healthy server's
+// /metrics.json into a bounded in-memory time-series store (labeled
+// {server=,client=}; raw samples downsample past -retention windows —
+// see internal/tsdb) and evaluates the built-in alert catalog over it:
+// SLO burn rate against each server's advertised admission target,
+// shed storms, GPU OOMs, dead or identity-mismatched servers, fleet
+// imbalance and batch-occupancy collapse, each with Pending→Firing
+// dwell hysteresis (internal/alert). With -flight-dir set, every
+// transition into Firing triggers a flight-recorder snapshot. With
+// -federate-traces, each tick also pages every server's /trace ring
+// through a resume cursor into per-server mirror tracers, so /trace on
+// the daemon serves ONE merged Chrome trace of the whole fleet — a
+// migrated client's spans stitch across server processes by iteration
+// trace ID.
+//
 // The daemon's own HTTP surface (-listen) serves:
 //
 //	/fleetz        the whole fleet as last polled (JSON; menos-top
 //	               renders it with -fleetd)
+//	/queryz        federated time-series: no params lists series
+//	               names; ?name=X[&server=N][&client=C][&window=5m]
+//	               returns the matching series' points (JSON)
+//	/alertz        the alert engine snapshot: every rule, its live
+//	               instances, and recent transitions (JSON)
+//	/trace         the merged fleet Chrome trace (with
+//	               -federate-traces)
 //	POST /place    body ClientInfo JSON -> the chosen Endpoint JSON
 //	               (redirect handshake for arriving clients)
 //	POST /drain    ?id=N: mark a server draining; its clients migrate
 //	               away on subsequent rebalance ticks
 //	POST /migrate  {"client_id","src","dst"}: order one migration now
 //	/metrics,      the menos_fleetd_* families (Prometheus text and
-//	/metrics.json  JSON), plus /healthz liveness
+//	/metrics.json  JSON), plus /healthz liveness and the menos_go_*
+//	               runtime gauges; -pprof mounts /debug/pprof/
 package main
 
 import (
@@ -49,8 +72,10 @@ import (
 	"syscall"
 	"time"
 
+	"menos/internal/alert"
 	"menos/internal/fleet"
 	"menos/internal/obs"
+	"menos/internal/tsdb"
 )
 
 func main() {
@@ -75,6 +100,13 @@ func run(args []string) error {
 	poll := fs.Duration("poll", 2*time.Second, "fleet polling interval")
 	rebalance := fs.Bool("rebalance", true, "order migrations on each poll (drain evacuation and load smoothing)")
 	listen := fs.String("listen", ":9600", "control-plane HTTP listen address")
+	alerts := fs.Bool("alerts", true, "evaluate the built-in alert catalog over the federated metrics each poll tick")
+	sloP99 := fs.Duration("slo-p99", 0, "burn-rate target for servers that do not advertise one (0 skips them)")
+	retention := fs.Duration("retention", 0, "federated time-series retention (0 = 1h; older downsampled buckets are evicted)")
+	fedTraces := fs.Bool("federate-traces", false, "scrape every server's /trace ring each poll and serve the merged fleet trace on /trace")
+	traceBudget := fs.Int64("trace-buffer-mb", 4, "per-server mirror ring budget for trace federation in MiB")
+	flightDir := fs.String("flight-dir", "", "write a flight-recorder snapshot (fleetd metrics JSONL) on every alert transition into firing")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof/ on the control-plane mux and capture profiles in flight snapshots")
 	quiet := fs.Bool("quiet", false, "disable orchestration logs")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,26 +125,104 @@ func run(args []string) error {
 	}
 
 	reg := obs.NewRegistry()
+	// One clock for everything time-shaped in this process: sample
+	// stamps, alert dwells and down-time accounting all read the same
+	// monotonic epoch, so /queryz timestamps and /alertz since-fields
+	// line up exactly.
+	clock := obs.NewWallClock()
+	store := tsdb.New(tsdb.Config{Retention: *retention})
+	var flight *obs.FlightRecorder
+	if *flightDir != "" {
+		flight, err = obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:             *flightDir,
+			Clock:           clock,
+			CaptureProfiles: *pprofFlag,
+		}, reg, nil)
+		if err != nil {
+			return fmt.Errorf("flight recorder: %w", err)
+		}
+		defer flight.Close()
+	}
+	var engine *alert.Engine
+	if *alerts {
+		recording, rules := alert.Catalog(alert.CatalogConfig{
+			Poll:         *poll,
+			SLOTargetP99: *sloP99,
+		})
+		engine = alert.NewEngine(alert.Config{
+			Store:     store,
+			Rules:     rules,
+			Recording: recording,
+			OnFiring: func(tr alert.Transition) {
+				logf("ALERT firing: %s on %s (value %.3g)", tr.Rule, tr.Series, tr.Value)
+				if flight != nil {
+					flight.Trigger(obs.FlightReasonAlert + ":" + tr.Rule)
+				}
+			},
+		})
+		engine.Instrument(reg)
+	}
 	ctrl, err := fleet.NewController(fleet.ControllerConfig{
 		Endpoints: endpoints,
 		Placer:    placer,
 		Metrics:   reg,
+		Store:     store,
+		Clock:     clock,
 		// Wall-clock token seed: a restarted fleetd must not mint
 		// resume tokens colliding with snapshots its previous life
 		// staged at the servers.
-		TokenSeed: uint64(time.Now().UnixNano()),
-		Logf:      logf,
+		TokenSeed:        uint64(time.Now().UnixNano()),
+		FederateTraces:   *fedTraces,
+		TraceBudgetBytes: *traceBudget << 20,
+		Logf:             logf,
 	})
 	if err != nil {
 		return err
 	}
+	stopSampler := obs.StartRuntimeSampler(reg, obs.RuntimeSamplerConfig{})
+	defer stopSampler()
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/", obs.Handler(reg, nil))
+	hopts := []obs.HandlerOption{}
+	if *pprofFlag {
+		hopts = append(hopts, obs.WithPprof())
+	}
+	mux.Handle("/", obs.Handler(reg, nil, hopts...))
+	mux.HandleFunc("GET /queryz", func(w http.ResponseWriter, req *http.Request) {
+		doc, err := queryzDoc(store, clock.Now(), req.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, _ := json.MarshalIndent(doc, "", "  ")
+		_, _ = w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("GET /alertz", func(w http.ResponseWriter, _ *http.Request) {
+		if engine == nil {
+			http.Error(w, "alerting disabled (-alerts=false)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		data, _ := json.MarshalIndent(engine.Snapshot(clock.Now()), "", "  ")
+		_, _ = w.Write(append(data, '\n'))
+	})
+	// Shadows the obs.Handler /trace (which would be empty — fleetd has
+	// no tracer of its own): the federated fleet trace instead.
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, _ *http.Request) {
+		if !*fedTraces {
+			http.Error(w, "trace federation disabled (-federate-traces)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := ctrl.WriteMergedTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("GET /fleetz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		data, err := json.MarshalIndent(ctrl.Snapshot(), "", "  ")
@@ -181,6 +291,9 @@ func run(args []string) error {
 		if healthy == 0 {
 			logf("no healthy servers")
 		}
+		if engine != nil {
+			engine.EvalTick(clock.Now())
+		}
 		if *rebalance {
 			if moved, err := ctrl.RebalanceOnce(); err != nil {
 				logf("rebalance: %v", err)
@@ -195,6 +308,85 @@ func run(args []string) error {
 		case <-tick.C:
 		}
 	}
+}
+
+// queryzPoint is one sample in a /queryz response; t is seconds on the
+// daemon's clock epoch (process start), matching /alertz at_seconds.
+type queryzPoint struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+type queryzSeries struct {
+	Name   string        `json:"name"`
+	Server int           `json:"server"`
+	Client string        `json:"client,omitempty"`
+	Points []queryzPoint `json:"points"`
+}
+
+type queryzDocT struct {
+	AtSeconds float64        `json:"at_seconds"`
+	Names     []string       `json:"names,omitempty"`
+	Series    []queryzSeries `json:"series,omitempty"`
+}
+
+// queryzDoc renders one /queryz request: without ?name= it lists the
+// store's series names; with one it returns every matching series'
+// points over the trailing ?window= (default 5m), optionally narrowed
+// by ?server= and ?client=.
+func queryzDoc(store *tsdb.Store, now time.Duration, q map[string][]string) (queryzDocT, error) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	doc := queryzDocT{AtSeconds: now.Seconds()}
+	name := get("name")
+	if name == "" {
+		doc.Names = store.Names()
+		return doc, nil
+	}
+	window := 5 * time.Minute
+	if w := get("window"); w != "" {
+		d, err := time.ParseDuration(w)
+		if err != nil || d <= 0 {
+			return doc, fmt.Errorf("bad window %q", w)
+		}
+		window = d
+	}
+	serverFilter, haveServer := 0, false
+	if s := get("server"); s != "" {
+		id, err := strconv.Atoi(s)
+		if err != nil {
+			return doc, fmt.Errorf("bad server %q", s)
+		}
+		serverFilter, haveServer = id, true
+	}
+	clientFilter, haveClient := get("client"), q["client"] != nil
+	from := now - window
+	if from < 0 {
+		from = 0
+	}
+	for _, sr := range store.Query(name, from, now) {
+		if haveServer && sr.ID.Server != serverFilter {
+			continue
+		}
+		if haveClient && sr.ID.Client != clientFilter {
+			continue
+		}
+		out := queryzSeries{
+			Name:   sr.ID.Name,
+			Server: sr.ID.Server,
+			Client: sr.ID.Client,
+			Points: make([]queryzPoint, 0, len(sr.Points)),
+		}
+		for _, p := range sr.Points {
+			out.Points = append(out.Points, queryzPoint{T: p.At.Seconds(), V: p.Value})
+		}
+		doc.Series = append(doc.Series, out)
+	}
+	return doc, nil
 }
 
 // parseEndpoint parses one -server flag value.

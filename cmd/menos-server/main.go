@@ -126,7 +126,16 @@ func run(args []string) error {
 		// instead of new ones being dropped, so /trace and the flight
 		// recorder always hold the most recent window.
 		tracer.EnableRing(*traceBudget << 20)
-		tracer.SetProcess(1, "menos-server")
+		// Distinct per-server process identity: fleetd's merged trace
+		// renders each server as its own process row, and the pid must
+		// differ per server for the rows not to collapse.
+		pname := "menos-server"
+		pid := 1
+		if *serverID != 0 {
+			pname = fmt.Sprintf("menos-server-%d", *serverID)
+			pid = *serverID
+		}
+		tracer.SetProcess(pid, pname)
 		tracer.Instrument(reg)
 	}
 	var flight *obs.FlightRecorder

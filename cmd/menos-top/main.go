@@ -9,17 +9,25 @@
 //
 //	menos-top -servers host1:9090,host2:9090 [-interval 2s] [-once]
 //	          [-top 10]
-//	menos-top -fleetd http://host:9600 [-interval 2s] [-once]
+//	menos-top -fleetd http://host:9600 [-interval 2s] [-once] [-json]
 //
 // With -fleetd, menos-top renders the control plane's aggregated
 // /fleetz view instead of polling servers itself: one request paints
 // every managed server, including endpoints fleetd marked unhealthy
-// or answering with the wrong fleet identity.
+// or answering with the wrong fleet identity (DOWN rows carry the
+// poll error and how long the server has been dark). When the daemon
+// runs its alert engine, an alerts pane renders below the fleet table
+// — every pending/firing instance plus the recent transition history —
+// and each server row gains /queryz-backed sparklines of its recent
+// active-client count and SLO burn rate.
 //
 // -once prints a single snapshot and exits (scriptable); otherwise the
 // screen refreshes in place every -interval until interrupted. -top
 // bounds the per-tenant rows shown per server (heaviest compute
-// first).
+// first). -once -json instead emits one machine-readable JSON document
+// (the raw /fleetz and /alertz payloads with -fleetd, or the polled
+// /loadz documents with -servers) for scripts that want the data, not
+// the table.
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"sort"
@@ -35,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"menos/internal/alert"
 	"menos/internal/fleet"
 	"menos/internal/obs"
 )
@@ -52,6 +62,7 @@ func run(args []string, out io.Writer) error {
 	fleetd := fs.String("fleetd", "", "render a menos-fleetd control plane's aggregated /fleetz view (http://host:port) instead of polling servers directly")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
 	once := fs.Bool("once", false, "print one snapshot and exit")
+	jsonOut := fs.Bool("json", false, "with -once: emit one machine-readable JSON document instead of the table")
 	top := fs.Int("top", 10, "max per-tenant rows per server (0 = all)")
 	timeout := fs.Duration("timeout", 2*time.Second, "per-poll HTTP timeout")
 	if err := fs.Parse(args); err != nil {
@@ -61,17 +72,24 @@ func run(args []string, out io.Writer) error {
 	if len(targets) == 0 && *fleetd == "" {
 		return fmt.Errorf("no servers: pass -servers host:port[,host:port...] or -fleetd URL")
 	}
+	if *jsonOut && !*once {
+		return fmt.Errorf("-json requires -once (one document, not a refreshing stream)")
+	}
 	client := &http.Client{Timeout: *timeout}
 	snapshot := func() string { return render(poll(client, targets), *top) }
+	base := ""
 	if *fleetd != "" {
-		url := strings.TrimSuffix(strings.TrimSuffix(*fleetd, "/"), "/fleetz") + "/fleetz"
-		if !strings.Contains(url, "://") {
-			url = "http://" + url
+		base = strings.TrimSuffix(strings.TrimSuffix(*fleetd, "/"), "/fleetz")
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
 		}
-		snapshot = func() string { return renderFleetd(client, url, *top) }
+		snapshot = func() string { return renderFleetd(client, base, *top) }
 	}
 
 	if *once {
+		if *jsonOut {
+			return writeJSON(out, client, base, targets)
+		}
 		fmt.Fprint(out, snapshot())
 		return nil
 	}
@@ -137,30 +155,175 @@ func poll(client *http.Client, targets []string) []probe {
 	return probes
 }
 
+// getJSON fetches one URL and decodes the JSON body.
+func getJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s", resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// writeJSON emits the -once -json document: the raw control-plane
+// payloads (alertz absent when the daemon runs without -alerts), or
+// the per-server /loadz polls in -servers mode.
+func writeJSON(out io.Writer, client *http.Client, base string, targets []string) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if base == "" {
+		type row struct {
+			Target string              `json:"target"`
+			Error  string              `json:"error,omitempty"`
+			Loadz  *fleet.LoadSnapshot `json:"loadz,omitempty"`
+		}
+		rows := make([]row, 0, len(targets))
+		for _, p := range poll(client, targets) {
+			r := row{Target: p.target}
+			if p.err != nil {
+				r.Error = p.err.Error()
+			} else {
+				snap := p.snap
+				r.Loadz = &snap
+			}
+			rows = append(rows, r)
+		}
+		return enc.Encode(map[string]any{"servers": rows})
+	}
+	var fleetz json.RawMessage
+	if err := getJSON(client, base+"/fleetz", &fleetz); err != nil {
+		return fmt.Errorf("fleetd %s: %w", base, err)
+	}
+	doc := map[string]any{"fleetz": fleetz}
+	var alertz json.RawMessage
+	if err := getJSON(client, base+"/alertz", &alertz); err == nil {
+		doc["alertz"] = alertz
+	}
+	return enc.Encode(doc)
+}
+
+// sparkGlyphs are the classic 8-level block sparkline alphabet.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// spark renders values as a block sparkline, scaled to the series' own
+// [min, max] (a flat series renders as a flat low line).
+func spark(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		i := 0
+		if hi > lo {
+			i = int((v - lo) / (hi - lo) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[i])
+	}
+	return b.String()
+}
+
+// queryzDoc mirrors the fleetd /queryz response shape.
+type queryzDoc struct {
+	Series []struct {
+		Server int `json:"server"`
+		Points []struct {
+			V float64 `json:"v"`
+		} `json:"points"`
+	} `json:"series"`
+}
+
+// fleetSparks fetches one federated series from /queryz and renders a
+// per-server sparkline. Any error (older daemon, store empty) yields
+// an empty map and the dashboard simply omits the sparklines.
+func fleetSparks(client *http.Client, base, name string) map[int]string {
+	var doc queryzDoc
+	if err := getJSON(client, base+"/queryz?name="+url.QueryEscape(name)+"&window=2m", &doc); err != nil {
+		return nil
+	}
+	out := make(map[int]string, len(doc.Series))
+	for _, sr := range doc.Series {
+		vals := make([]float64, 0, len(sr.Points))
+		// Bound the line to the trailing 20 points so a long window
+		// stays one table cell wide.
+		for i := max(0, len(sr.Points)-20); i < len(sr.Points); i++ {
+			vals = append(vals, sr.Points[i].V)
+		}
+		if len(vals) > 0 {
+			out[sr.Server] = spark(vals)
+		}
+	}
+	return out
+}
+
+// renderAlerts renders the /alertz pane: every live (non-inactive)
+// instance grouped under its rule, then the most recent transitions.
+// A daemon without an alert engine (404) renders nothing.
+func renderAlerts(client *http.Client, base string) string {
+	var doc alert.Doc
+	if err := getJSON(client, base+"/alertz", &doc); err != nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "alerts  firing=%d transitions=%d\n", doc.Firing, doc.Transitions)
+	quiet := true
+	for _, rule := range doc.Rules {
+		for _, inst := range rule.Instances {
+			if inst.State == "inactive" {
+				continue
+			}
+			quiet = false
+			fmt.Fprintf(&b, "  %-8s %-28s %-40s %8.3g  for %.0fs\n",
+				strings.ToUpper(inst.State), rule.Name, inst.Series, inst.Value, inst.SinceSeconds)
+		}
+	}
+	if quiet {
+		b.WriteString("  all quiet\n")
+	}
+	const lastN = 5
+	if n := len(doc.History); n > 0 {
+		b.WriteString("  recent:\n")
+		for _, tr := range doc.History[max(0, n-lastN):] {
+			fmt.Fprintf(&b, "    t=%7.1fs %-28s %-40s %s -> %s\n",
+				tr.AtSeconds, tr.Rule, tr.Series, tr.From, tr.To)
+		}
+	}
+	return b.String()
+}
+
 // renderFleetd renders a fleetd's aggregated /fleetz document: the
 // controller already polled every server, so one request paints the
 // whole fleet, including rows the controller flagged unhealthy or
-// answering with the wrong identity.
-func renderFleetd(client *http.Client, url string, top int) string {
+// answering with the wrong identity — plus the alerts pane and
+// federated sparklines when the daemon serves /alertz and /queryz.
+func renderFleetd(client *http.Client, base string, top int) string {
 	var snap fleet.FleetSnapshot
-	resp, err := client.Get(url)
-	if err == nil {
-		if resp.StatusCode != http.StatusOK {
-			err = fmt.Errorf("%s", resp.Status)
-		} else {
-			err = json.NewDecoder(resp.Body).Decode(&snap)
-		}
-		resp.Body.Close()
-	}
+	err := getJSON(client, base+"/fleetz", &snap)
 	if err != nil {
-		return fmt.Sprintf("fleetd %s DOWN: %v\n", url, err)
+		return fmt.Sprintf("fleetd %s DOWN: %v\n", base, err)
 	}
+	activeSparks := fleetSparks(client, base, obs.MetricServerActiveClients)
+	burnSparks := fleetSparks(client, base, alert.SeriesSLOBurnRate)
 	probes := make([]probe, 0, len(snap.Servers))
+	var sparkLines []string
 	for _, srv := range snap.Servers {
 		p := probe{target: srv.Endpoint.MetricsURL}
 		switch {
 		case !srv.Polled:
 			p.err = fmt.Errorf("not yet polled")
+		case !srv.Healthy && srv.DownForSeconds > 0:
+			p.err = fmt.Errorf("for %.0fs: %s", srv.DownForSeconds, srv.Error)
 		case !srv.Healthy:
 			p.err = fmt.Errorf("%s", srv.Error)
 		default:
@@ -171,8 +334,23 @@ func renderFleetd(client *http.Client, url string, top int) string {
 			}
 		}
 		probes = append(probes, p)
+		var parts []string
+		if s := activeSparks[srv.Endpoint.ID]; s != "" {
+			parts = append(parts, "active "+s)
+		}
+		if s := burnSparks[srv.Endpoint.ID]; s != "" {
+			parts = append(parts, "burn "+s)
+		}
+		if len(parts) > 0 {
+			sparkLines = append(sparkLines,
+				fmt.Sprintf("  server %d  %s", srv.Endpoint.ID, strings.Join(parts, "   ")))
+		}
 	}
-	return fmt.Sprintf("fleetd %s  policy %s\n\n", url, snap.Policy) + render(probes, top)
+	out := fmt.Sprintf("fleetd %s  policy %s\n\n", base, snap.Policy) + render(probes, top)
+	if len(sparkLines) > 0 {
+		out += strings.Join(sparkLines, "\n") + "\n\n"
+	}
+	return out + renderAlerts(client, base)
 }
 
 // admissionString mirrors sched.AdmissionState.String without linking

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"menos/internal/alert"
 	"menos/internal/fleet"
 	"menos/internal/obs"
 )
@@ -79,6 +80,168 @@ func TestOnceSnapshot(t *testing.T) {
 	// Heaviest compute renders first.
 	if strings.Index(got, "hot") > strings.Index(got, "warm") {
 		t.Errorf("tenants not sorted by compute:\n%s", got)
+	}
+}
+
+// fleetdServer is a fake control plane serving /fleetz, /alertz and
+// /queryz the way menos-fleetd does: one healthy server, one down with
+// accumulated down-time, a firing alert, and enough points to spark.
+func fleetdServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleetz", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(fleet.FleetSnapshot{
+			Policy: "least-loaded",
+			Servers: []fleet.FleetServer{
+				{
+					Endpoint: fleet.Endpoint{ID: 1, MetricsURL: "http://a:9090"},
+					Polled:   true, Healthy: true,
+					AtSeconds: 42, Load: testSnapshot().Server, Clients: testSnapshot().Clients,
+				},
+				{
+					Endpoint: fleet.Endpoint{ID: 2, MetricsURL: "http://b:9090"},
+					Polled:   true, Healthy: false,
+					Error: "connection refused", DownForSeconds: 17,
+				},
+			},
+		})
+	})
+	mux.HandleFunc("/alertz", func(w http.ResponseWriter, _ *http.Request) {
+		_ = json.NewEncoder(w).Encode(alert.Doc{
+			Firing:      1,
+			Transitions: 3,
+			Rules: []alert.RuleStatus{{
+				Name: "slo_burn_rate",
+				Instances: []alert.InstanceStatus{
+					{Series: "fleet:slo_burn_rate{server=1}", State: "firing", SinceSeconds: 12, Value: 1.7},
+					{Series: "fleet:slo_burn_rate{server=2}", State: "inactive"},
+				},
+			}},
+			History: []alert.TransitionStatus{
+				{AtSeconds: 30, Rule: "slo_burn_rate", Series: "fleet:slo_burn_rate{server=1}", From: "pending", To: "firing"},
+			},
+		})
+	})
+	mux.HandleFunc("/queryz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("name") == "" {
+			http.Error(w, "want name", http.StatusBadRequest)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"series": []map[string]any{{
+				"server": 1,
+				"points": []map[string]float64{{"t": 1, "v": 1}, {"t": 2, "v": 4}, {"t": 3, "v": 2}},
+			}},
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFleetdSnapshot drives -fleetd -once end to end against a fake
+// control plane: the healthy row renders, the DOWN row carries its
+// error and down-time, sparklines appear for the server with points,
+// and the alerts pane shows the firing instance plus history.
+func TestFleetdSnapshot(t *testing.T) {
+	srv := fleetdServer(t)
+	var out strings.Builder
+	if err := run([]string{"-once", "-fleetd", srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"policy least-loaded",
+		"server 1",
+		"DOWN: for 17s: connection refused",
+		"active ", "burn ", "▁", "█",
+		"alerts  firing=1 transitions=3",
+		"FIRING   slo_burn_rate",
+		"pending -> firing",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "INACTIVE") {
+		t.Errorf("inactive instance rendered in alerts pane:\n%s", got)
+	}
+}
+
+// TestOnceJSON pins the machine-readable mode: -once -json emits the
+// raw fleetz and alertz payloads as one document.
+func TestOnceJSON(t *testing.T) {
+	srv := fleetdServer(t)
+	var out strings.Builder
+	if err := run([]string{"-once", "-json", "-fleetd", srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Fleetz *fleet.FleetSnapshot `json:"fleetz"`
+		Alertz *alert.Doc           `json:"alertz"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Fleetz == nil || len(doc.Fleetz.Servers) != 2 {
+		t.Fatalf("fleetz = %+v", doc.Fleetz)
+	}
+	if doc.Alertz == nil || doc.Alertz.Firing != 1 {
+		t.Fatalf("alertz = %+v", doc.Alertz)
+	}
+}
+
+// TestOnceJSONServers pins -json in direct -servers mode: one row per
+// target, down targets carrying the error instead of a load document.
+func TestOnceJSONServers(t *testing.T) {
+	web := loadzServer(t, testSnapshot())
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	var out strings.Builder
+	err := run([]string{
+		"-once", "-json",
+		"-servers", strings.TrimPrefix(web.URL, "http://") + "," + dead.URL,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Servers []struct {
+			Target string              `json:"target"`
+			Error  string              `json:"error"`
+			Loadz  *fleet.LoadSnapshot `json:"loadz"`
+		} `json:"servers"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, out.String())
+	}
+	if len(doc.Servers) != 2 {
+		t.Fatalf("rows = %d, want 2", len(doc.Servers))
+	}
+	if doc.Servers[0].Loadz == nil || doc.Servers[0].Loadz.Server.ID != 1 {
+		t.Fatalf("healthy row = %+v", doc.Servers[0])
+	}
+	if doc.Servers[1].Error == "" || doc.Servers[1].Loadz != nil {
+		t.Fatalf("dead row = %+v", doc.Servers[1])
+	}
+}
+
+func TestJSONRequiresOnce(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-json", "-servers", "x:1"}, &out); err == nil {
+		t.Fatal("-json without -once accepted")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := spark([]float64{0, 7, 3.5}); got != "▁█▄" {
+		t.Errorf("spark = %q, want ▁█▄", got)
+	}
+	if got := spark([]float64{2, 2, 2}); got != "▁▁▁" {
+		t.Errorf("flat spark = %q, want ▁▁▁", got)
+	}
+	if got := spark(nil); got != "" {
+		t.Errorf("empty spark = %q", got)
 	}
 }
 

@@ -59,6 +59,13 @@ func TestLiveMigrationAcrossProcesses(t *testing.T) {
 		"-server", fmt.Sprintf("id=2,addr=%s,metrics=%s,admin=%s", srvB.addr, srvB.metricsURL, srvB.metricsURL),
 		"-listen", fmt.Sprintf("127.0.0.1:%d", fleetdPort),
 		"-poll", "150ms",
+		// The telemetry plane under test: alert catalog (on by
+		// default) over the federated scrape, trace federation, and a
+		// flight recorder that snapshots on any firing transition —
+		// the artifact shows up in CI if the quiet-fleet assertion
+		// below ever fails.
+		"-federate-traces",
+		"-flight-dir", filepath.Join(artifacts, "flight-fleetd"),
 	)
 	waitFor(t, "fleetd sees 2 healthy servers", 30*time.Second, func() error {
 		snap, err := fleetz(httpc, fleetdURL)
@@ -84,6 +91,11 @@ func TestLiveMigrationAcrossProcesses(t *testing.T) {
 		"-fleetd", fleetdURL, "-id", "mig", "-migrate",
 		"-steps", fmt.Sprint(steps), "-batch", "2", "-seq", "16",
 		"-final-loss-out", migLoss,
+		// A client-side tracer makes the client offer trace context, so
+		// every iteration's deterministic trace ID rides the wire into
+		// both servers' span rings — the stitch the merged fleet trace
+		// below is asserted on.
+		"-metrics-addr", fmt.Sprintf("127.0.0.1:%d", freePort(t)),
 	)
 
 	var hostID int
@@ -131,6 +143,55 @@ func TestLiveMigrationAcrossProcesses(t *testing.T) {
 		t.Fatalf("iterations across servers = %d, want %d (lost or duplicated work)", total, steps)
 	}
 
+	// Trace federation: fleetd's merged fleet trace must stitch the
+	// migration — the displaced iteration's trace ID appears under BOTH
+	// server processes (migrate:out on the source, the replayed
+	// iteration's compute on the destination). The cursor loop lags the
+	// client by up to one poll tick, so wait for it.
+	var fleetTrace string
+	t.Cleanup(func() {
+		_ = os.WriteFile(filepath.Join(artifacts, "fleet-trace.json"), []byte(fleetTrace), 0o644)
+	})
+	waitFor(t, "merged fleet trace stitches the migration", 15*time.Second, func() error {
+		resp, err := httpc.Get(fleetdURL + "/trace")
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		_, err = buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		fleetTrace = buf.String()
+		return stitched(fleetTrace)
+	})
+
+	// A healthy migration run must not trip the alert catalog: nothing
+	// firing now, and no transition into firing in the whole history.
+	alertzBody := getBody(t, httpc, fleetdURL+"/alertz")
+	if err := os.WriteFile(filepath.Join(artifacts, "alertz.json"), []byte(alertzBody), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var alertz struct {
+		Firing  int `json:"firing"`
+		History []struct {
+			Rule string `json:"rule"`
+			To   string `json:"to"`
+		} `json:"history"`
+	}
+	if err := json.Unmarshal([]byte(alertzBody), &alertz); err != nil {
+		t.Fatalf("alertz: %v\n%s", err, alertzBody)
+	}
+	if alertz.Firing != 0 {
+		t.Fatalf("healthy fleet has %d alert(s) firing:\n%s", alertz.Firing, alertzBody)
+	}
+	for _, tr := range alertz.History {
+		if tr.To == "firing" {
+			t.Fatalf("alert %s fired during a healthy run:\n%s", tr.Rule, alertzBody)
+		}
+	}
+
 	// Run 2 (control): same seeds, same schedule, one untouched
 	// server, no migration.
 	srvC := startServer(t, bin, artifacts, "server3", 3)
@@ -168,8 +229,46 @@ func startServer(t *testing.T, bin func(string) string, artifacts, name string, 
 		"-addr", addr, "-metrics-addr", metrics,
 		"-server-id", fmt.Sprint(id),
 		"-flight-dir", filepath.Join(artifacts, "flight-"+name),
+		// Advertise an admission target so fleetd's SLO burn-rate rule
+		// evaluates this server — a loopback fleet sits far under 2s,
+		// which the quiet-alerts assertion depends on.
+		"-slo-p99", "2s",
 	)
 	return serverProc{addr: addr, metricsURL: "http://" + metrics}
+}
+
+// stitched reports whether the merged Chrome trace carries at least one
+// trace ID under two or more distinct process IDs — the signature of a
+// migrated iteration's spans spanning both servers.
+func stitched(trace string) error {
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string `json:"ph"`
+			PID  int    `json:"pid"`
+			Args struct {
+				TraceID string `json:"trace_id"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(trace), &doc); err != nil {
+		return fmt.Errorf("merged trace: %v", err)
+	}
+	pidsByID := make(map[string]map[int]bool)
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Args.TraceID == "" {
+			continue
+		}
+		if pidsByID[ev.Args.TraceID] == nil {
+			pidsByID[ev.Args.TraceID] = make(map[int]bool)
+		}
+		pidsByID[ev.Args.TraceID][ev.PID] = true
+	}
+	for _, pids := range pidsByID {
+		if len(pids) >= 2 {
+			return nil
+		}
+	}
+	return fmt.Errorf("no trace ID spans two processes yet (%d trace IDs seen)", len(pidsByID))
 }
 
 // buildBinaries compiles the three daemons once into a temp dir and

@@ -12,6 +12,7 @@ import (
 	"menos/internal/client"
 	"menos/internal/fleet"
 	"menos/internal/model"
+	"menos/internal/obs"
 	"menos/internal/tensor"
 )
 
@@ -161,6 +162,97 @@ func TestLiveMigrationDeterminism(t *testing.T) {
 		if losses[i] != want[i] {
 			t.Fatalf("loss %d diverged after migration: %x vs control %x", i, losses[i], want[i])
 		}
+	}
+}
+
+// TestMigrationTraceStitch pins the cross-server stitch point of trace
+// federation: the source server's migrate:out span carries the trace
+// ID of the iteration displaced by the migration, the destination
+// replays that same iteration under the same ID, and the destination
+// records a migrate:in span on the session's track — so a merged fleet
+// trace shows one IterTraceID spanning both processes.
+func TestMigrationTraceStitch(t *testing.T) {
+	trA := obs.NewTracer(obs.NewWallClock())
+	trA.SetProcess(1, "menos-server-1")
+	trB := obs.NewTracer(obs.NewWallClock())
+	trB.SetProcess(2, "menos-server-2")
+	depA, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 1, Tracer: trA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depA.Close()
+	depB, err := NewDeployment(DeploymentConfig{Model: model.OPTTiny(), WeightSeed: 5, ServerID: 2, Tracer: trB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer depB.Close()
+	addrA, err := depA.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB, err := depB.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	adminB := httptest.NewServer(depB.Server.AdminHandler())
+	defer adminB.Close()
+	adminA := httptest.NewServer(depA.Server.AdminHandler())
+	defer adminA.Close()
+
+	cfg := migClientConfig("mig")
+	cfg.Tracer = obs.NewTracer(obs.NewWallClock())
+	c, err := client.Dial(addrA, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const pre, post = 2, 2
+	data := tensor.NewRNG(11)
+	runMigSteps(t, c, data, 0, pre)
+	order, _ := json.Marshal(fleet.MigrateOrder{
+		ClientID: "mig", TargetAddr: addrB, TargetAdmin: adminB.URL, Token: 7,
+	})
+	resp, err := http.Post(adminA.URL+"/admin/migrate", "application/json", bytes.NewReader(order))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	runMigSteps(t, c, data, pre, post)
+	if c.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1", c.Migrations())
+	}
+
+	// The displaced ForwardReq is iteration `pre` — its trace ID is the
+	// stitch key.
+	stitch := obs.IterTraceID("mig", pre)
+	var out *obs.Span
+	for _, sp := range trA.Spans() {
+		if sp.Name == "migrate:out" && sp.Cat == "migrate" {
+			out = &sp
+			break
+		}
+	}
+	if out == nil {
+		t.Fatal("source tracer has no migrate:out span")
+	}
+	if out.TraceID != stitch || out.Track != "mig" {
+		t.Fatalf("migrate:out span = %+v, want trace %016x on track mig", out, stitch)
+	}
+	haveIn, haveReplay := false, false
+	for _, sp := range trB.Spans() {
+		if sp.Name == "migrate:in" && sp.Track == "mig" {
+			haveIn = true
+		}
+		if sp.Cat == "compute" && sp.TraceID == stitch {
+			haveReplay = true
+		}
+	}
+	if !haveIn {
+		t.Fatal("destination tracer has no migrate:in span")
+	}
+	if !haveReplay {
+		t.Fatalf("destination never recorded compute spans under the stitch ID %016x", stitch)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"menos/internal/obs"
 	"menos/internal/split"
+	"menos/internal/tsdb"
 )
 
 // Endpoint names one server the Controller manages.
@@ -57,9 +58,33 @@ type ControllerConfig struct {
 	// MaxMovesPerTick caps the migration orders one RebalanceOnce call
 	// may issue. Zero means DefaultMaxMovesPerTick.
 	MaxMovesPerTick int
+	// Store, when set, turns every PollOnce into a federation tick:
+	// the Controller scrapes each healthy endpoint's /metrics.json and
+	// appends the flattened samples (plus synthetic menos_fleetd_up /
+	// menos_fleetd_identity_mismatch series) into the store, labeled by
+	// server — closing the Probe contract's documented gap. The alert
+	// engine and /queryz read from here.
+	Store *tsdb.Store
+	// Clock stamps scraped samples and down-time accounting. Nil means
+	// wall clock; tests inject a virtual clock for determinism.
+	Clock obs.Clock
+	// FederateTraces additionally pages each healthy endpoint's
+	// /trace?since=<cursor> every poll and re-records the spans into a
+	// per-server mirror tracer, so WriteMergedTrace can render one
+	// fleet-wide Chrome trace with migrated clients' iteration spans
+	// stitched across processes by trace ID.
+	FederateTraces bool
+	// TraceBudgetBytes bounds each per-server mirror ring (<= 0 means
+	// DefaultTraceBudgetBytes).
+	TraceBudgetBytes int64
 	// Logf receives orchestration logs (nil discards).
 	Logf func(format string, args ...any)
 }
+
+// DefaultTraceBudgetBytes bounds one server's trace mirror when the
+// config does not (4 MiB — half a server's own default ring, times N
+// servers fleetd-side).
+const DefaultTraceBudgetBytes = 4 << 20
 
 // endpointState is the Controller's last observation of one server.
 type endpointState struct {
@@ -73,6 +98,17 @@ type endpointState struct {
 	load         ServerLoad
 	clients      []obs.ClientUsage
 	draining     bool
+
+	// Down-time accounting (federation clock): the instant of the last
+	// successful poll, so /fleetz can report how long a DOWN server has
+	// been unreachable.
+	lastOK time.Duration
+	haveOK bool
+
+	// Trace federation: the resume cursor into the server's span ring
+	// and the fleetd-side mirror its spans are re-recorded into.
+	traceCursor uint64
+	mirror      *obs.Tracer
 }
 
 // DefaultMaxMovesPerTick bounds RebalanceOnce when the config does not:
@@ -83,10 +119,14 @@ const DefaultMaxMovesPerTick = 4
 // Controller polls a fixed set of server endpoints and makes
 // placement and migration decisions over what it saw.
 type Controller struct {
-	placer   Placer
-	http     *http.Client
-	logf     func(string, ...any)
-	maxMoves int
+	placer      Placer
+	http        *http.Client
+	logf        func(string, ...any)
+	maxMoves    int
+	store       *tsdb.Store
+	clock       obs.Clock
+	fedTraces   bool
+	traceBudget int64
 
 	mu        sync.Mutex
 	eps       map[int]*endpointState
@@ -100,20 +140,40 @@ type Controller struct {
 	mMigrations  *obs.Counter
 	mMigFailures *obs.Counter
 	mIdentity    *obs.Counter
+
+	// Federation self-observability (nil-safe when unregistered).
+	mScrapes      *obs.Counter
+	mScrapeErrors *obs.Counter
+	mFedSpans     *obs.Counter
+	gSeries       *obs.Gauge
+	mSamples      *obs.Counter
+	mDropped      *obs.Counter
+	prevSamples   int64
+	prevDropped   int64
 }
 
 // NewController builds a Controller. Endpoint IDs must be unique.
 func NewController(cfg ControllerConfig) (*Controller, error) {
 	c := &Controller{
-		placer:    cfg.Placer,
-		http:      cfg.HTTP,
-		logf:      cfg.Logf,
-		maxMoves:  cfg.MaxMovesPerTick,
-		eps:       make(map[int]*endpointState, len(cfg.Endpoints)),
-		nextToken: cfg.TokenSeed,
+		placer:      cfg.Placer,
+		http:        cfg.HTTP,
+		logf:        cfg.Logf,
+		maxMoves:    cfg.MaxMovesPerTick,
+		store:       cfg.Store,
+		clock:       cfg.Clock,
+		fedTraces:   cfg.FederateTraces,
+		traceBudget: cfg.TraceBudgetBytes,
+		eps:         make(map[int]*endpointState, len(cfg.Endpoints)),
+		nextToken:   cfg.TokenSeed,
 	}
 	if c.maxMoves <= 0 {
 		c.maxMoves = DefaultMaxMovesPerTick
+	}
+	if c.clock == nil {
+		c.clock = obs.NewWallClock()
+	}
+	if c.traceBudget <= 0 {
+		c.traceBudget = DefaultTraceBudgetBytes
 	}
 	if c.placer == nil {
 		c.placer = DefaultPolicy()
@@ -143,6 +203,16 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 		c.mMigrations = reg.Counter(obs.MetricFleetdMigrations, "live migrations ordered successfully")
 		c.mMigFailures = reg.Counter(obs.MetricFleetdMigrationFailures, "migration orders the source server rejected")
 		c.mIdentity = reg.Counter(obs.MetricFleetdIdentityMismatch, "polls answered by a server other than the configured identity")
+		if c.store != nil {
+			c.mScrapes = reg.Counter(obs.MetricFleetdScrapes, "successful /metrics.json scrapes")
+			c.mScrapeErrors = reg.Counter(obs.MetricFleetdScrapeErrors, "failed /metrics.json or /trace scrapes of otherwise-healthy servers")
+			c.gSeries = reg.Gauge(obs.MetricFleetdTSDBSeries, "live series in the federated time-series store")
+			c.mSamples = reg.Counter(obs.MetricFleetdTSDBSamples, "samples appended to the federated time-series store")
+			c.mDropped = reg.Counter(obs.MetricFleetdTSDBDroppedSeries, "series creations dropped at the store's cardinality cap")
+		}
+		if c.fedTraces {
+			c.mFedSpans = reg.Counter(obs.MetricFleetdTraceSpansFederated, "spans pulled from server /trace pages into the fleet mirror")
+		}
 	}
 	return c, nil
 }
@@ -172,6 +242,7 @@ func (c *Controller) PollOnce() int {
 		if !ok {
 			c.mPollErrors.Inc()
 		}
+		now := c.clock.Now()
 
 		c.mu.Lock()
 		st.polled = true
@@ -192,13 +263,31 @@ func (c *Controller) PollOnce() int {
 		}
 		if ok {
 			healthy++
+			st.lastOK = now
+			st.haveOK = true
 		}
 		c.mu.Unlock()
 		if !ok {
 			c.logf("poll server %d (%s): %s", ep.ID, ep.MetricsURL, errStr)
 		}
+		// Federation: synthetic liveness series every tick, a full
+		// /metrics.json scrape and a /trace page for healthy servers.
+		mismatch := h != nil && h.Status == "ok" && (h.ServerID == nil || *h.ServerID != ep.ID)
+		if c.store != nil {
+			c.ingestPoll(ep, ok, mismatch, now)
+		}
+		if ok && c.fedTraces {
+			c.scrapeTrace(st, ep)
+		}
 	}
 	c.mHealthy.Set(int64(healthy))
+	if c.store != nil {
+		n, samples, dropped := c.store.Stats()
+		c.gSeries.Set(int64(n)) // nil-safe
+		c.mSamples.Add(samples - c.prevSamples)
+		c.mDropped.Add(dropped - c.prevDropped)
+		c.prevSamples, c.prevDropped = samples, dropped
+	}
 	return healthy
 }
 
@@ -436,16 +525,20 @@ func (c *Controller) RebalanceOnce() (int, error) {
 
 // FleetServer is one server's row in a FleetSnapshot.
 type FleetServer struct {
-	Endpoint     Endpoint          `json:"endpoint"`
-	Polled       bool              `json:"polled"`
-	Healthy      bool              `json:"healthy"`
-	Error        string            `json:"error,omitempty"`
-	ReportedID   int               `json:"reported_id"`
-	ReportedAddr string            `json:"reported_addr,omitempty"`
-	Draining     bool              `json:"draining,omitempty"`
-	AtSeconds    float64           `json:"at_seconds"`
-	Load         ServerLoad        `json:"load"`
-	Clients      []obs.ClientUsage `json:"clients,omitempty"`
+	Endpoint     Endpoint `json:"endpoint"`
+	Polled       bool     `json:"polled"`
+	Healthy      bool     `json:"healthy"`
+	Error        string   `json:"error,omitempty"`
+	ReportedID   int      `json:"reported_id"`
+	ReportedAddr string   `json:"reported_addr,omitempty"`
+	Draining     bool     `json:"draining,omitempty"`
+	AtSeconds    float64  `json:"at_seconds"`
+	// DownForSeconds is how long an unhealthy server has failed its
+	// polls, measured from its last successful one (0 while healthy, or
+	// when it has never answered since fleetd started).
+	DownForSeconds float64           `json:"down_for_seconds,omitempty"`
+	Load           ServerLoad        `json:"load"`
+	Clients        []obs.ClientUsage `json:"clients,omitempty"`
 }
 
 // FleetSnapshot is the document menos-fleetd serves at /fleetz: the
@@ -464,9 +557,10 @@ func (c *Controller) Snapshot() FleetSnapshot {
 	if p, ok := c.placer.(*PolicyPlacer); ok {
 		snap.Policy = p.Describe()
 	}
+	now := c.clock.Now()
 	for _, id := range c.order {
 		st := c.eps[id]
-		snap.Servers = append(snap.Servers, FleetServer{
+		row := FleetServer{
 			Endpoint:     st.ep,
 			Polled:       st.polled,
 			Healthy:      st.healthy,
@@ -477,7 +571,11 @@ func (c *Controller) Snapshot() FleetSnapshot {
 			AtSeconds:    st.atSeconds,
 			Load:         st.load,
 			Clients:      st.clients,
-		})
+		}
+		if st.polled && !st.healthy && st.haveOK {
+			row.DownForSeconds = (now - st.lastOK).Seconds()
+		}
+		snap.Servers = append(snap.Servers, row)
 	}
 	return snap
 }

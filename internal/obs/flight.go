@@ -17,6 +17,7 @@ const (
 	FlightReasonShed      = "shed"      // admission control shed a submission
 	FlightReasonOOM       = "oom"       // a request could never fit / was refused for memory
 	FlightReasonAdmission = "admission" // admission state transition
+	FlightReasonAlert     = "alert"     // a fleet alert rule began firing (menos-fleetd)
 )
 
 // FlightConfig configures a FlightRecorder.

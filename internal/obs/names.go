@@ -121,4 +121,29 @@ const (
 	MetricFleetdMigrations        = "menos_fleetd_migrations_total"
 	MetricFleetdMigrationFailures = "menos_fleetd_migration_failures_total"
 	MetricFleetdIdentityMismatch  = "menos_fleetd_identity_mismatches_total"
+
+	// Fleet telemetry plane (internal/tsdb + internal/alert, served by
+	// menos-fleetd /queryz and /alertz — docs/OBSERVABILITY.md).
+	// menos_fleetd_up / _identity_mismatch are synthetic per-server
+	// series the controller appends into the time-series store on every
+	// poll tick (1/0), the raw material for the dead-server and
+	// identity-mismatch alert rules. The alerts gauge counts instances
+	// currently Firing; transitions counts every state change
+	// (Inactive→Pending, Pending→Firing, Firing→Pending, ...).
+	MetricFleetdUp                  = "menos_fleetd_up"
+	MetricFleetdIdentityGauge       = "menos_fleetd_identity_mismatch"
+	MetricFleetdAlertsFiring        = "menos_fleetd_alerts_firing"
+	MetricFleetdAlertsTransitions   = "menos_fleetd_alerts_transitions_total"
+	MetricFleetdTSDBSeries          = "menos_fleetd_tsdb_series"
+	MetricFleetdTSDBSamples         = "menos_fleetd_tsdb_samples_total"
+	MetricFleetdTSDBDroppedSeries   = "menos_fleetd_tsdb_dropped_series_total"
+	MetricFleetdScrapes             = "menos_fleetd_scrapes_total"
+	MetricFleetdScrapeErrors        = "menos_fleetd_scrape_errors_total"
+	MetricFleetdTraceSpansFederated = "menos_fleetd_trace_spans_federated_total"
+
+	// Admission SLO advertisement (internal/sched): the configured
+	// grant-wait p99 target in integer microseconds, published so the
+	// fleet telemetry plane can compute burn rates against each
+	// server's own target instead of a fleetd-side guess.
+	MetricSchedAdmissionSLOTarget = "menos_sched_admission_slo_target_micros"
 )

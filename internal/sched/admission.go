@@ -229,6 +229,11 @@ func (a *AdmissionController) instrument(reg *obs.Registry) {
 	a.mShed = reg.Counter(obs.MetricSchedAdmissionShed, "submissions shed (each client's every 2nd while throttled, all while shedding)")
 	a.mDeferred = reg.Counter(obs.MetricSchedAdmissionDeferred, "backfill grants suppressed while throttled/shedding")
 	a.mState.Set(int64(a.state))
+	// Advertise the configured target so scrapers (the fleet telemetry
+	// plane's burn-rate rule) compare each server's p99 against the
+	// server's own SLO rather than a control-plane-side default.
+	reg.Gauge(obs.MetricSchedAdmissionSLOTarget, "configured grant-wait p99 target, microseconds").
+		Set(a.slo.TargetP99.Microseconds())
 }
 
 // advance rotates the slice ring so slices[curIdx] covers now,

@@ -413,7 +413,15 @@ func (s *Server) handleConn(rawConn net.Conn) {
 			// and this forward has not been served, so the client can
 			// replay it against the target without losing an iteration.
 			if ord, ok := s.takePendingMigration(sess); ok {
-				if err := s.executeMigration(conn, sess, ord); err != nil {
+				// The displaced ForwardReq's trace ID is the iteration
+				// that will replay on the destination server, so tagging
+				// the source-side handoff span with it stitches both
+				// processes' spans under one IterTraceID in a merged
+				// fleet trace (fleetd trace federation).
+				mig := s.cfg.Tracer.BeginT(sess.id, "migrate:out", "migrate", m.TraceID)
+				err := s.executeMigration(conn, sess, ord)
+				mig.End()
+				if err != nil {
 					s.m.migrationsAborted.Inc()
 					s.logf("client %q: migration to %s aborted: %v", sess.id, ord.TargetAddr, err)
 					// Fall through: the session keeps serving here.
@@ -616,11 +624,16 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	// optimizer slots and step count land on a clean slate and the
 	// client resumes bit-exactly where the source server left off.
 	if staged != nil {
+		// Untraced span (the replayed iteration's trace ID arrives only
+		// with the client's next ForwardReq); the destination side of a
+		// migration is still visible on the session's track.
+		mig := s.cfg.Tracer.Begin(sess.id, "migrate:in", "migrate")
 		if err := checkpoint.DecodeSession(staged.data, sess.params, sess.optimizer); err != nil {
 			releaseReservation()
 			cleanup()
 			return reject(fmt.Sprintf("resume restore failed: %v", err))
 		}
+		mig.End()
 		s.m.migrationsIn.Inc()
 		s.logf("client %q: session resumed from snapshot (%d bytes)", sess.id, len(staged.data))
 	}
