@@ -14,10 +14,11 @@ test:
 # tracer, the wire protocol (version interop), the scheduler (including
 # admission-control state flips), the batch-formation engine, the fleet
 # manager (concurrent scrape ingestion), the federated time-series
-# store, the alert engine, the TCP serving loop and the simulator that
-# drives them.
+# store, the alert engine, the activation wire codec (pool-parallel
+# pack/unpack), the TCP serving loop and the simulator that drives
+# them.
 test-race:
-	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/sched ./internal/batch ./internal/fleet ./internal/tsdb ./internal/alert ./internal/server ./internal/splitsim
+	$(GO) test -race ./internal/tensor ./internal/model ./internal/obs ./internal/split ./internal/quant ./internal/sched ./internal/batch ./internal/fleet ./internal/tsdb ./internal/alert ./internal/server ./internal/splitsim
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,17 +8,22 @@
 //
 // -only selects one artifact: measurement, fig3, fig5, fig6, fig7,
 // fig8, fig9, fig10, table1, table2, table3, ablations, extensions,
-// overload, fleet, multilora. By default all run except overload and
-// fleet, which deliberately saturate the scheduler (docs/ADMISSION.md,
-// docs/FLEET.md), and multilora, which sweeps batched multi-LoRA
-// serving (docs/BATCHING.md); all three must be requested explicitly.
+// overload, fleet, multilora, wire. By default all run except overload
+// and fleet, which deliberately saturate the scheduler
+// (docs/ADMISSION.md, docs/FLEET.md), multilora, which sweeps batched
+// multi-LoRA serving (docs/BATCHING.md), and wire, which sweeps
+// compressed + overlapped activation transport (docs/WIRE.md); all
+// four must be requested explicitly.
 //
 // -trace-out runs one traced Menos simulation and writes its spans as
 // Chrome trace-event JSON (load in chrome://tracing or Perfetto); span
 // timestamps are virtual time. It also prints the parity check between
 // span category totals and the run's Breakdown. Combined with
 // -only multilora the traced run uses the batched serving path, so the
-// dump shows batch formation (CI archives it when the smoke fails).
+// dump shows batch formation; combined with -only wire it uses
+// int8-compressed overlapped transport, so the dump shows client
+// compute riding under the wire legs (CI archives it when the smoke
+// fails).
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"menos/internal/experiments"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/simnet"
 	"menos/internal/splitsim"
@@ -51,7 +57,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 12, "simulated fine-tuning iterations per configuration")
 	steps := fs.Int("steps", 60, "real fine-tuning steps for convergence runs")
 	seed := fs.Uint64("seed", 1, "experiment seed")
-	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload, fleet)")
+	only := fs.String("only", "", "run a single artifact (measurement, fig3..fig10, table1..table3, ablations, extensions, overload, fleet, multilora, wire)")
 	traceOut := fs.String("trace-out", "", "write a Chrome trace of one Menos simulation to this file")
 	flightDir := fs.String("flight-dir", "", "with -only overload: record flight snapshots (trace window + metrics) of a saturating run into this directory")
 	pprofFlag := fs.Bool("pprof", false, "with -flight-dir: capture heap and goroutine pprof profiles alongside each flight snapshot")
@@ -235,6 +241,18 @@ func run(args []string) error {
 		fmt.Println(ml.Render())
 	}
 
+	// The wire sweep is opt-in (-only wire): it walks the compression ×
+	// overlap × bandwidth surface of the split transport (docs/WIRE.md),
+	// which the paper-default artifact set does not need.
+	if *only == "wire" {
+		ran = true
+		ws, err := experiments.WireSweep(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Println(ws.Render())
+	}
+
 	// The fleet sweep is opt-in (-only fleet) for the same reason: it
 	// runs multi-server fleets past saturation to compare placement
 	// policies and the autoscaler (docs/FLEET.md).
@@ -253,7 +271,7 @@ func run(args []string) error {
 		if strings.EqualFold(*only, "multilora") {
 			pol = &sched.BatchPolicy{MaxSize: 8, MaxHold: experiments.MultiLoRAHold}
 		}
-		if err := dumpTrace(*traceOut, opts, pol); err != nil {
+		if err := dumpTrace(*traceOut, opts, pol, strings.EqualFold(*only, "wire")); err != nil {
 			return err
 		}
 	}
@@ -269,8 +287,9 @@ func run(args []string) error {
 // 6 clients), writes the spans as Chrome trace JSON, and prints the
 // span-vs-breakdown parity so the dump is self-validating. A non-nil
 // batch policy switches the run to batched serving on the multi-LoRA
-// sweep's server shape (docs/BATCHING.md).
-func dumpTrace(path string, opts experiments.Options, pol *sched.BatchPolicy) error {
+// sweep's server shape (docs/BATCHING.md); wire switches it to
+// int8-compressed overlapped transport (docs/WIRE.md).
+func dumpTrace(path string, opts experiments.Options, pol *sched.BatchPolicy, wire bool) error {
 	tracer := obs.NewTracer(nil) // sim records spans with explicit virtual times
 	cfg := splitsim.Config{
 		Mode:       splitsim.ModeMenos,
@@ -282,6 +301,10 @@ func dumpTrace(path string, opts experiments.Options, pol *sched.BatchPolicy) er
 		cfg.Batch = pol
 		cfg.GPUs = 4
 		cfg.LinkPreset = simnet.LANPreset
+	}
+	if wire {
+		cfg.WireCodec = quant.CodecInt8
+		cfg.Overlap = true
 	}
 	res, err := splitsim.Run(cfg)
 	if err != nil {

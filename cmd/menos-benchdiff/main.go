@@ -9,7 +9,7 @@
 //
 //	menos-benchdiff [-baseline bench/baseline.json] [-out BENCH_<sha>.json]
 //	                [-sha id] [-threshold 0.5] [-steps N] [-clients N]
-//	                [-runner-class name] [-write-baseline]
+//	                [-runner-class name] [-parallelism N] [-write-baseline]
 //
 // Only the wall-clock compute p50 gates the exit status, with a wide
 // default threshold (50%) because absolute timings vary by machine.
@@ -24,6 +24,11 @@
 // CI diff blocking instead of advisory — CI passes its runner class
 // and fails the job only when a baseline for that exact class is
 // committed and regresses.
+//
+// -parallelism pins the tensor worker-pool width for the whole run, so
+// a multi-core machine class can carry its own baseline (e.g.
+// -parallelism 4 -runner-class ci-linux-amd64-par4); absolute timings
+// only compare within a class, and pool width is part of the class.
 //
 // -write-baseline refreshes the committed baseline in place instead of
 // diffing (run it on the machine class the baseline should represent,
@@ -46,6 +51,7 @@ import (
 	"menos/internal/model"
 	"menos/internal/nn"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/simnet"
 	"menos/internal/splitsim"
@@ -81,9 +87,13 @@ func run(args []string) error {
 	steps := fs.Int("steps", 6, "fine-tuning steps per client on the loopback deployment")
 	clients := fs.Int("clients", 2, "concurrent clients on the loopback deployment")
 	runnerClass := fs.String("runner-class", "", "machine class keying the baseline (bench/baseline-<class>.json when -baseline is left at its default)")
+	parallelism := fs.Int("parallelism", 0, "tensor worker-pool width for the run (0 keeps the process default; bake the width into -runner-class, e.g. ci-linux-amd64-par4)")
 	writeBaseline := fs.Bool("write-baseline", false, "refresh the baseline in place instead of diffing")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *parallelism > 0 {
+		tensor.SetParallelism(*parallelism)
 	}
 	basePath, err := baselinePath(*baseline, *runnerClass)
 	if err != nil {
@@ -215,6 +225,19 @@ func runBench(sha string, clients, steps int) (Report, error) {
 		return Report{}, fmt.Errorf("batched-step benchmark: %w", err)
 	}
 	rep.Metrics["train_step_batched4_seconds"] = batchedSec
+
+	// Informational (never gated): the compressed + overlapped transport
+	// plane (docs/WIRE.md) — on-wire payload bytes per iteration under
+	// int8 compression and the round-trip seconds the pipelined schedule
+	// hid behind local compute. Byte counts are deterministic for the
+	// fixed workload; hidden time is wall-clock and machine-dependent,
+	// which is one reason these stay ungated.
+	wireBytes, hiddenSec, err := wireStepMetrics(steps)
+	if err != nil {
+		return Report{}, fmt.Errorf("wire benchmark: %w", err)
+	}
+	rep.Metrics["wire_bytes_per_iter"] = wireBytes
+	rep.Metrics["overlap_hidden_seconds"] = hiddenSec
 
 	simReg := obs.NewRegistry()
 	sim, err := splitsim.Run(splitsim.Config{
@@ -374,6 +397,61 @@ func batchedStepSeconds(members int) (float64, error) {
 		}
 	}
 	return elapsed.Seconds() / timedSteps, nil
+}
+
+// wireStepMetrics drives a short int8-compressed pipelined run over
+// loopback and reads the transport plane's own counters: compressed
+// payload bytes per iteration and the total overlap-hidden time.
+func wireStepMetrics(steps int) (bytesPerIter, hiddenSeconds float64, err error) {
+	reg := obs.NewRegistry()
+	dep, err := core.NewDeployment(core.DeploymentConfig{
+		Model:      model.OPTTiny(),
+		WeightSeed: 7,
+		WireCodec:  quant.CodecInt8,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := dep.Listen("127.0.0.1:0"); err != nil {
+		return 0, 0, err
+	}
+	defer dep.Close()
+	c, err := dep.DialClient(client.Config{
+		ClientID:    "bench-wire",
+		Model:       model.OPTTiny(),
+		WeightSeed:  7,
+		Adapter:     adapter.LoRASpec(adapter.DefaultLoRA()),
+		AdapterSeed: 1,
+		Batch:       1,
+		Seq:         16,
+		Metrics:     reg,
+		WireCodec:   quant.CodecInt8,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.Close()
+	const microPerStep = 3
+	rng := tensor.NewRNG(200)
+	micro := make([]client.MicroBatch, microPerStep)
+	for s := 0; s < steps; s++ {
+		for m := range micro {
+			ids := make([]int, 16)
+			targets := make([]int, 16)
+			for i := range ids {
+				ids[i] = rng.Intn(model.OPTTiny().Vocab)
+				targets[i] = rng.Intn(model.OPTTiny().Vocab)
+			}
+			micro[m] = client.MicroBatch{IDs: ids, Targets: targets}
+		}
+		if _, err := c.StepPipelined(micro); err != nil {
+			return 0, 0, fmt.Errorf("pipelined step %d: %w", s, err)
+		}
+	}
+	iters := float64(steps * microPerStep)
+	compressed := float64(reg.Counter(obs.MetricWireCompressedBytes).Value())
+	hidden := reg.Histogram(obs.MetricOverlapHiddenSeconds, obs.DurationBuckets()).Sum()
+	return compressed / iters, hidden, nil
 }
 
 // loopbackRun drives the paper workload end to end on this machine: an

@@ -7,7 +7,13 @@
 //	menos-client [-addr localhost:7600] [-id alice] [-model opt-tiny]
 //	             [-seed 42] [-adapter lora] [-dataset shakespeare]
 //	             [-steps 100] [-batch 4] [-seq 32] [-lr 0.008]
-//	             [-max-retries 8] [-metrics-addr :9091]
+//	             [-max-retries 8] [-wire-compress off|fp16|int8]
+//	             [-metrics-addr :9091]
+//
+// -wire-compress quantizes the activation/gradient uploads this client
+// sends to a server that negotiated the compression capability (fp16
+// halves, int8 quarters the payload bytes; docs/WIRE.md). Against a
+// legacy server the client transparently falls back to plain fp32.
 //
 // When the server sheds load (admission control, docs/ADMISSION.md)
 // the client backs off for the server's retry-after hint and resubmits
@@ -38,6 +44,7 @@ import (
 	"menos/internal/data"
 	"menos/internal/model"
 	"menos/internal/obs"
+	"menos/internal/quant"
 )
 
 func main() {
@@ -61,6 +68,7 @@ func run(args []string) error {
 	lr := fs.Float64("lr", 8e-3, "learning rate")
 	dataSeed := fs.Uint64("data-seed", 7, "batch sampling seed")
 	maxRetries := fs.Int("max-retries", 8, "retries per step when the server sheds load (0 fails fast)")
+	wireCompress := fs.String("wire-compress", "off", "compress uploaded activation payloads when the server negotiates it: off, fp16 or int8 (docs/WIRE.md)")
 	migrate := fs.Bool("migrate", false, "offer live migration: follow server-issued redirects mid-run (docs/FLEET.md)")
 	fleetd := fs.String("fleetd", "", "ask this menos-fleetd control plane (http://host:port) where to connect instead of -addr")
 	finalLossOut := fs.String("final-loss-out", "", "write the final step's loss to this file as float64 bits in hex (determinism pin for e2e)")
@@ -73,6 +81,10 @@ func run(args []string) error {
 	cfg, err := model.ConfigByName(*modelName)
 	if err != nil {
 		return err
+	}
+	wireCodec, err := quant.ParseCodec(*wireCompress)
+	if err != nil {
+		return fmt.Errorf("-wire-compress: %w", err)
 	}
 	var spec adapter.Spec
 	switch *adapterKind {
@@ -140,6 +152,7 @@ func run(args []string) error {
 		Seq:         *seq,
 		Metrics:     reg,
 		Tracer:      tracer,
+		WireCodec:   wireCodec,
 		Migrate:     *migrate,
 		OnMigrate: func(target string) {
 			fmt.Printf("menos-client %s: live-migrated to %s\n", *id, target)

@@ -8,6 +8,7 @@
 //	menos-server [-addr :7600] [-model opt-tiny] [-seed 42]
 //	             [-gpu-gb 32] [-preserve] [-quiet]
 //	             [-batch-size N] [-batch-hold 2ms]
+//	             [-wire-compress off|fp16|int8]
 //	             [-metrics-addr :9090] [-trace-buffer-mb 8]
 //	             [-flight-dir DIR] [-pprof] [-server-id 0]
 //
@@ -17,6 +18,11 @@
 // per-row dispatch (docs/BATCHING.md). Results are bit-identical to
 // serial execution; -batch-hold bounds how long a partial batch waits
 // for co-tenants.
+//
+// -wire-compress quantizes the activation tensors this server sends to
+// clients that negotiated the compression capability (fp16 halves,
+// int8 quarters the payload bytes; docs/WIRE.md). Legacy clients and
+// "off" keep the wire byte-identical to a pre-compression server.
 //
 // With -metrics-addr set, a telemetry endpoint serves Prometheus text
 // on /metrics (per-tenant {client="..."} series included), JSON on
@@ -80,6 +86,7 @@ func run(args []string) error {
 	tenantCap := fs.Int("tenant-cap", 0, "max per-client metric series before aggregating into {client=\"other\"} (0 = default)")
 	sloP99 := fs.Duration("slo-p99", 0, "grant-wait p99 target enabling adaptive admission control (0 disables; see docs/ADMISSION.md)")
 	sloWindow := fs.Duration("slo-window", 0, "admission-control sliding window (default 8x the p99 target)")
+	wireCompress := fs.String("wire-compress", "off", "compress outbound activation payloads for negotiating clients: off, fp16 or int8 (docs/WIRE.md)")
 	batchSize := fs.Int("batch-size", 0, "coalesce up to this many compatible LoRA requests per kernel invocation (0 disables; incompatible with -preserve; see docs/BATCHING.md)")
 	batchHold := fs.Duration("batch-hold", 0, "how long batch formation waits for co-tenants to join (default sched.DefaultMaxHold)")
 	quiet := fs.Bool("quiet", false, "disable serving logs")
@@ -112,6 +119,10 @@ func run(args []string) error {
 		prec = quant.Int4
 	default:
 		return fmt.Errorf("unknown quantization %q (want int8 or int4)", *quantFlag)
+	}
+	wireCodec, err := quant.ParseCodec(*wireCompress)
+	if err != nil {
+		return fmt.Errorf("-wire-compress: %w", err)
 	}
 	var logger *log.Logger
 	if !*quiet {
@@ -160,6 +171,7 @@ func run(args []string) error {
 		BaseQuant:      prec,
 		SLO:            sched.SLO{TargetP99: *sloP99, Window: *sloWindow},
 		Batch:          sched.BatchPolicy{MaxSize: *batchSize, MaxHold: *batchHold},
+		WireCodec:      wireCodec,
 		Logger:         logger,
 		Metrics:        reg,
 		Tracer:         tracer,

@@ -21,6 +21,7 @@ import (
 	"menos/internal/model"
 	"menos/internal/nn"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/split"
 	"menos/internal/tensor"
 	"menos/internal/trace"
@@ -118,6 +119,16 @@ type Config struct {
 	// OnMigrate, when set, is called after each completed migration
 	// with the new server's address (telemetry/test hook).
 	OnMigrate func(target string)
+	// WireCodec compresses activation/gradient payloads on the wire
+	// (docs/WIRE.md). CodecFP32 (the zero value) disables compression
+	// and keeps every frame byte-identical to a pre-compression client.
+	// Any other codec offers split.FeatureActivationCompression at
+	// handshake; payloads are quantized only if the server acks it, so
+	// a legacy server transparently gets plain fp32 frames. Each peer
+	// compresses what it sends with its own configured codec — the
+	// feature bit negotiates the capability, the Packed header carries
+	// the codec per payload.
+	WireCodec quant.Codec
 }
 
 func (c *Config) applyDefaults() {
@@ -160,6 +171,10 @@ type Client struct {
 	traceOK bool
 	// migrateOK reports that the server acked FeatureMigration.
 	migrateOK bool
+	// compressOK reports that the server acked
+	// FeatureActivationCompression: outgoing payloads may be quantized
+	// with cfg.WireCodec and incoming payloads may arrive packed.
+	compressOK bool
 	// resumeToken rides the next handshake's Hello (nonzero only
 	// during a migration redial).
 	resumeToken uint64
@@ -182,6 +197,14 @@ type clientMetrics struct {
 	iterationsBy *obs.Counter
 	commBy       *obs.Histogram
 	compBy       *obs.Histogram
+
+	// Wire transport plane (docs/WIRE.md): bytes of compressed payloads
+	// sent vs the fp32 bytes they replaced, codec time, and per-
+	// microbatch round-trip time hidden behind compute by pipelining.
+	wireCompressed *obs.Counter
+	wireRaw        *obs.Counter
+	codecSeconds   *obs.Histogram
+	overlapHidden  *obs.Histogram
 }
 
 // New builds the client's model sections and performs the handshake
@@ -243,6 +266,11 @@ func New(conn net.Conn, cfg Config) (*Client, error) {
 			iterationsBy: cfg.Metrics.CounterVec(obs.MetricClientIterations, "client").With(cfg.ClientID),
 			commBy:       cfg.Metrics.HistogramVec(obs.MetricClientCommSeconds, "client", obs.DurationBuckets()).With(cfg.ClientID),
 			compBy:       cfg.Metrics.HistogramVec(obs.MetricClientCompSeconds, "client", obs.DurationBuckets()).With(cfg.ClientID),
+
+			wireCompressed: cfg.Metrics.Counter(obs.MetricWireCompressedBytes, "on-wire bytes of compressed activation/gradient payloads sent"),
+			wireRaw:        cfg.Metrics.Counter(obs.MetricWireRawBytes, "fp32 bytes the compressed payloads replaced"),
+			codecSeconds:   cfg.Metrics.Histogram(obs.MetricWireCodecSeconds, obs.DurationBuckets(), "time quantizing/dequantizing wire payloads"),
+			overlapHidden:  cfg.Metrics.Histogram(obs.MetricOverlapHiddenSeconds, obs.DurationBuckets(), "round-trip time hidden behind compute by pipelined stepping"),
 		}
 	}
 
@@ -263,7 +291,8 @@ const AdapterSalt = 0x5f3759df
 // withdrawn, so a new client still interoperates with an old server.
 func Dial(addr string, cfg Config) (*Client, error) {
 	c, err := dialOnce(addr, cfg)
-	offeredExt := (cfg.Tracer != nil && !cfg.NoTraceContext) || cfg.Migrate
+	offeredExt := (cfg.Tracer != nil && !cfg.NoTraceContext) || cfg.Migrate ||
+		cfg.WireCodec != quant.CodecFP32
 	if err == nil || !offeredExt {
 		return c, err
 	}
@@ -274,6 +303,7 @@ func Dial(addr string, cfg Config) (*Client, error) {
 	}
 	cfg.NoTraceContext = true
 	cfg.Migrate = false
+	cfg.WireCodec = quant.CodecFP32
 	return dialOnce(addr, cfg)
 }
 
@@ -307,6 +337,9 @@ func (c *Client) handshake() error {
 	if c.cfg.Migrate {
 		hello.Features |= split.FeatureMigration
 	}
+	if c.cfg.WireCodec != quant.CodecFP32 {
+		hello.Features |= split.FeatureActivationCompression
+	}
 	hello.ResumeToken = c.resumeToken
 	if err := split.WriteMessage(c.conn, hello); err != nil {
 		return fmt.Errorf("client: send hello: %w", err)
@@ -331,7 +364,49 @@ func (c *Client) handshake() error {
 	c.demands = *ack
 	c.traceOK = ack.Features&split.FeatureTraceContext != 0
 	c.migrateOK = ack.Features&split.FeatureMigration != 0
+	c.compressOK = ack.Features&split.FeatureActivationCompression != 0
 	return nil
+}
+
+// CompressionNegotiated reports whether the server accepted compressed
+// activation payloads at handshake.
+func (c *Client) CompressionNegotiated() bool { return c.compressOK }
+
+// packWire quantizes an outgoing payload with the configured codec.
+// When compression is off (or not negotiated) it returns the tensor
+// unchanged, so the frame stays byte-identical to a legacy client's.
+func (c *Client) packWire(x *tensor.Tensor) (*tensor.Tensor, *quant.Packed, error) {
+	if !c.compressOK || c.cfg.WireCodec == quant.CodecFP32 {
+		return x, nil, nil
+	}
+	t0 := time.Now()
+	p, err := quant.Pack(x, c.cfg.WireCodec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("client: pack payload: %w", err)
+	}
+	c.m.codecSeconds.Observe(time.Since(t0).Seconds())
+	c.m.wireCompressed.Add(int64(p.WireBytes()))
+	c.m.wireRaw.Add(int64(4 * len(x.Data())))
+	return nil, p, nil
+}
+
+// unpackWire resolves an incoming payload that may be plain or packed.
+// A packed payload from a server that never negotiated compression is a
+// protocol violation, not something to decode on faith.
+func (c *Client) unpackWire(plain *tensor.Tensor, packed *quant.Packed) (*tensor.Tensor, error) {
+	if packed != nil && !c.compressOK {
+		return nil, errors.New("client: compressed payload without negotiation")
+	}
+	if packed == nil {
+		return plain, nil
+	}
+	t0 := time.Now()
+	x, err := split.Payload(plain, packed)
+	if err != nil {
+		return nil, fmt.Errorf("client: unpack payload: %w", err)
+	}
+	c.m.codecSeconds.Observe(time.Since(t0).Seconds())
+	return x, nil
 }
 
 // TraceNegotiated reports whether the server accepted trace-context
@@ -390,11 +465,15 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Steps 1-2 (server): send x_c, receive x_s.
+	plain, packed, err := c.packWire(xc)
+	if err != nil {
+		return StepResult{}, err
+	}
 	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "forward-rtt", "comm", tid)
 	t0 = time.Now()
 	xs, err := c.forwardRoundTrip(&split.ForwardReq{
-		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: xc,
-		TraceID: c.wireTrace(tid),
+		Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq, Activations: plain,
+		Packed: packed, TraceID: c.wireTrace(tid),
 	})
 	if err != nil {
 		return StepResult{}, err
@@ -421,10 +500,14 @@ func (c *Client) step(ids, targets []int, apply bool) (StepResult, error) {
 	sp.End()
 
 	// Steps 3-4 (server): send g_c, receive g_s.
+	plain, packed, err = c.packWire(gc)
+	if err != nil {
+		return StepResult{}, err
+	}
 	sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "backward-rtt", "comm", tid)
 	t0 = time.Now()
 	if err := split.WriteMessage(c.conn, &split.BackwardReq{
-		Iter: iter, Apply: apply, Gradients: gc, TraceID: c.wireTrace(tid),
+		Iter: iter, Apply: apply, Gradients: plain, Packed: packed, TraceID: c.wireTrace(tid),
 	}); err != nil {
 		return StepResult{}, fmt.Errorf("client: send backward: %w", err)
 	}
@@ -473,6 +556,213 @@ func (c *Client) wireTrace(tid uint64) uint64 {
 		return 0
 	}
 	return tid
+}
+
+// MicroBatch is one gradient-accumulation slice for StepPipelined;
+// IDs and Targets each hold Batch×Seq tokens.
+type MicroBatch struct {
+	IDs     []int
+	Targets []int
+}
+
+// pendingMicro is the in-flight tail of the pipeline: a microbatch
+// whose BackwardReq has been written but whose response has not been
+// read yet.
+type pendingMicro struct {
+	iter    int
+	tid     uint64
+	inCache *model.InputCache
+	span    *obs.SpanHandle
+	res     StepResult
+	// sent is when the BackwardReq finished writing; everything the
+	// client computes between then and the blocking response read is
+	// round-trip time hidden by the pipeline.
+	sent time.Time
+}
+
+// StepPipelined runs the microbatches as one gradient-accumulation
+// group (equivalent to len-1 MicroStep(apply=false) calls followed by
+// one with apply=true) with double-buffered comm/compute overlap: the
+// backward upload of microbatch i streams — and the server grinds
+// through it — while the client computes and uploads microbatch i+1's
+// forward. Only then is i's backward response collected. The server
+// processes a connection's requests strictly in order, so the compute
+// graph is untouched: at fp32 the results are bit-identical to the
+// sequential loop, just faster on a slow link.
+//
+// Reordering note: microbatch i+1's input forward runs before
+// microbatch i's input backward. Forward touches no gradient state and
+// the adapter parameters only change at the final apply, so the
+// numbers cannot differ — backward order itself stays i, i+1, ....
+//
+// When the server negotiated live migration the client falls back to
+// the sequential loop: a mid-pipeline redirect would displace requests
+// this schedule cannot replay.
+func (c *Client) StepPipelined(batches []MicroBatch) ([]StepResult, error) {
+	if len(batches) == 0 {
+		return nil, errors.New("client: pipelined step needs at least one microbatch")
+	}
+	if c.migrateOK {
+		results := make([]StepResult, 0, len(batches))
+		for i, mb := range batches {
+			res, err := c.step(mb.IDs, mb.Targets, i == len(batches)-1)
+			if err != nil {
+				return results, err
+			}
+			results = append(results, res)
+		}
+		return results, nil
+	}
+
+	results := make([]StepResult, 0, len(batches))
+	var pending *pendingMicro
+
+	// finish drains a deferred microbatch: read its backward response,
+	// run the input-section backward, and account the iteration.
+	finish := func(p *pendingMicro) error {
+		c.m.overlapHidden.Observe(time.Since(p.sent).Seconds())
+		sp := c.cfg.Tracer.BeginT(c.cfg.ClientID, "backward-rtt", "comm", p.tid)
+		t0 := time.Now()
+		gs, err := c.expectBackwardResp(p.iter)
+		if err != nil {
+			return err
+		}
+		p.res.CommTime += time.Since(t0)
+		sp.End()
+
+		sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "input-backward", "compute", p.tid)
+		t0 = time.Now()
+		if err := c.input.Backward(p.inCache, gs); err != nil {
+			return fmt.Errorf("client: input backward: %w", err)
+		}
+		p.res.CompTime += time.Since(t0)
+		sp.End()
+		p.span.End()
+
+		c.breakdown.Add(p.res.CommTime, p.res.CompTime, 0)
+		c.m.iterations.Inc()
+		c.m.comm.ObserveExemplar(p.res.CommTime.Seconds(), p.tid)
+		c.m.comp.ObserveExemplar(p.res.CompTime.Seconds(), p.tid)
+		c.m.iterationsBy.Inc()
+		c.m.commBy.Observe(p.res.CommTime.Seconds())
+		c.m.compBy.Observe(p.res.CompTime.Seconds())
+		results = append(results, p.res)
+		return nil
+	}
+
+	for i, mb := range batches {
+		if len(mb.IDs) != c.cfg.Batch*c.cfg.Seq || len(mb.Targets) != len(mb.IDs) {
+			return results, fmt.Errorf("client: microbatch %d is %d ids / %d targets, want %d",
+				i, len(mb.IDs), len(mb.Targets), c.cfg.Batch*c.cfg.Seq)
+		}
+		iter := c.iter
+		c.iter++
+		var tid uint64
+		if c.cfg.Tracer != nil {
+			tid = obs.IterTraceID(c.cfg.ClientID, iter)
+		}
+		iterSpan := c.cfg.Tracer.BeginT(c.cfg.ClientID, "iteration", "iter", tid)
+		var res StepResult
+
+		// Input forward for this microbatch; the previous microbatch's
+		// backward is in flight on the server while this runs.
+		sp := c.cfg.Tracer.BeginT(c.cfg.ClientID, "input-forward", "compute", tid)
+		t0 := time.Now()
+		xc, inCache, err := c.input.Forward(mb.IDs, c.cfg.Batch, c.cfg.Seq, true)
+		if err != nil {
+			return results, fmt.Errorf("client: input forward: %w", err)
+		}
+		res.CompTime += time.Since(t0)
+		sp.End()
+
+		plain, packed, err := c.packWire(xc)
+		if err != nil {
+			return results, err
+		}
+		t0 = time.Now()
+		if err := split.WriteMessage(c.conn, &split.ForwardReq{
+			Iter: iter, Batch: c.cfg.Batch, Seq: c.cfg.Seq,
+			Activations: plain, Packed: packed, TraceID: c.wireTrace(tid),
+		}); err != nil {
+			return results, fmt.Errorf("client: send forward: %w", err)
+		}
+		res.CommTime += time.Since(t0)
+		fwdSent := time.Now()
+
+		// Drain the previous microbatch while our forward request is
+		// on the wire (and queued behind its backward on the server).
+		if pending != nil {
+			if err := finish(pending); err != nil {
+				return results, err
+			}
+			pending = nil
+		}
+
+		c.m.overlapHidden.Observe(time.Since(fwdSent).Seconds())
+		sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "forward-rtt", "comm", tid)
+		t0 = time.Now()
+		xs, redirect, err := c.expectForwardResp(iter)
+		if err != nil {
+			return results, err
+		}
+		if redirect != nil {
+			return results, errors.New("client: migration redirect during pipelined step")
+		}
+		res.CommTime += time.Since(t0)
+		sp.End()
+
+		// Output forward, loss, output backward.
+		sp = c.cfg.Tracer.BeginT(c.cfg.ClientID, "output-loss", "compute", tid)
+		t0 = time.Now()
+		logits, outCache, err := c.output.Forward(xs, true)
+		if err != nil {
+			return results, fmt.Errorf("client: output forward: %w", err)
+		}
+		loss, dlogits, err := nn.CrossEntropy(logits, mb.Targets)
+		if err != nil {
+			return results, fmt.Errorf("client: loss: %w", err)
+		}
+		gc, err := c.output.Backward(outCache, dlogits)
+		if err != nil {
+			return results, fmt.Errorf("client: output backward: %w", err)
+		}
+		res.CompTime += time.Since(t0)
+		sp.End()
+		res.Loss = loss
+		res.Perplexity = nn.Perplexity(loss)
+
+		// Ship the backward; its response is collected only after the
+		// next microbatch's forward has been computed and sent.
+		plain, packed, err = c.packWire(gc)
+		if err != nil {
+			return results, err
+		}
+		t0 = time.Now()
+		if err := split.WriteMessage(c.conn, &split.BackwardReq{
+			Iter: iter, Apply: i == len(batches)-1,
+			Gradients: plain, Packed: packed, TraceID: c.wireTrace(tid),
+		}); err != nil {
+			return results, fmt.Errorf("client: send backward: %w", err)
+		}
+		res.CommTime += time.Since(t0)
+		pending = &pendingMicro{
+			iter: iter, tid: tid, inCache: inCache, span: iterSpan,
+			res: res, sent: time.Now(),
+		}
+	}
+	if err := finish(pending); err != nil {
+		return results, err
+	}
+
+	// Optimizer step for the whole accumulation group, attributed to
+	// the final microbatch like MicroStep(apply=true) would.
+	t0 := time.Now()
+	if err := c.optimizer.Step(c.params); err != nil {
+		return results, fmt.Errorf("client: optimizer: %w", err)
+	}
+	nn.ZeroGrads(c.params)
+	results[len(results)-1].CompTime += time.Since(t0)
+	return results, nil
 }
 
 // Evaluate computes the loss over a batch without updating anything.
@@ -577,10 +867,14 @@ func (c *Client) expectForwardResp(iter int) (*tensor.Tensor, *split.MigrateMsg,
 		}
 		return nil, m, nil
 	case *split.ForwardResp:
-		if m.Iter != iter || m.Activations == nil {
+		if m.Iter != iter || (m.Activations == nil && m.Packed == nil) {
 			return nil, nil, fmt.Errorf("client: bad forward response (iter %d)", m.Iter)
 		}
-		return m.Activations, nil, nil
+		xs, err := c.unpackWire(m.Activations, m.Packed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return xs, nil, nil
 	case *split.ErrorMsg:
 		if m.Retryable {
 			return nil, nil, &RetryableError{
@@ -601,10 +895,10 @@ func (c *Client) expectBackwardResp(iter int) (*tensor.Tensor, error) {
 	}
 	switch m := msg.(type) {
 	case *split.BackwardResp:
-		if m.Iter != iter || m.Gradients == nil {
+		if m.Iter != iter || (m.Gradients == nil && m.Packed == nil) {
 			return nil, fmt.Errorf("client: bad backward response (iter %d)", m.Iter)
 		}
-		return m.Gradients, nil
+		return c.unpackWire(m.Gradients, m.Packed)
 	case *split.ErrorMsg:
 		if m.Retryable {
 			return nil, &RetryableError{

@@ -57,6 +57,11 @@ type DeploymentConfig struct {
 	// (docs/BATCHING.md). Requires on-demand serving; the zero value
 	// keeps per-request execution.
 	Batch sched.BatchPolicy
+	// WireCodec compresses outbound activation/gradient payloads for
+	// clients that negotiated FeatureActivationCompression
+	// (docs/WIRE.md). The zero value (fp32) disables the feature:
+	// frames stay byte-identical to a pre-compression server.
+	WireCodec quant.Codec
 	// Logger receives server events; nil silences them.
 	Logger *log.Logger
 	// Metrics, when set, instruments the server's scheduler, GPU and
@@ -122,6 +127,7 @@ func NewDeployment(cfg DeploymentConfig) (*Deployment, error) {
 		OnDemand:    !cfg.PreserveMemory,
 		SLO:         cfg.SLO,
 		Batch:       cfg.Batch,
+		WireCodec:   cfg.WireCodec,
 		Logger:      cfg.Logger,
 		Metrics:     cfg.Metrics,
 		Tracer:      cfg.Tracer,

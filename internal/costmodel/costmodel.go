@@ -153,6 +153,19 @@ func BatchedTime(serial time.Duration, size int) time.Duration {
 	return time.Duration(float64(serial) * (batchSerialFraction*float64(size) + (1 - batchSerialFraction)))
 }
 
+// OverlapStepTime is the steady-state iteration time of the
+// double-buffered split pipeline (docs/WIRE.md): the wire+server leg
+// (uploads, grant waits, server compute, downloads) of microbatch i
+// runs concurrently with the client-compute leg of microbatch i±1, so
+// the slower leg sets the pace and the faster one is hidden entirely —
+// max(wire, client) instead of their sum on the sequential path.
+func OverlapStepTime(wireLeg, clientLeg time.Duration) time.Duration {
+	if wireLeg > clientLeg {
+		return wireLeg
+	}
+	return clientLeg
+}
+
 // SwapTime is the host↔device transfer time for task-level swapping.
 func (m *Model) SwapTime(bytes int64) time.Duration {
 	return secs(float64(bytes) / m.Server.SwapBytesPerSecond)

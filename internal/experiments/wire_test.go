@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"menos/internal/memmodel"
+	"menos/internal/quant"
+)
+
+// TestWireKneeAcceptance is the PR's acceptance bar at sweep
+// granularity: on the paper's WAN rung, int8 compression alone buys at
+// least 2.5× (it quarters the dominant comm term), and stacking
+// overlap on top is faster still.
+func TestWireKneeAcceptance(t *testing.T) {
+	w := memmodel.PaperOPTWorkload()
+	wan := WireBandwidths[0]
+	base, err := runWire(w, wan, quant.CodecFP32, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	int8, err := runWire(w, wan, quant.CodecInt8, false, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := runWire(w, wan, quant.CodecInt8, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base.SimulatedTime) / float64(int8.SimulatedTime)
+	if speedup < 2.5 {
+		t.Errorf("WAN int8 speedup = %.2f×, want ≥ 2.5× (plain %v, int8 %v)",
+			speedup, base.SimulatedTime, int8.SimulatedTime)
+	}
+	if both.SimulatedTime >= int8.SimulatedTime {
+		t.Errorf("int8+overlap (%v) not faster than int8 alone (%v)",
+			both.SimulatedTime, int8.SimulatedTime)
+	}
+	if both.OverlapHidden == 0 {
+		t.Error("combined run hid no time")
+	}
+}
+
+// TestWireSweepRenders runs a reduced sweep end to end and checks the
+// table carries every bandwidth rung and the speedup columns.
+func TestWireSweepRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in -short mode")
+	}
+	tbl, err := WireSweep(Options{Iterations: 2, Steps: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"link (MiB/s)", "int8+overlap", "hidden", "8", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -82,6 +82,19 @@ const (
 	MetricClientCommSeconds = "menos_client_comm_seconds"
 	MetricClientCompSeconds = "menos_client_comp_seconds"
 
+	// Wire transport (internal/client + internal/server, docs/WIRE.md).
+	// Both peers register the same families: compressed counts the
+	// on-wire bytes of quantized activation/gradient payloads this
+	// process sent, raw counts the fp32 bytes those payloads replaced
+	// (so savings = 1 - compressed/raw), codec_seconds times Pack and
+	// Unpack calls, and overlap_hidden_seconds is the portion of each
+	// pipelined round trip that ran concurrently with local compute
+	// (zero by construction on the sequential path).
+	MetricWireCompressedBytes  = "menos_wire_compressed_bytes_total"
+	MetricWireRawBytes         = "menos_wire_raw_bytes_total"
+	MetricWireCodecSeconds     = "menos_wire_codec_seconds"
+	MetricOverlapHiddenSeconds = "menos_overlap_hidden_seconds"
+
 	// Compute plane (internal/tensor). The worker-pool size is fixed
 	// per process, so the gauge is set once at server construction.
 	MetricTensorPoolWorkers = "menos_tensor_pool_workers"

@@ -78,11 +78,18 @@ func QuantizeMatrix(t *tensor.Tensor, prec Precision) (*Matrix, error) {
 	if prec == Int4 {
 		maxLevel = 7
 	}
-	// Per-column scales.
+	// Per-column scales. An Inf or NaN weight is rejected with a typed
+	// error rather than quantized: Inf would blow the column scale up
+	// so every other weight rounds to zero, and NaN scales poison the
+	// whole column — both silently, iterations away from the cause.
 	for c := 0; c < cols; c++ {
 		var maxAbs float64
 		for r := 0; r < rows; r++ {
-			v := math.Abs(float64(t.At(r, c)))
+			f := float64(t.At(r, c))
+			if math.IsInf(f, 0) || math.IsNaN(f) {
+				return nil, &NonFiniteError{Index: r*cols + c, Value: f}
+			}
+			v := math.Abs(f)
 			if v > maxAbs {
 				maxAbs = v
 			}

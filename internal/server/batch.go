@@ -83,7 +83,11 @@ func (s *Server) serveForwardBatched(conn net.Conn, sess *session, req *split.Fo
 	sess.cachedBatch = req.Batch
 	sess.cachedSeq = req.Seq
 	s.recordIterationHalf(sess, w.wait, w.comp, req.TraceID)
-	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: w.out, TraceID: sess.echoTrace(req.TraceID)})
+	plain, packed, err := s.encodeWire(sess, w.out)
+	if err != nil {
+		return fmt.Errorf("batched forward: %w", err)
+	}
+	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: plain, Packed: packed, TraceID: sess.echoTrace(req.TraceID)})
 }
 
 // serveBackwardBatched mirrors serveForwardBatched for the re-forward +
@@ -109,7 +113,11 @@ func (s *Server) serveBackwardBatched(conn net.Conn, sess *session, req *split.B
 	s.stats.iterations.Add(1)
 	s.m.iterations.Inc()
 	s.ledger.AddIteration(sess.id)
-	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: w.out, TraceID: sess.echoTrace(req.TraceID)})
+	plain, packed, err := s.encodeWire(sess, w.out)
+	if err != nil {
+		return fmt.Errorf("batched backward: %w", err)
+	}
+	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: plain, Packed: packed, TraceID: sess.echoTrace(req.TraceID)})
 }
 
 // execBatch runs one formed batch: acquire the aggregate grant, build

@@ -24,6 +24,7 @@ import (
 	"menos/internal/nn"
 	"menos/internal/obs"
 	"menos/internal/profile"
+	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/share"
 	"menos/internal/split"
@@ -90,6 +91,14 @@ type Config struct {
 	// accounts and labeled metric series beyond it aggregate into the
 	// "other" series. 0 means obs.DefaultVecCap.
 	TenantCap int
+	// WireCodec compresses activation/gradient payloads this server
+	// sends (docs/WIRE.md). CodecFP32 (the zero value) disables the
+	// feature entirely: split.FeatureActivationCompression is never
+	// acked and every frame stays byte-identical to a pre-compression
+	// server. Any other codec acks the feature when a client offers it;
+	// each peer compresses what it sends with its own codec, and the
+	// Packed header carries the codec per payload.
+	WireCodec quant.Codec
 }
 
 // Server is a running Menos server.
@@ -151,6 +160,12 @@ type serverMetrics struct {
 	migrationsOut     *obs.Counter
 	migrationsIn      *obs.Counter
 	migrationsAborted *obs.Counter
+
+	// Wire transport plane (docs/WIRE.md): bytes of compressed payloads
+	// this server sent vs the fp32 bytes they replaced, plus codec time.
+	wireCompressed *obs.Counter
+	wireRaw        *obs.Counter
+	codecSeconds   *obs.Histogram
 }
 
 // New creates a server over the shared store. The store's base
@@ -236,6 +251,10 @@ func New(cfg Config) (*Server, error) {
 			migrationsOut:     cfg.Metrics.Counter(obs.MetricServerMigrationsOut, "sessions snapshotted and redirected to another server"),
 			migrationsIn:      cfg.Metrics.Counter(obs.MetricServerMigrationsIn, "sessions resumed here from a staged snapshot"),
 			migrationsAborted: cfg.Metrics.Counter(obs.MetricServerMigrationsAborted, "migration orders that failed mid-flight"),
+
+			wireCompressed: cfg.Metrics.Counter(obs.MetricWireCompressedBytes, "on-wire bytes of compressed activation/gradient payloads sent"),
+			wireRaw:        cfg.Metrics.Counter(obs.MetricWireRawBytes, "fp32 bytes the compressed payloads replaced"),
+			codecSeconds:   cfg.Metrics.Histogram(obs.MetricWireCodecSeconds, obs.DurationBuckets(), "time quantizing/dequantizing wire payloads"),
 		}
 		cfg.Metrics.Gauge(obs.MetricTensorPoolWorkers, "tensor worker-pool parallelism").Set(int64(tensor.Parallelism()))
 	}
@@ -544,12 +563,17 @@ func (s *Server) handshake(conn net.Conn) (*session, error) {
 	// Feature negotiation: accept the intersection of the client's
 	// offer and what this server supports. Trace context is only
 	// useful (and only acked) when a tracer is wired; migration is
-	// always supported (the admin plane may simply never order one).
+	// always supported (the admin plane may simply never order one);
+	// compressed payloads are acked only when this server is itself
+	// configured to send them (-wire-compress).
 	var features uint64
 	if s.cfg.Tracer != nil {
 		features = hello.Features & split.FeatureTraceContext
 	}
 	features |= hello.Features & split.FeatureMigration
+	if s.cfg.WireCodec != quant.CodecFP32 {
+		features |= hello.Features & split.FeatureActivationCompression
+	}
 
 	// A resuming redial must find its staged snapshot before any state
 	// is built; claiming it early also keeps a bad token from leaking
@@ -697,8 +721,53 @@ func (s *Server) acquire(sess *session, kind sched.RequestKind, bytes int64, tra
 	return wait, nil
 }
 
+// decodeWire resolves a request payload that may be plain or packed.
+// A packed payload on a session that never negotiated compression is a
+// protocol violation rather than something to decode on faith.
+func (s *Server) decodeWire(sess *session, plain *tensor.Tensor, packed *quant.Packed) (*tensor.Tensor, error) {
+	if packed != nil && sess.features&split.FeatureActivationCompression == 0 {
+		return nil, errors.New("compressed payload without negotiation")
+	}
+	if packed == nil {
+		return plain, nil
+	}
+	t0 := time.Now()
+	x, err := split.Payload(plain, packed)
+	if err != nil {
+		return nil, fmt.Errorf("unpack payload: %w", err)
+	}
+	s.m.codecSeconds.Observe(time.Since(t0).Seconds())
+	return x, nil
+}
+
+// encodeWire quantizes a response payload with the server's configured
+// codec when the session negotiated compression; otherwise the tensor
+// passes through and the frame stays byte-identical to a legacy
+// server's.
+func (s *Server) encodeWire(sess *session, x *tensor.Tensor) (*tensor.Tensor, *quant.Packed, error) {
+	if sess.features&split.FeatureActivationCompression == 0 || s.cfg.WireCodec == quant.CodecFP32 {
+		return x, nil, nil
+	}
+	t0 := time.Now()
+	p, err := quant.Pack(x, s.cfg.WireCodec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pack payload: %w", err)
+	}
+	s.m.codecSeconds.Observe(time.Since(t0).Seconds())
+	s.m.wireCompressed.Add(int64(p.WireBytes()))
+	s.m.wireRaw.Add(int64(4 * len(x.Data())))
+	return nil, p, nil
+}
+
 // serveForward is Algorithm 1, lines 4-8.
 func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardReq) error {
+	// Decode a possibly-compressed x_c up front; everything downstream
+	// (the batched path included) sees a plain tensor.
+	x, err := s.decodeWire(sess, req.Activations, req.Packed)
+	if err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	req.Activations, req.Packed = x, nil
 	if req.Activations == nil {
 		return errors.New("forward request without activations")
 	}
@@ -755,11 +824,20 @@ func (s *Server) serveForward(conn net.Conn, sess *session, req *split.ForwardRe
 		rel.End()
 	}
 	s.recordIterationHalf(sess, wait, comp, req.TraceID)
-	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: resp, TraceID: sess.echoTrace(req.TraceID)})
+	plain, packed, err := s.encodeWire(sess, resp)
+	if err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	return split.WriteMessage(conn, &split.ForwardResp{Iter: req.Iter, Activations: plain, Packed: packed, TraceID: sess.echoTrace(req.TraceID)})
 }
 
 // serveBackward is Algorithm 1, lines 9-14.
 func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.BackwardReq) error {
+	g, err := s.decodeWire(sess, req.Gradients, req.Packed)
+	if err != nil {
+		return fmt.Errorf("backward: %w", err)
+	}
+	req.Gradients, req.Packed = g, nil
 	if req.Gradients == nil {
 		return errors.New("backward request without gradients")
 	}
@@ -772,7 +850,6 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 
 	var wait time.Duration
 	var cache *model.BodyCache
-	var err error
 	var compSpan *obs.SpanHandle
 	compStart := time.Now()
 	if s.cfg.OnDemand {
@@ -828,7 +905,11 @@ func (s *Server) serveBackward(conn net.Conn, sess *session, req *split.Backward
 	s.stats.iterations.Add(1)
 	s.m.iterations.Inc()
 	s.ledger.AddIteration(sess.id)
-	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: gs, TraceID: sess.echoTrace(req.TraceID)})
+	plain, packed, err := s.encodeWire(sess, gs)
+	if err != nil {
+		return fmt.Errorf("backward: %w", err)
+	}
+	return split.WriteMessage(conn, &split.BackwardResp{Iter: req.Iter, Gradients: plain, Packed: packed, TraceID: sess.echoTrace(req.TraceID)})
 }
 
 // echoTrace returns the trace ID to stamp on a response: the request's

@@ -60,6 +60,24 @@ func LANPreset(k *sim.Kernel) *Link {
 	}
 }
 
+// Preset builds a link factory with the given per-flow throughput and
+// one-way latency, keeping the WAN preset's contention and jitter
+// characteristics (and its deterministic RNG seed). The bandwidth
+// sweeps use this to walk a ladder of link speeds between the paper's
+// WAN and a datacenter LAN without redefining the link model each time.
+func Preset(bytesPerSecond float64, oneWay time.Duration) func(*sim.Kernel) *Link {
+	return func(k *sim.Kernel) *Link {
+		return &Link{
+			kernel:           k,
+			BytesPerSecond:   bytesPerSecond,
+			OneWayLatency:    oneWay,
+			ContentionFactor: 0.015,
+			JitterFraction:   0.04,
+			rng:              tensor.NewRNG(0xbeef),
+		}
+	}
+}
+
 // TransferDuration computes the simulated time to move bytes over the
 // link given the current contention, including jitter.
 func (l *Link) TransferDuration(bytes int64) time.Duration {

@@ -5,8 +5,18 @@ import (
 	"testing"
 
 	"menos/internal/adapter"
+	"menos/internal/quant"
 	"menos/internal/tensor"
 )
+
+// fuzzPack builds a small packed tensor for the seed corpus.
+func fuzzPack(f *testing.F, rng *tensor.RNG, c quant.Codec) *quant.Packed {
+	p, err := quant.Pack(tensor.NewNormal(rng, 1, 2, 3), c)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return p
+}
 
 // FuzzReadMessage feeds arbitrary byte streams to the frame decoder.
 // The invariant: ReadMessage either returns a message or an error —
@@ -36,6 +46,16 @@ func FuzzReadMessage(f *testing.F) {
 		&ForwardResp{Iter: 2, TraceID: 0xdead, Activations: tensor.NewNormal(rng, 1, 2, 3)},
 		&BackwardReq{Iter: 2, TraceID: 0xbeef, Gradients: tensor.NewNormal(rng, 1, 2, 3)},
 		&BackwardResp{Iter: 2, TraceID: 0xbeef, Gradients: tensor.NewNormal(rng, 1, 2, 3)},
+		// Compressed-payload frames: the packed tensor rides the ext
+		// tail (with and without a trace ID sharing it).
+		&Hello{ClientID: "c", ModelName: "m", Cut: 1,
+			Adapter:  adapter.LoRASpec(adapter.DefaultLoRA()),
+			Features: FeatureTraceContext | FeatureActivationCompression},
+		&HelloAck{OK: true, Features: FeatureActivationCompression},
+		&ForwardReq{Iter: 3, Batch: 2, Seq: 3, Packed: fuzzPack(f, rng, quant.CodecInt8)},
+		&ForwardResp{Iter: 3, TraceID: 0xdead, Packed: fuzzPack(f, rng, quant.CodecInt8)},
+		&BackwardReq{Iter: 3, Apply: true, Packed: fuzzPack(f, rng, quant.CodecFP16)},
+		&BackwardResp{Iter: 3, TraceID: 0xbeef, Packed: fuzzPack(f, rng, quant.CodecFP16)},
 	}
 	for _, m := range seeds {
 		var buf bytes.Buffer

@@ -2,6 +2,7 @@ package split
 
 import (
 	"menos/internal/adapter"
+	"menos/internal/quant"
 	"menos/internal/tensor"
 )
 
@@ -173,6 +174,13 @@ type ForwardReq struct {
 	// FeatureTraceContext was negotiated (VersionExt tail; absent on
 	// the wire when zero).
 	TraceID uint64
+
+	// Packed carries the activations codec-compressed when
+	// FeatureActivationCompression was negotiated; the base payload
+	// then writes its tensor-absent marker. Appended to the ext tail
+	// after TraceID, so an uncompressed frame stays byte-identical to
+	// its pre-compression form.
+	Packed *quant.Packed
 }
 
 // MsgType implements Message.
@@ -182,7 +190,11 @@ func (m *ForwardReq) encode(e *encoder) {
 	e.i64(int64(m.Iter))
 	e.i64(int64(m.Batch))
 	e.i64(int64(m.Seq))
-	e.tensor(m.Activations)
+	if m.Packed != nil {
+		e.tensor(nil)
+	} else {
+		e.tensor(m.Activations)
+	}
 }
 
 func (m *ForwardReq) decode(d *decoder) {
@@ -192,9 +204,21 @@ func (m *ForwardReq) decode(d *decoder) {
 	m.Activations = d.tensor()
 }
 
-func (m *ForwardReq) extPresent() bool     { return m.TraceID != 0 }
-func (m *ForwardReq) encodeExt(e *encoder) { e.u64(m.TraceID) }
-func (m *ForwardReq) decodeExt(d *decoder) { m.TraceID = d.u64() }
+func (m *ForwardReq) extPresent() bool { return m.TraceID != 0 || m.Packed != nil }
+func (m *ForwardReq) encodeExt(e *encoder) {
+	e.u64(m.TraceID)
+	if m.Packed != nil {
+		e.packed(m.Packed)
+	}
+}
+func (m *ForwardReq) decodeExt(d *decoder) {
+	m.TraceID = d.u64()
+	// The compressed payload was appended after TraceID shipped;
+	// decode it only when bytes remain so older frames stay valid.
+	if d.err == nil && d.off < len(d.buf) {
+		m.Packed = d.packed()
+	}
+}
 
 // ForwardResp returns the server activations x_s (step 2).
 type ForwardResp struct {
@@ -203,6 +227,9 @@ type ForwardResp struct {
 
 	// TraceID echoes the request's trace context back to the client.
 	TraceID uint64
+
+	// Packed: codec-compressed activations (see ForwardReq.Packed).
+	Packed *quant.Packed
 }
 
 // MsgType implements Message.
@@ -210,7 +237,11 @@ func (*ForwardResp) MsgType() MsgType { return TypeForwardResp }
 
 func (m *ForwardResp) encode(e *encoder) {
 	e.i64(int64(m.Iter))
-	e.tensor(m.Activations)
+	if m.Packed != nil {
+		e.tensor(nil)
+	} else {
+		e.tensor(m.Activations)
+	}
 }
 
 func (m *ForwardResp) decode(d *decoder) {
@@ -218,9 +249,19 @@ func (m *ForwardResp) decode(d *decoder) {
 	m.Activations = d.tensor()
 }
 
-func (m *ForwardResp) extPresent() bool     { return m.TraceID != 0 }
-func (m *ForwardResp) encodeExt(e *encoder) { e.u64(m.TraceID) }
-func (m *ForwardResp) decodeExt(d *decoder) { m.TraceID = d.u64() }
+func (m *ForwardResp) extPresent() bool { return m.TraceID != 0 || m.Packed != nil }
+func (m *ForwardResp) encodeExt(e *encoder) {
+	e.u64(m.TraceID)
+	if m.Packed != nil {
+		e.packed(m.Packed)
+	}
+}
+func (m *ForwardResp) decodeExt(d *decoder) {
+	m.TraceID = d.u64()
+	if d.err == nil && d.off < len(d.buf) {
+		m.Packed = d.packed()
+	}
+}
 
 // BackwardReq carries the client's gradients g_c at the upper cut
 // (step 3). Apply=false accumulates the server-side adapter gradients
@@ -233,6 +274,9 @@ type BackwardReq struct {
 
 	// TraceID is the client iteration's trace context (see ForwardReq).
 	TraceID uint64
+
+	// Packed: codec-compressed gradients (see ForwardReq.Packed).
+	Packed *quant.Packed
 }
 
 // MsgType implements Message.
@@ -241,7 +285,11 @@ func (*BackwardReq) MsgType() MsgType { return TypeBackwardReq }
 func (m *BackwardReq) encode(e *encoder) {
 	e.i64(int64(m.Iter))
 	e.bool(m.Apply)
-	e.tensor(m.Gradients)
+	if m.Packed != nil {
+		e.tensor(nil)
+	} else {
+		e.tensor(m.Gradients)
+	}
 }
 
 func (m *BackwardReq) decode(d *decoder) {
@@ -250,9 +298,19 @@ func (m *BackwardReq) decode(d *decoder) {
 	m.Gradients = d.tensor()
 }
 
-func (m *BackwardReq) extPresent() bool     { return m.TraceID != 0 }
-func (m *BackwardReq) encodeExt(e *encoder) { e.u64(m.TraceID) }
-func (m *BackwardReq) decodeExt(d *decoder) { m.TraceID = d.u64() }
+func (m *BackwardReq) extPresent() bool { return m.TraceID != 0 || m.Packed != nil }
+func (m *BackwardReq) encodeExt(e *encoder) {
+	e.u64(m.TraceID)
+	if m.Packed != nil {
+		e.packed(m.Packed)
+	}
+}
+func (m *BackwardReq) decodeExt(d *decoder) {
+	m.TraceID = d.u64()
+	if d.err == nil && d.off < len(d.buf) {
+		m.Packed = d.packed()
+	}
+}
 
 // BackwardResp returns the server gradients g_s at the lower cut
 // (step 4).
@@ -262,6 +320,9 @@ type BackwardResp struct {
 
 	// TraceID echoes the request's trace context back to the client.
 	TraceID uint64
+
+	// Packed: codec-compressed gradients (see ForwardReq.Packed).
+	Packed *quant.Packed
 }
 
 // MsgType implements Message.
@@ -269,7 +330,11 @@ func (*BackwardResp) MsgType() MsgType { return TypeBackwardResp }
 
 func (m *BackwardResp) encode(e *encoder) {
 	e.i64(int64(m.Iter))
-	e.tensor(m.Gradients)
+	if m.Packed != nil {
+		e.tensor(nil)
+	} else {
+		e.tensor(m.Gradients)
+	}
 }
 
 func (m *BackwardResp) decode(d *decoder) {
@@ -277,9 +342,19 @@ func (m *BackwardResp) decode(d *decoder) {
 	m.Gradients = d.tensor()
 }
 
-func (m *BackwardResp) extPresent() bool     { return m.TraceID != 0 }
-func (m *BackwardResp) encodeExt(e *encoder) { e.u64(m.TraceID) }
-func (m *BackwardResp) decodeExt(d *decoder) { m.TraceID = d.u64() }
+func (m *BackwardResp) extPresent() bool { return m.TraceID != 0 || m.Packed != nil }
+func (m *BackwardResp) encodeExt(e *encoder) {
+	e.u64(m.TraceID)
+	if m.Packed != nil {
+		e.packed(m.Packed)
+	}
+}
+func (m *BackwardResp) decodeExt(d *decoder) {
+	m.TraceID = d.u64()
+	if d.err == nil && d.off < len(d.buf) {
+		m.Packed = d.packed()
+	}
+}
 
 // Bye announces a clean client departure so the server releases the
 // instance immediately.

@@ -13,6 +13,7 @@ import (
 	"io"
 	"math"
 
+	"menos/internal/quant"
 	"menos/internal/tensor"
 )
 
@@ -55,6 +56,14 @@ const (
 	// Hello.ResumeToken and replays the forward the redirect displaced,
 	// so no iteration is lost (docs/FLEET.md, "Live migration").
 	FeatureMigration uint64 = 1 << 1
+
+	// FeatureActivationCompression: the activation/gradient tensors in
+	// ForwardReq/Resp and BackwardReq/Resp may ride the extension tail
+	// codec-compressed (fp16 or int8 per-row, internal/quant) instead
+	// of the base payload's fp32 tensor. Either side only sends a
+	// compressed payload after the bit survives the Hello/HelloAck
+	// intersection, so a legacy peer never sees one (docs/WIRE.md).
+	FeatureActivationCompression uint64 = 1 << 2
 )
 
 // Errors reported by the codec.
@@ -286,6 +295,20 @@ func (e *encoder) tensor(t *tensor.Tensor) {
 	e.ints(t.Shape())
 	e.floats(t.Data())
 }
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// packed writes a codec-compressed tensor: codec byte, shape, per-row
+// scales, packed data. Only ever emitted on sessions that negotiated
+// FeatureActivationCompression.
+func (e *encoder) packed(p *quant.Packed) {
+	e.u8(uint8(p.Codec))
+	e.ints(p.Shape)
+	e.floats(p.Scales)
+	e.bytes(p.Data)
+}
 
 // decoder consumes a payload buffer, latching the first error.
 type decoder struct {
@@ -379,4 +402,37 @@ func (d *decoder) tensor() *tensor.Tensor {
 		return nil
 	}
 	return t
+}
+func (d *decoder) bytes() []byte {
+	n := int(d.u32())
+	if d.err != nil || n < 0 || d.off+n > len(d.buf) {
+		d.fail()
+		return nil
+	}
+	b := append([]byte(nil), d.buf[d.off:d.off+n]...)
+	d.off += n
+	return b
+}
+
+// packed reads a codec-compressed tensor. The struct is returned as
+// decoded — length/shape consistency is validated by
+// quant.Packed.Unpack, which treats it as untrusted input.
+func (d *decoder) packed() *quant.Packed {
+	p := &quant.Packed{Codec: quant.Codec(d.u8())}
+	p.Shape = d.ints()
+	p.Scales = d.floats()
+	p.Data = d.bytes()
+	if d.err != nil {
+		return nil
+	}
+	return p
+}
+
+// Payload resolves a message's tensor payload: the compressed form
+// when present (unpacked to fp32), the plain tensor otherwise.
+func Payload(plain *tensor.Tensor, packed *quant.Packed) (*tensor.Tensor, error) {
+	if packed != nil {
+		return packed.Unpack()
+	}
+	return plain, nil
 }

@@ -12,6 +12,7 @@ import (
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/sim"
 	"menos/internal/trace"
@@ -257,6 +258,16 @@ func runMenos(cfg Config) (*Result, error) {
 	}
 	var waits WaitStats
 	var rejected int64 // admission sheds; kernel is single-threaded
+	var hiddenTotal time.Duration
+
+	// Wire-plane instrumentation mirrors the TCP runtime's families
+	// (docs/WIRE.md): compressed counts the on-wire bytes of quantized
+	// payloads, raw the fp32 bytes they replaced, and the overlap
+	// histogram observes per-iteration hidden time in virtual seconds.
+	// All handles are nil-safe, so an uninstrumented run pays nothing.
+	wireCompressed := cfg.Metrics.Counter(obs.MetricWireCompressedBytes, "On-wire bytes of compressed activation payloads (simulated).")
+	wireRaw := cfg.Metrics.Counter(obs.MetricWireRawBytes, "fp32 bytes the compressed payloads replaced (simulated).")
+	hiddenHist := cfg.Metrics.Histogram(obs.MetricOverlapHiddenSeconds, obs.DurationBuckets(), "Per-iteration virtual time hidden by comm/compute overlap.")
 	var samples []MemSample
 	sampleMem := func(at time.Duration) {
 		var used int64
@@ -371,7 +382,15 @@ func runMenos(cfg Config) (*Result, error) {
 		clientTotal := costmodel.ClientComputeTime(cl.Platform, cl.Workload)
 		pre, mid, post := clientPhases(clientTotal)
 		demand := demands[cl.ID]
-		transfer := cl.Workload.TransferBytes()
+		// The wire codec shrinks every split-boundary transfer to its
+		// ratio of the fp32 volume (per-row scale overhead dropped; see
+		// quant.Codec.WireRatio). Grant sizes are untouched: compression
+		// changes what crosses the link, not what the GPU materializes.
+		rawTransfer := cl.Workload.TransferBytes()
+		transfer := rawTransfer
+		if cfg.WireCodec != quant.CodecFP32 {
+			transfer = int64(float64(rawTransfer) * cfg.WireCodec.WireRatio())
+		}
 		// Release-overhead concurrency: clients per GPU on this
 		// client's server (allocator fragmentation is per-device). For
 		// a static fleet the roster is fixed, so the density is too;
@@ -424,6 +443,10 @@ func runMenos(cfg Config) (*Result, error) {
 					ledger.AddWire(cl.ID, 0, transfer)
 				} else {
 					ledger.AddWire(cl.ID, transfer, 0)
+				}
+				if cfg.WireCodec != quant.CodecFP32 {
+					wireCompressed.Add(transfer)
+					wireRaw.Add(rawTransfer)
 				}
 			}
 			grant := func(kind sched.RequestKind, bytes int64) {
@@ -592,6 +615,61 @@ func runMenos(cfg Config) (*Result, error) {
 					releaseCost = cost.ReleaseOverhead(density)
 				}
 
+				// Overlapped iteration (docs/WIRE.md): the client-local
+				// compute runs as its own process, concurrent with the
+				// wire+server leg below, modeling the steady state of the
+				// double-buffered microbatch pipeline — each client
+				// segment of microbatch i+1 hides under the transfers and
+				// server phases of microbatch i, so the iteration's wall
+				// time is the slower leg (costmodel.OverlapStepTime), not
+				// the serial sum. The Breakdown still records serial
+				// totals (comm, comp, sched are resource costs, not wall
+				// time); the savings show up in SimulatedTime and the
+				// hidden-time histogram. Only the validated envelope
+				// (on-demand policy, serial serving, static fleet)
+				// reaches this branch.
+				if cfg.Overlap {
+					iterStart := p.Now()
+					computeDone := false
+					joined := kernel.NewSignal()
+					kernel.Spawn(fmt.Sprintf("client:%s:compute:%d", cl.ID, iter), func(q *sim.Proc) {
+						local := func(name string, d time.Duration) {
+							start := q.Now()
+							q.Sleep(d)
+							comp += d
+							cfg.Tracer.RecordT(cl.ID, name, "compute", tid, start, d)
+						}
+						local("client-pre", pre)
+						local("client-mid", mid)
+						local("client-post", post)
+						computeDone = true
+						joined.Fire()
+					})
+					xfer("upload:x_c")
+					grant(sched.KindForward, demand.fwd)
+					sleepComp("forward", cost.NoGradForwardTime(cl.Workload))
+					release()
+					xfer("download:x_s")
+					xfer("upload:g_c")
+					grant(sched.KindBackward, demand.bwd)
+					sleepComp("re-forward+backward",
+						cost.ForwardTime(cl.Workload)+cost.BackwardTime(cl.Workload))
+					release()
+					sleepComp("release", releaseCost)
+					sleepComp("optimizer", costmodel.OptimizerStepTime)
+					xfer("download:g_s")
+					for !computeDone {
+						joined.Wait(p, "overlap join "+cl.ID)
+					}
+					if hidden := comm + comp + schedT - (p.Now() - iterStart); hidden > 0 {
+						hiddenTotal += hidden
+						hiddenHist.Observe(hidden.Seconds())
+					}
+					bd.Add(comm, comp, schedT)
+					ledger.AddIteration(cl.ID)
+					continue
+				}
+
 				// Client computes the input section and uploads x_c.
 				sleepComp("client-pre", pre)
 				xfer("upload:x_c")
@@ -747,6 +825,7 @@ func runMenos(cfg Config) (*Result, error) {
 		Admission:       admission,
 		Waits:           waits,
 		MemSamples:      samples,
+		OverlapHidden:   hiddenTotal,
 		SimulatedTime:   kernel.Now(),
 		Fleet: FleetStats{
 			Policy:         placer.Name(),

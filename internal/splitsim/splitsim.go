@@ -16,6 +16,7 @@ import (
 	"menos/internal/gpu"
 	"menos/internal/memmodel"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/sched"
 	"menos/internal/sim"
 	"menos/internal/simnet"
@@ -132,7 +133,24 @@ type Config struct {
 	// device as owned by one invocation at a time, so a MaxSize-1
 	// policy is the serialized baseline the multilora sweep compares
 	// against. Menos mode with PolicyOnDemand and a static fleet only.
-	Batch      *sched.BatchPolicy
+	Batch *sched.BatchPolicy
+	// WireCodec compresses the activation/gradient payloads on the
+	// simulated link (docs/WIRE.md): every x_c/x_s/g_c/g_s transfer
+	// ships codec.WireRatio() of its fp32 bytes (fp16 ½, int8 ¼; the
+	// per-row scale overhead is negligible at model widths and is
+	// dropped here). Quantization compute is not modeled — the real
+	// plane's menos_wire_codec_seconds shows it is orders of magnitude
+	// below the link time this knob exists to shrink. The zero value
+	// (CodecFP32) transfers raw bytes, bit-identical to historical runs.
+	WireCodec quant.Codec
+	// Overlap enables comm/compute pipelining (docs/WIRE.md): each
+	// iteration's client-local compute runs concurrently with the
+	// wire+server leg, modeling the steady state of the double-buffered
+	// microbatch schedule where iteration time is max(wire, client)
+	// instead of their sum. Menos mode with PolicyOnDemand, serial
+	// (un-batched) serving and a static fleet only — the same envelope
+	// the TCP client's StepPipelined supports.
+	Overlap    bool
 	ServerPerf costmodel.Perf
 	Clients    []ClientSpec
 	Iterations int
@@ -226,6 +244,23 @@ func (c *Config) validate() error {
 			}
 		}
 	}
+	if _, err := quant.ParseCodec(c.WireCodec.String()); err != nil {
+		return fmt.Errorf("%w: wire codec %d", ErrConfig, int(c.WireCodec))
+	}
+	if c.Overlap {
+		if c.Mode != ModeMenos {
+			return fmt.Errorf("%w: overlap requires Menos mode", ErrConfig)
+		}
+		if c.Policy != PolicyOnDemand {
+			return fmt.Errorf("%w: overlap requires the on-demand policy (got %v)", ErrConfig, c.Policy)
+		}
+		if c.Autoscale != nil {
+			return fmt.Errorf("%w: overlap requires a static fleet", ErrConfig)
+		}
+		if c.Batch != nil && c.Batch.Enabled() {
+			return fmt.Errorf("%w: overlap and batched serving are mutually exclusive", ErrConfig)
+		}
+	}
 	for i, cl := range c.Clients {
 		if cl.ID == "" {
 			return fmt.Errorf("%w: client %d has no id", ErrConfig, i)
@@ -273,6 +308,11 @@ type Result struct {
 	// (Menos mode): one sample per allocation transition. This is the
 	// data behind the paper's Fig. 3 usage patterns.
 	MemSamples []MemSample
+	// OverlapHidden is the total virtual time hidden by comm/compute
+	// pipelining, summed over clients and iterations: each iteration's
+	// serial cost (comm + comp + sched) minus its wall time. Zero
+	// unless Config.Overlap.
+	OverlapHidden time.Duration
 	// SimulatedTime is the virtual time of the full run.
 	SimulatedTime time.Duration
 	// Fleet reports the fleet control plane's activity (Menos mode;

@@ -7,6 +7,7 @@ import (
 	"menos/internal/costmodel"
 	"menos/internal/gpu"
 	"menos/internal/obs"
+	"menos/internal/quant"
 	"menos/internal/sim"
 	"menos/internal/trace"
 )
@@ -160,7 +161,12 @@ func runVanilla(cfg Config) (*Result, error) {
 		cost := costmodel.New(cfg.ServerPerf, cl.Workload)
 		clientTotal := costmodel.ClientComputeTime(cl.Platform, cl.Workload)
 		pre, mid, post := clientPhases(clientTotal)
+		// The wire codec shrinks split-boundary transfers exactly as in
+		// the Menos loop, so codec sweeps compare modes fairly.
 		transfer := cl.Workload.TransferBytes()
+		if cfg.WireCodec != quant.CodecFP32 {
+			transfer = int64(float64(transfer) * cfg.WireCodec.WireRatio())
+		}
 
 		kernel.Spawn("client:"+cl.ID, func(p *sim.Proc) {
 			// Spans mirror the Breakdown accumulators exactly, as in

@@ -73,11 +73,19 @@ func matmulAccum(dst, a, b []float32, m, k, n int) {
 }
 
 // matmulAccumRange accumulates output rows [rowLo, rowHi) in the ikj
-// order, register-tiled four output rows at a time: each streamed row
-// of b feeds four accumulating dst rows, cutting b traffic 4x while
-// the four hot dst rows stay cache-resident. Per (i, j) the reduction
-// still runs in ascending p order, so results are bit-identical to
-// the one-row loop.
+// order, register-tiled four output rows at a time and blocked four
+// wide over the reduction index: each pass streams four rows of b
+// against four rows of dst, so every dst element is loaded and stored
+// once per four multiply-adds instead of once per one — the dominant
+// memory traffic at SIMD-width granularity.
+//
+// Bit-identity discipline: per (i, j) the reduction must run in
+// strictly ascending p order with a single accumulator, and each
+// accumulation must stay its own `v += a*b` statement — a combined
+// `v += a0*b0 + a1*b1` expression re-associates the float adds and
+// changes the bits. The k-block below only reorders *memory* access,
+// never the per-element add sequence, so results remain bit-identical
+// to the unblocked loop at every parallelism setting.
 func matmulAccumRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 	i := rowLo
 	for ; i+4 <= rowHi; i += 4 {
@@ -89,7 +97,47 @@ func matmulAccumRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 		d1 := dst[(i+1)*n:][:n]
 		d2 := dst[(i+2)*n:][:n]
 		d3 := dst[(i+3)*n:][:n]
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			av00, av01, av02, av03 := a0[p], a0[p+1], a0[p+2], a0[p+3]
+			av10, av11, av12, av13 := a1[p], a1[p+1], a1[p+2], a1[p+3]
+			av20, av21, av22, av23 := a2[p], a2[p+1], a2[p+2], a2[p+3]
+			av30, av31, av32, av33 := a3[p], a3[p+1], a3[p+2], a3[p+3]
+			b0 := b[(p+0)*n:][:n]
+			b1 := b[(p+1)*n:][:n]
+			b2 := b[(p+2)*n:][:n]
+			b3 := b[(p+3)*n:][:n]
+			for j, bv0 := range b0 {
+				bv1 := b1[j]
+				bv2 := b2[j]
+				bv3 := b3[j]
+				v0 := d0[j]
+				v0 += av00 * bv0
+				v0 += av01 * bv1
+				v0 += av02 * bv2
+				v0 += av03 * bv3
+				d0[j] = v0
+				v1 := d1[j]
+				v1 += av10 * bv0
+				v1 += av11 * bv1
+				v1 += av12 * bv2
+				v1 += av13 * bv3
+				d1[j] = v1
+				v2 := d2[j]
+				v2 += av20 * bv0
+				v2 += av21 * bv1
+				v2 += av22 * bv2
+				v2 += av23 * bv3
+				d2[j] = v2
+				v3 := d3[j]
+				v3 += av30 * bv0
+				v3 += av31 * bv1
+				v3 += av32 * bv2
+				v3 += av33 * bv3
+				d3[j] = v3
+			}
+		}
+		for ; p < k; p++ {
 			av0 := a0[p]
 			av1 := a1[p]
 			av2 := a2[p]
@@ -106,7 +154,23 @@ func matmulAccumRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 	for ; i < rowHi; i++ {
 		ai := a[i*k:][:k]
 		di := dst[i*n:][:n]
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			av0, av1, av2, av3 := ai[p], ai[p+1], ai[p+2], ai[p+3]
+			b0 := b[(p+0)*n:][:n]
+			b1 := b[(p+1)*n:][:n]
+			b2 := b[(p+2)*n:][:n]
+			b3 := b[(p+3)*n:][:n]
+			for j, bv0 := range b0 {
+				v := di[j]
+				v += av0 * bv0
+				v += av1 * b1[j]
+				v += av2 * b2[j]
+				v += av3 * b3[j]
+				di[j] = v
+			}
+		}
+		for ; p < k; p++ {
 			av := ai[p]
 			bp := b[p*n:][:n]
 			for j, bv := range bp {
@@ -141,9 +205,12 @@ func MatMulT(dst, a, b *Tensor) error {
 
 // matmulTRange computes output rows [rowLo, rowHi) of dst = a @ bᵀ.
 // Rows are register-tiled four at a time so each row of b is loaded
-// once per quad instead of once per output element; each of the four
-// dot products accumulates in ascending p order, exactly as the
-// one-row loop does.
+// once per quad instead of once per output element, and the dot
+// products are blocked four wide over k to amortize loop overhead and
+// keep four loads in flight per accumulator. Each dot product still
+// accumulates through a single variable in ascending p order — one
+// `s += a*b` statement per step, never a combined expression — so the
+// bits match the one-row, one-step loop exactly.
 func matmulTRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 	i := rowLo
 	for ; i+4 <= rowHi; i += 4 {
@@ -158,7 +225,27 @@ func matmulTRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 		for j := 0; j < n; j++ {
 			bj := b[j*k:][:k]
 			var s0, s1, s2, s3 float32
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				bv0, bv1, bv2, bv3 := bj[p], bj[p+1], bj[p+2], bj[p+3]
+				s0 += a0[p] * bv0
+				s0 += a0[p+1] * bv1
+				s0 += a0[p+2] * bv2
+				s0 += a0[p+3] * bv3
+				s1 += a1[p] * bv0
+				s1 += a1[p+1] * bv1
+				s1 += a1[p+2] * bv2
+				s1 += a1[p+3] * bv3
+				s2 += a2[p] * bv0
+				s2 += a2[p+1] * bv1
+				s2 += a2[p+2] * bv2
+				s2 += a2[p+3] * bv3
+				s3 += a3[p] * bv0
+				s3 += a3[p+1] * bv1
+				s3 += a3[p+2] * bv2
+				s3 += a3[p+3] * bv3
+			}
+			for ; p < k; p++ {
 				bv := bj[p]
 				s0 += a0[p] * bv
 				s1 += a1[p] * bv
@@ -177,7 +264,14 @@ func matmulTRange(dst, a, b []float32, rowLo, rowHi, k, n int) {
 		for j := 0; j < n; j++ {
 			bj := b[j*k:][:k]
 			var s float32
-			for p := 0; p < k; p++ {
+			p := 0
+			for ; p+4 <= k; p += 4 {
+				s += ai[p] * bj[p]
+				s += ai[p+1] * bj[p+1]
+				s += ai[p+2] * bj[p+2]
+				s += ai[p+3] * bj[p+3]
+			}
+			for ; p < k; p++ {
 				s += ai[p] * bj[p]
 			}
 			di[j] = s
@@ -211,11 +305,12 @@ func MatMulTAccum(dst, a, b *Tensor) error {
 // matmulTAccumRange accumulates output rows [rowLo, rowHi) of
 // dst += aᵀ @ b. The seed kernel iterated p outermost and touched all
 // m output rows per step; here the loop is inverted so each worker
-// owns a row range (required for a race-free parallel split) and
-// register-tiled four output rows at a time: the four a values live
-// on one cache line of row p and the streamed row bp feeds four
-// accumulating dst rows. Per (i, j) the p order is still ascending,
-// matching the seed kernel's accumulation order bit for bit.
+// owns a row range (required for a race-free parallel split),
+// register-tiled four output rows at a time, and blocked four wide
+// over the reduction so each dst element is read and written once per
+// four multiply-adds. As everywhere in this file, every accumulation
+// is its own single-add statement in ascending p order, so the bits
+// match the seed kernel exactly.
 func matmulTAccumRange(dst, a, b []float32, rowLo, rowHi, k, m, n int) {
 	i := rowLo
 	for ; i+4 <= rowHi; i += 4 {
@@ -223,7 +318,51 @@ func matmulTAccumRange(dst, a, b []float32, rowLo, rowHi, k, m, n int) {
 		d1 := dst[(i+1)*n:][:n]
 		d2 := dst[(i+2)*n:][:n]
 		d3 := dst[(i+3)*n:][:n]
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			ap0 := a[(p+0)*m:][:m]
+			ap1 := a[(p+1)*m:][:m]
+			ap2 := a[(p+2)*m:][:m]
+			ap3 := a[(p+3)*m:][:m]
+			av00, av01, av02, av03 := ap0[i], ap1[i], ap2[i], ap3[i]
+			av10, av11, av12, av13 := ap0[i+1], ap1[i+1], ap2[i+1], ap3[i+1]
+			av20, av21, av22, av23 := ap0[i+2], ap1[i+2], ap2[i+2], ap3[i+2]
+			av30, av31, av32, av33 := ap0[i+3], ap1[i+3], ap2[i+3], ap3[i+3]
+			b0 := b[(p+0)*n:][:n]
+			b1 := b[(p+1)*n:][:n]
+			b2 := b[(p+2)*n:][:n]
+			b3 := b[(p+3)*n:][:n]
+			for j, bv0 := range b0 {
+				bv1 := b1[j]
+				bv2 := b2[j]
+				bv3 := b3[j]
+				v0 := d0[j]
+				v0 += av00 * bv0
+				v0 += av01 * bv1
+				v0 += av02 * bv2
+				v0 += av03 * bv3
+				d0[j] = v0
+				v1 := d1[j]
+				v1 += av10 * bv0
+				v1 += av11 * bv1
+				v1 += av12 * bv2
+				v1 += av13 * bv3
+				d1[j] = v1
+				v2 := d2[j]
+				v2 += av20 * bv0
+				v2 += av21 * bv1
+				v2 += av22 * bv2
+				v2 += av23 * bv3
+				d2[j] = v2
+				v3 := d3[j]
+				v3 += av30 * bv0
+				v3 += av31 * bv1
+				v3 += av32 * bv2
+				v3 += av33 * bv3
+				d3[j] = v3
+			}
+		}
+		for ; p < k; p++ {
 			ap := a[p*m:][:m]
 			av0 := ap[i]
 			av1 := ap[i+1]
@@ -240,7 +379,26 @@ func matmulTAccumRange(dst, a, b []float32, rowLo, rowHi, k, m, n int) {
 	}
 	for ; i < rowHi; i++ {
 		di := dst[i*n:][:n]
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			av0 := a[(p+0)*m+i]
+			av1 := a[(p+1)*m+i]
+			av2 := a[(p+2)*m+i]
+			av3 := a[(p+3)*m+i]
+			b0 := b[(p+0)*n:][:n]
+			b1 := b[(p+1)*n:][:n]
+			b2 := b[(p+2)*n:][:n]
+			b3 := b[(p+3)*n:][:n]
+			for j, bv0 := range b0 {
+				v := di[j]
+				v += av0 * bv0
+				v += av1 * b1[j]
+				v += av2 * b2[j]
+				v += av3 * b3[j]
+				di[j] = v
+			}
+		}
+		for ; p < k; p++ {
 			av := a[p*m+i]
 			bp := b[p*n:][:n]
 			for j, bv := range bp {
